@@ -1,0 +1,341 @@
+//! The vertex-cut (GAS-style) execution engine.
+
+use std::time::Duration;
+
+use dne_graph::hash::mix2;
+use dne_graph::{EdgeId, Graph, VertexId};
+use dne_partition::{EdgeAssignment, PartitionId};
+use dne_runtime::Cluster;
+use parking_lot::Mutex;
+
+/// How partial accumulators combine (the `⊕` of the GAS gather phase).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Combine {
+    /// Minimum (SSSP distances, WCC labels).
+    Min,
+    /// Sum (PageRank mass).
+    Sum,
+}
+
+/// A vertex program in the restricted f64-valued form all three paper
+/// applications fit.
+#[derive(Clone)]
+pub struct VertexProgram {
+    /// Application name for reports ("SSSP", "WCC", "PageRank").
+    pub name: &'static str,
+    /// Accumulator combiner.
+    pub combine: Combine,
+    /// Initial vertex value (given vertex id, its degree, and the
+    /// program parameter — e.g. the SSSP source).
+    pub init: fn(VertexId, u64, f64) -> f64,
+    /// Free-form program parameter forwarded to `init` (function pointers
+    /// cannot capture; this keeps programs `Copy`-able across machines).
+    pub param: f64,
+    /// Contribution sent along an edge from a vertex with value `x` and
+    /// degree `d`.
+    pub edge_fn: fn(x: f64, d: u64) -> f64,
+    /// Master update: old value + gathered accumulator → new value.
+    pub apply: fn(old: f64, acc: Option<f64>) -> f64,
+    /// Run exactly this many supersteps (PageRank); `None` = run until no
+    /// vertex changes (SSSP, WCC).
+    pub fixed_supersteps: Option<u64>,
+    /// Only gather along edges whose source changed last superstep
+    /// (frontier semantics for SSSP/WCC; PageRank gathers everything).
+    pub frontier_only: bool,
+}
+
+/// Result of one distributed application run (one Table 5 cell group).
+#[derive(Debug, Clone)]
+pub struct AppRun {
+    /// Application name.
+    pub name: String,
+    /// Supersteps executed.
+    pub supersteps: u64,
+    /// Wall-clock of the parallel section ("ET").
+    pub elapsed: Duration,
+    /// Total bytes moved between machines ("COM").
+    pub comm_bytes: u64,
+    /// Workload balance `max_p busy_p / mean_p busy_p` ("WB").
+    pub workload_balance: f64,
+    /// Final vertex values indexed by vertex id (masters' truth).
+    pub values: Vec<f64>,
+}
+
+/// Wire message of the engine: `(vertex, payload)` pairs.
+type AppMsg = Vec<(VertexId, f64)>;
+
+/// The engine: executes vertex programs over an edge partitioning on a
+/// simulated cluster with one machine per partition.
+pub struct Engine<'g> {
+    g: &'g Graph,
+    assignment: &'g EdgeAssignment,
+    /// Replica partition lists per vertex (sorted; built once).
+    replicas: Vec<Vec<PartitionId>>,
+    /// Master partition per vertex (`u32::MAX` for isolated vertices).
+    masters: Vec<PartitionId>,
+    /// Edge ids grouped by owning partition.
+    edges_by_part: Vec<Vec<EdgeId>>,
+}
+
+impl<'g> Engine<'g> {
+    /// Build the engine's routing tables (the equivalent of a vertex-cut
+    /// system's loading phase, excluded from "ET" like the paper excludes
+    /// initialization).
+    pub fn new(g: &'g Graph, assignment: &'g EdgeAssignment) -> Self {
+        assert!(assignment.is_valid_for(g), "assignment does not match graph");
+        let k = assignment.num_partitions() as usize;
+        let mut replicas: Vec<Vec<PartitionId>> = vec![Vec::new(); g.num_vertices() as usize];
+        let mut stamp = vec![u64::MAX; k];
+        for v in g.vertices() {
+            for &e in g.incident_edges(v) {
+                let p = assignment.part_of(e);
+                if stamp[p as usize] != v {
+                    stamp[p as usize] = v;
+                    replicas[v as usize].push(p);
+                }
+            }
+            replicas[v as usize].sort_unstable();
+        }
+        let masters: Vec<PartitionId> = replicas
+            .iter()
+            .enumerate()
+            .map(|(v, reps)| {
+                if reps.is_empty() {
+                    PartitionId::MAX
+                } else {
+                    // Random (hashed) replica as master, as in PowerGraph.
+                    reps[(mix2(0x4D41_5354_4552, v as u64) % reps.len() as u64) as usize]
+                }
+            })
+            .collect();
+        Self { g, assignment, replicas, masters, edges_by_part: assignment.edges_by_partition() }
+    }
+
+    /// Replication factor as the engine sees it (sanity hook for tests).
+    pub fn replication_factor(&self) -> f64 {
+        let total: usize = self.replicas.iter().map(|r| r.len()).sum();
+        total as f64 / self.g.num_vertices() as f64
+    }
+
+    /// Run a vertex program to completion and report metrics + values.
+    pub fn run(&self, prog: &VertexProgram) -> AppRun {
+        let k = self.assignment.num_partitions() as usize;
+        let g = self.g;
+        let busy_times: Vec<Mutex<Duration>> = (0..k).map(|_| Mutex::new(Duration::ZERO)).collect();
+        let outcome = Cluster::new(k).run::<AppMsg, (Vec<(VertexId, f64)>, u64), _>(|ctx| {
+            let rank = ctx.rank();
+            let t_busy = std::time::Instant::now;
+            let mut busy = Duration::ZERO;
+            // ---- Local structures (loading phase).
+            let my_edges = &self.edges_by_part[rank];
+            let mut verts: Vec<VertexId> = Vec::with_capacity(my_edges.len() * 2);
+            for &e in my_edges {
+                let (u, v) = g.edge(e);
+                verts.push(u);
+                verts.push(v);
+            }
+            verts.sort_unstable();
+            verts.dedup();
+            let local_of: dne_graph::hash::FastMap<VertexId, u32> =
+                verts.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect();
+            let n_local = verts.len();
+            let mut value: Vec<f64> =
+                verts.iter().map(|&v| (prog.init)(v, g.degree(v), prog.param)).collect();
+            let deg: Vec<u64> = verts.iter().map(|&v| g.degree(v)).collect();
+            let mut changed: Vec<bool> = vec![true; n_local]; // superstep 0: all fresh
+            let mut acc: Vec<Option<f64>> = vec![None; n_local];
+            let combine = |a: Option<f64>, x: f64| -> f64 {
+                match (prog.combine, a) {
+                    (Combine::Min, Some(v)) => v.min(x),
+                    (Combine::Sum, Some(v)) => v + x,
+                    (_, None) => x,
+                }
+            };
+            let mut supersteps = 0u64;
+            loop {
+                supersteps += 1;
+                let t0 = t_busy();
+                // ---- Gather along local edges.
+                acc.iter_mut().for_each(|a| *a = None);
+                for &e in my_edges {
+                    let (u, v) = g.edge(e);
+                    let (lu, lv) = (local_of[&u] as usize, local_of[&v] as usize);
+                    if !prog.frontier_only || changed[lu] {
+                        acc[lv] = Some(combine(acc[lv], (prog.edge_fn)(value[lu], deg[lu])));
+                    }
+                    if !prog.frontier_only || changed[lv] {
+                        acc[lu] = Some(combine(acc[lu], (prog.edge_fn)(value[lv], deg[lv])));
+                    }
+                }
+                // ---- Mirror → master partials.
+                let mut partials: Vec<AppMsg> = vec![Vec::new(); k];
+                for lv in 0..n_local {
+                    if let Some(a) = acc[lv] {
+                        let v = verts[lv];
+                        let master = self.masters[v as usize] as usize;
+                        if master != rank {
+                            partials[master].push((v, a));
+                            acc[lv] = None; // master-side combining only
+                        }
+                    }
+                }
+                busy += t0.elapsed();
+                let incoming = ctx.exchange(|dst| std::mem::take(&mut partials[dst]));
+                let t1 = t_busy();
+                for msg in incoming {
+                    for (v, a) in msg {
+                        let lv = local_of[&v] as usize;
+                        acc[lv] = Some(combine(acc[lv], a));
+                    }
+                }
+                // ---- Apply at masters; collect updates for mirrors.
+                let mut updates: Vec<AppMsg> = vec![Vec::new(); k];
+                let mut any_changed = false;
+                changed.iter_mut().for_each(|c| *c = false);
+                for lv in 0..n_local {
+                    let v = verts[lv];
+                    if self.masters[v as usize] as usize != rank {
+                        continue;
+                    }
+                    let fresh = (prog.apply)(value[lv], acc[lv]);
+                    let moved = if prog.fixed_supersteps.is_some() {
+                        true // PageRank pushes every superstep
+                    } else {
+                        fresh != value[lv]
+                    };
+                    if fresh != value[lv] {
+                        any_changed = true;
+                        changed[lv] = true;
+                    }
+                    value[lv] = fresh;
+                    if moved {
+                        for &rp in &self.replicas[v as usize] {
+                            if rp as usize != rank {
+                                updates[rp as usize].push((v, fresh));
+                            }
+                        }
+                    }
+                }
+                busy += t1.elapsed();
+                let incoming = ctx.exchange(|dst| std::mem::take(&mut updates[dst]));
+                let t2 = t_busy();
+                for msg in incoming {
+                    for (v, x) in msg {
+                        let lv = local_of[&v] as usize;
+                        if value[lv] != x {
+                            changed[lv] = true;
+                        }
+                        value[lv] = x;
+                    }
+                }
+                busy += t2.elapsed();
+                // ---- Convergence.
+                let done = match prog.fixed_supersteps {
+                    Some(n) => supersteps >= n,
+                    None => !ctx.all_reduce_any(any_changed),
+                };
+                if done {
+                    break;
+                }
+                assert!(supersteps < 100_000, "vertex program failed to converge");
+            }
+            *busy_times[rank].lock() = busy;
+            // Return mastered values plus the superstep count (identical on
+            // every machine thanks to the collective convergence check).
+            let mastered = (0..n_local)
+                .filter(|&lv| self.masters[verts[lv] as usize] as usize == rank)
+                .map(|lv| (verts[lv], value[lv]))
+                .collect();
+            (mastered, supersteps)
+        });
+        // Assemble global values (isolated vertices keep their init value).
+        let mut values: Vec<f64> =
+            (0..g.num_vertices()).map(|v| (prog.init)(v, 0, prog.param)).collect();
+        for (per_rank, _) in &outcome.results {
+            for &(v, x) in per_rank {
+                values[v as usize] = x;
+            }
+        }
+        let supersteps = outcome.results.first().map(|&(_, s)| s).unwrap_or(0);
+        let busy: Vec<f64> = busy_times.iter().map(|b| b.lock().as_secs_f64()).collect();
+        let mean_busy = busy.iter().sum::<f64>() / busy.len() as f64;
+        let max_busy = busy.iter().cloned().fold(0.0, f64::max);
+        AppRun {
+            name: prog.name.to_string(),
+            supersteps,
+            elapsed: outcome.elapsed,
+            comm_bytes: outcome.comm.total_bytes(),
+            workload_balance: if mean_busy > 0.0 { max_busy / mean_busy } else { 1.0 },
+            values,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dne_graph::gen;
+    use dne_partition::hash_based::RandomPartitioner;
+    use dne_partition::EdgePartitioner;
+
+    fn engine_fixture(k: u32) -> (Graph, EdgeAssignment) {
+        let g = gen::rmat(&gen::RmatConfig::graph500(7, 4, 5));
+        let a = RandomPartitioner::new(5).partition(&g, k);
+        (g, a)
+    }
+
+    #[test]
+    fn replication_factor_matches_quality_metric() {
+        let (g, a) = engine_fixture(4);
+        let engine = Engine::new(&g, &a);
+        let q = dne_partition::PartitionQuality::measure(&g, &a);
+        // The engine counts replicas only for vertices with edges; the
+        // quality metric does the same (isolated vertices appear in no
+        // partition). The two must agree exactly.
+        let engine_total = engine.replication_factor() * g.num_vertices() as f64;
+        assert!((engine_total - q.total_replicas as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn masters_are_valid_replicas() {
+        let (g, a) = engine_fixture(4);
+        let engine = Engine::new(&g, &a);
+        for v in g.vertices() {
+            let m = engine.masters[v as usize];
+            if g.degree(v) == 0 {
+                assert_eq!(m, PartitionId::MAX, "isolated vertex {v} must have no master");
+            } else {
+                assert!(
+                    engine.replicas[v as usize].contains(&m),
+                    "master of {v} must be one of its replicas"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_partition_runs_without_communication_overhead() {
+        let (g, a0) = engine_fixture(1);
+        let engine = Engine::new(&g, &a0);
+        let run = engine.wcc();
+        // One machine: mirror→master and master→mirror rounds carry nothing.
+        assert_eq!(run.comm_bytes, 0, "k=1 must be communication-free");
+        assert!(run.supersteps >= 1);
+    }
+
+    #[test]
+    fn workload_balance_at_least_one() {
+        let (g, a) = engine_fixture(4);
+        let run = Engine::new(&g, &a).pagerank(3);
+        assert!(run.workload_balance >= 1.0 - 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn rejects_mismatched_assignment() {
+        let g1 = gen::cycle(10);
+        let g2 = gen::cycle(20);
+        let a = RandomPartitioner::new(1).partition(&g1, 2);
+        let _ = Engine::new(&g2, &a);
+    }
+}

@@ -1,0 +1,31 @@
+//! # dne-apps — distributed graph applications over edge partitions
+//!
+//! Reproduces the paper's §7.6 evaluation: the effect of partitioning
+//! quality on distributed graph applications. The paper runs SSSP, WCC and
+//! PageRank on PowerLyra (a PowerGraph fork) over 64 machines; here the
+//! same three applications run on an in-repo **vertex-cut engine**
+//! ([`engine::Engine`]) with the master–mirror synchronization scheme that
+//! vertex-cut systems share:
+//!
+//! * every partition holds the edges assigned to it plus replicas of their
+//!   endpoint vertices;
+//! * one replica per vertex is the **master**; the others are mirrors;
+//! * a superstep gathers partial accumulators locally, ships
+//!   mirror→master partials, applies the vertex program at the master, and
+//!   ships master→mirror value updates.
+//!
+//! The causal chain the paper demonstrates — lower replication factor ⇒
+//! fewer mirror messages ⇒ less communication ⇒ faster supersteps — is
+//! structural in this engine: both sync rounds move exactly one message per
+//! (replica, superstep) pair with live updates.
+//!
+//! Applications ([`apps`]): SSSP (light communication), WCC (medium),
+//! PageRank (heavy, all-vertices-active) — the three workload classes of
+//! Table 5 — each with a sequential reference implementation used by the
+//! correctness tests.
+
+pub mod apps;
+pub mod engine;
+
+pub use apps::{pagerank_reference, sssp_reference, wcc_reference};
+pub use engine::{AppRun, Engine};

@@ -1,0 +1,102 @@
+//! Criterion micro-benchmarks of the distributed-allocation kernels
+//! (Algorithm 3): one-hop allocation and the two-hop closure, plus the
+//! 1D-vs-2D initial-distribution ablation from DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dne_core::allocation::{one_hop, two_hop, SelectRequest};
+use dne_core::dist::{AllocatorPart, Grid2D};
+use dne_graph::gen::{rmat, RmatConfig};
+use std::hint::black_box;
+
+fn bench_one_hop(c: &mut Criterion) {
+    let g = rmat(&RmatConfig::graph500(11, 8, 1));
+    let grid = Grid2D::new(1, 1);
+    let mut group = c.benchmark_group("one_hop_kernel");
+    group.sample_size(20);
+    for batch in [16usize, 256] {
+        group.bench_function(BenchmarkId::from_parameter(batch), |b| {
+            b.iter_batched(
+                || {
+                    let mut part = AllocatorPart::build(&g, &grid, 0, 1);
+                    part.ensure_parts(8);
+                    let reqs: Vec<SelectRequest> = (0..8)
+                        .map(|p| SelectRequest {
+                            part: p,
+                            vertices: (0..batch as u64)
+                                .map(|i| (i * 97 + p as u64 * 13) % g.num_vertices())
+                                .collect(),
+                            random_budget: 0,
+                        })
+                        .collect();
+                    (part, reqs)
+                },
+                |(mut part, reqs)| black_box(one_hop(&mut part, &reqs)),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_two_hop(c: &mut Criterion) {
+    let g = rmat(&RmatConfig::graph500(11, 8, 2));
+    let grid = Grid2D::new(1, 1);
+    c.bench_function("two_hop_kernel", |b| {
+        b.iter_batched(
+            || {
+                let mut part = AllocatorPart::build(&g, &grid, 0, 2);
+                part.ensure_parts(8);
+                let reqs: Vec<SelectRequest> = (0..8)
+                    .map(|p| SelectRequest {
+                        part: p,
+                        vertices: (0..64u64)
+                            .map(|i| (i * 131 + p as u64) % g.num_vertices())
+                            .collect(),
+                        random_budget: 0,
+                    })
+                    .collect();
+                let one = one_hop(&mut part, &reqs);
+                let mut bp = one.new_memberships;
+                bp.sort_unstable();
+                bp.dedup();
+                (part, bp)
+            },
+            |(mut part, bp)| black_box(two_hop(&mut part, &bp, &[0; 8], u64::MAX, 1, 0, &[0; 8])),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+}
+
+fn bench_initial_distribution(c: &mut Criterion) {
+    // Ablation: 2D-hash vs 1D-hash initial distribution. 2D bounds each
+    // vertex's replicas to a row+column (R+C−1 processes); 1D scatters a
+    // vertex's edges over all P processes, inflating sync fan-out.
+    let g = rmat(&RmatConfig::graph500(11, 8, 3));
+    let p = 16u32;
+    let grid = Grid2D::new(p, 3);
+    let mut group = c.benchmark_group("replica_fanout");
+    group.bench_function("2d_replica_sets", |b| {
+        b.iter(|| {
+            let mut total = 0usize;
+            for v in (0..g.num_vertices()).step_by(64) {
+                total += black_box(grid.replicas(v)).len();
+            }
+            total
+        })
+    });
+    group.bench_function("1d_replica_sets_equiv", |b| {
+        // A 1D distribution has no structure: every vertex may live on all
+        // P processes — modeled as materializing the full process list.
+        b.iter(|| {
+            let mut total = 0usize;
+            for _v in (0..g.num_vertices()).step_by(64) {
+                total += black_box((0..p).collect::<Vec<_>>()).len();
+            }
+            total
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_one_hop, bench_two_hop, bench_initial_distribution);
+criterion_main!(benches);

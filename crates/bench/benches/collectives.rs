@@ -1,0 +1,66 @@
+//! Criterion micro-benchmarks of the simulated-cluster primitives: the
+//! lock-step exchange and the collectives that every Distributed NE
+//! iteration pays for (the paper's barrier-cost motivation for
+//! multi-expansion, §5).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dne_runtime::Cluster;
+use std::hint::black_box;
+
+fn bench_barrier(c: &mut Criterion) {
+    let mut group = c.benchmark_group("barrier_100x");
+    group.sample_size(10);
+    for p in [2usize, 8, 16] {
+        group.bench_function(BenchmarkId::from_parameter(p), |b| {
+            b.iter(|| {
+                Cluster::new(p).run::<u64, _, _>(|ctx| {
+                    for _ in 0..100 {
+                        ctx.barrier();
+                    }
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_exchange(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exchange_100x");
+    group.sample_size(10);
+    for p in [2usize, 8, 16] {
+        group.bench_function(BenchmarkId::from_parameter(p), |b| {
+            b.iter(|| {
+                Cluster::new(p).run::<Vec<u64>, _, _>(|ctx| {
+                    let payload: Vec<u64> = (0..64).collect();
+                    for _ in 0..100 {
+                        let got = ctx.exchange(|_dst| payload.clone());
+                        black_box(got);
+                    }
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_all_reduce(c: &mut Criterion) {
+    let mut group = c.benchmark_group("all_reduce_100x");
+    group.sample_size(10);
+    for p in [4usize, 16] {
+        group.bench_function(BenchmarkId::from_parameter(p), |b| {
+            b.iter(|| {
+                Cluster::new(p).run::<u64, _, _>(|ctx| {
+                    let mut acc = 0u64;
+                    for i in 0..100 {
+                        acc = acc.wrapping_add(ctx.all_reduce_sum_u64(i));
+                    }
+                    black_box(acc)
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_barrier, bench_exchange, bench_all_reduce);
+criterion_main!(benches);

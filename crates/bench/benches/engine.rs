@@ -1,0 +1,49 @@
+//! Criterion micro-benchmarks of the application engine: PageRank
+//! superstep cost under different partitionings (the mechanism behind
+//! Table 5's elapsed-time column).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dne_apps::Engine;
+use dne_core::{DistributedNe, NeConfig};
+use dne_graph::gen::{rmat, RmatConfig};
+use dne_partition::hash_based::RandomPartitioner;
+use dne_partition::EdgePartitioner;
+use std::hint::black_box;
+
+fn bench_pagerank_by_partitioning(c: &mut Criterion) {
+    let g = rmat(&RmatConfig::graph500(10, 8, 1));
+    let k = 8;
+    let random = RandomPartitioner::new(1).partition(&g, k);
+    let dne = DistributedNe::new(NeConfig::default().with_seed(1)).partition(&g, k);
+    let mut group = c.benchmark_group("pagerank_5_iters");
+    group.sample_size(10);
+    for (name, a) in [("random_partition", &random), ("dne_partition", &dne)] {
+        group.bench_function(BenchmarkId::from_parameter(name), |b| {
+            let engine = Engine::new(&g, a);
+            b.iter(|| black_box(engine.pagerank(5)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sssp_and_wcc(c: &mut Criterion) {
+    let g = rmat(&RmatConfig::graph500(10, 8, 2));
+    let a = DistributedNe::new(NeConfig::default().with_seed(2)).partition(&g, 8);
+    let engine = Engine::new(&g, &a);
+    let mut group = c.benchmark_group("traversal_apps");
+    group.sample_size(10);
+    group.bench_function("sssp", |b| b.iter(|| black_box(engine.sssp(0))));
+    group.bench_function("wcc", |b| b.iter(|| black_box(engine.wcc())));
+    group.finish();
+}
+
+fn bench_engine_build(c: &mut Criterion) {
+    // Routing-table construction (the loading phase of a vertex-cut
+    // system).
+    let g = rmat(&RmatConfig::graph500(11, 8, 3));
+    let a = RandomPartitioner::new(3).partition(&g, 16);
+    c.bench_function("engine_build_routing", |b| b.iter(|| black_box(Engine::new(&g, &a))));
+}
+
+criterion_group!(benches, bench_pagerank_by_partitioning, bench_sssp_and_wcc, bench_engine_build);
+criterion_main!(benches);

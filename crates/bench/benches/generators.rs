@@ -1,0 +1,77 @@
+//! Criterion micro-benchmarks of the graph substrate: RMAT generation
+//! throughput (the workload generator behind every synthetic experiment)
+//! and CSR construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dne_graph::gen::{rmat, RmatConfig};
+use dne_graph::Graph;
+use std::hint::black_box;
+
+fn bench_rmat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rmat_generation");
+    group.sample_size(10);
+    for scale in [10u32, 12, 14] {
+        let cfg = RmatConfig::graph500(scale, 8, 1);
+        group.throughput(Throughput::Elements(cfg.num_samples()));
+        group.bench_function(BenchmarkId::from_parameter(format!("scale{scale}")), |b| {
+            b.iter(|| black_box(rmat(&cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_csr_build(c: &mut Criterion) {
+    let g = rmat(&RmatConfig::graph500(13, 8, 2));
+    let edges: Vec<_> = g.edges().to_vec();
+    let n = g.num_vertices();
+    let mut group = c.benchmark_group("csr_build");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(g.num_edges()));
+    group.bench_function("from_canonical_edges", |b| {
+        b.iter_batched(
+            || edges.clone(),
+            |e| black_box(Graph::from_canonical_edges(n, e)),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_dedup(c: &mut Criterion) {
+    // The duplicate-compaction pass (§7.3): high-EF RMAT streams contain
+    // many duplicate samples.
+    let cfg = RmatConfig::graph500(10, 64, 3);
+    let mut group = c.benchmark_group("edge_dedup");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(cfg.num_samples()));
+    group.bench_function("builder_finish_high_ef", |b| {
+        b.iter(|| {
+            // Regenerate raw samples each iteration: the cost measured is
+            // sample + canonicalize + sort + dedup, the full ingest path.
+            black_box(rmat(&cfg)).num_edges()
+        })
+    });
+    group.finish();
+}
+
+fn bench_neighbor_scan(c: &mut Criterion) {
+    let g = rmat(&RmatConfig::graph500(13, 8, 4));
+    let mut group = c.benchmark_group("neighbor_scan");
+    group.throughput(Throughput::Elements(2 * g.num_edges()));
+    group.bench_function("full_adjacency_sweep", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for v in g.vertices() {
+                for (u, e) in g.neighbors(v) {
+                    acc = acc.wrapping_add(u).wrapping_add(e);
+                }
+            }
+            black_box(acc)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rmat, bench_csr_build, bench_dedup, bench_neighbor_scan);
+criterion_main!(benches);
+

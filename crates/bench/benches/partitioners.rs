@@ -1,0 +1,69 @@
+//! Criterion micro-benchmarks: partitioning throughput per method on a
+//! fixed skewed graph (the per-method cost behind Figure 10) plus the
+//! Distributed NE ablations called out in DESIGN.md.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dne_core::{DistributedNe, NeConfig};
+use dne_graph::gen::{rmat, RmatConfig};
+use dne_partition::greedy::{NePartitioner, SnePartitioner};
+use dne_partition::hash_based::{DbhPartitioner, GridPartitioner, RandomPartitioner};
+use dne_partition::streaming::{GingerPartitioner, HdrfPartitioner, ObliviousPartitioner};
+use dne_partition::vertex::SheepPartitioner;
+use dne_partition::EdgePartitioner;
+use std::hint::black_box;
+
+fn bench_methods(c: &mut Criterion) {
+    let g = rmat(&RmatConfig::graph500(11, 8, 7));
+    let k = 16;
+    let methods: Vec<Box<dyn EdgePartitioner>> = vec![
+        Box::new(RandomPartitioner::new(7)),
+        Box::new(GridPartitioner::new(7)),
+        Box::new(DbhPartitioner::new(7)),
+        Box::new(ObliviousPartitioner::new(7)),
+        Box::new(HdrfPartitioner::new(7)),
+        Box::new(GingerPartitioner::new(7)),
+        Box::new(NePartitioner::new(7)),
+        Box::new(SnePartitioner::new(7)),
+        Box::new(SheepPartitioner::new()),
+        Box::new(DistributedNe::new(NeConfig::default().with_seed(7))),
+    ];
+    let mut group = c.benchmark_group("partition_rmat_s11_e8_k16");
+    group.sample_size(10);
+    for m in methods {
+        group.bench_function(BenchmarkId::from_parameter(m.name()), |b| {
+            b.iter(|| black_box(m.partition(&g, k)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dne_lambda(c: &mut Criterion) {
+    // Ablation: the multi-expansion factor (Figure 6's performance side).
+    let g = rmat(&RmatConfig::graph500(10, 8, 3));
+    let mut group = c.benchmark_group("dne_lambda_ablation");
+    group.sample_size(10);
+    for lambda in [0.01, 0.1, 1.0] {
+        let ne = DistributedNe::new(NeConfig::default().with_seed(3).with_lambda(lambda));
+        group.bench_function(BenchmarkId::from_parameter(format!("lambda_{lambda}")), |b| {
+            b.iter(|| black_box(ne.partition(&g, 8)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dne_partition_counts(c: &mut Criterion) {
+    // Figure 10(a–g) shape: Distributed NE elapsed time vs machine count.
+    let g = rmat(&RmatConfig::graph500(10, 8, 5));
+    let mut group = c.benchmark_group("dne_machines");
+    group.sample_size(10);
+    for k in [4u32, 16, 64] {
+        let ne = DistributedNe::new(NeConfig::default().with_seed(5));
+        group.bench_function(BenchmarkId::from_parameter(k), |b| {
+            b.iter(|| black_box(ne.partition(&g, k)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods, bench_dne_lambda, bench_dne_partition_counts);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Figure 8 reproduction: replication factor of the real-world stand-ins
+//! (a–g, |P| ∈ {4..64}) and of RMAT graphs across edge factors (h–j,
+//! |P| = 64).
+//!
+//! Paper findings to reproduce:
+//! * Distributed NE gives the lowest RF nearly everywhere, with the margin
+//!   growing for more partitions and denser graphs;
+//! * hash-family methods (Random, 2D, Oblivious, Ginger, Spinner) trail;
+//! * indirect methods (Sheep, XtraPuLP) are strong only on some graphs;
+//! * RF grows with the edge factor but is insensitive to the RMAT scale at
+//!   a fixed edge factor (Fig 8h–j).
+
+use dne_bench::datasets::{self, DATASETS};
+use dne_bench::suite::figure8_roster;
+use dne_bench::table::{f2, parse_mode, Table};
+use dne_graph::gen::{rmat, RmatConfig};
+use dne_partition::PartitionQuality;
+
+fn main() {
+    let quick = parse_mode();
+    let seed = 7;
+    // --- Fig 8(a–g): real-world stand-ins across partition counts.
+    let ks: &[u32] = if quick { &[4, 16, 64] } else { &[4, 8, 16, 32, 64] };
+    let sets: Vec<&datasets::Dataset> =
+        if quick { datasets::midsize() } else { DATASETS.iter().collect() };
+    let mut table = Table::new(&["dataset", "|P|", "method", "RF", "EB"]);
+    for d in sets {
+        let g = if quick { d.build_quick() } else { d.build() };
+        eprintln!("{}: |V|={} |E|={}", d.name, g.num_vertices(), g.num_edges());
+        for &k in ks {
+            for m in figure8_roster(seed) {
+                let a = m.partition(&g, k);
+                let q = PartitionQuality::measure(&g, &a);
+                table.row(vec![
+                    d.name.into(),
+                    k.to_string(),
+                    m.name(),
+                    f2(q.replication_factor),
+                    f2(q.edge_balance),
+                ]);
+            }
+        }
+    }
+    println!("\n=== Figure 8(a-g): RF of real-world stand-ins ===");
+    table.print();
+    if let Ok(p) = table.write_tsv("fig8_real") {
+        eprintln!("wrote {}", p.display());
+    }
+
+    // --- Fig 8(h–j): RMAT scales × edge factors at fixed |P| = 64.
+    let scales: &[u32] = if quick { &[12, 13] } else { &[12, 13, 14] };
+    let efs: &[u64] = if quick { &[4, 16, 64] } else { &[4, 16, 64, 256] };
+    let k = 64;
+    let mut table2 = Table::new(&["scale", "EF", "method", "RF"]);
+    for &scale in scales {
+        for &ef in efs {
+            let g = rmat(&RmatConfig::graph500(scale, ef, seed));
+            eprintln!("RMAT s{scale} ef{ef}: |V|={} |E|={}", g.num_vertices(), g.num_edges());
+            for m in figure8_roster(seed) {
+                let a = m.partition(&g, k);
+                let q = PartitionQuality::measure(&g, &a);
+                table2.row(vec![
+                    scale.to_string(),
+                    ef.to_string(),
+                    m.name(),
+                    f2(q.replication_factor),
+                ]);
+            }
+        }
+    }
+    println!("\n=== Figure 8(h-j): RF of RMAT graphs (|P| = {k}) ===");
+    table2.print();
+    if let Ok(p) = table2.write_tsv("fig8_rmat") {
+        eprintln!("wrote {}", p.display());
+    }
+}

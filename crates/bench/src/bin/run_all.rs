@@ -1,0 +1,34 @@
+//! Run the complete reproduction suite (quick preset) — every table and
+//! figure binary in sequence. TSVs land in `bench_results/`.
+//!
+//! Usage: `cargo run -p dne-bench --release --bin run_all [full]`
+
+use std::process::Command;
+
+fn main() {
+    let full = std::env::args().any(|a| a == "full");
+    let mode = if full { "full" } else { "quick" };
+    let bins = [
+        "table1_bounds",
+        "fig6_lambda",
+        "fig8_quality",
+        "fig9_memory",
+        "fig10_time",
+        "table4_sequential",
+        "table5_apps",
+        "table6_roads",
+    ];
+    let exe_dir = std::env::current_exe()
+        .ok()
+        .and_then(|p| p.parent().map(|d| d.to_path_buf()))
+        .expect("bench binaries live next to run_all");
+    for bin in bins {
+        println!("\n################ {bin} ({mode}) ################");
+        let status = Command::new(exe_dir.join(bin))
+            .arg(mode)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed with {status}");
+    }
+    println!("\nAll experiments completed; TSVs in bench_results/.");
+}

@@ -1,0 +1,29 @@
+//! # dne-bench — benchmark harness for the Distributed NE reproduction
+//!
+//! One runnable binary per table/figure of the paper's evaluation (§7):
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `fig6_lambda` | Figure 6 — iterations & RF vs expansion factor λ |
+//! | `table1_bounds` | Table 1 — theoretical bounds on power-law graphs |
+//! | `fig8_quality` | Figure 8(a–j) — replication factor across methods |
+//! | `fig9_memory` | Figure 9 — memory consumption (mem score) |
+//! | `fig10_time` | Figure 10(a–j) — elapsed time & trillion-edge weak scaling |
+//! | `table4_sequential` | Table 4 — vs sequential HDRF/NE/SNE |
+//! | `table5_apps` | Table 5 — SSSP/WCC/PageRank over partitions |
+//! | `table6_roads` | Table 6 — non-skewed road networks |
+//! | `run_all` | everything above, quick preset, TSV output |
+//!
+//! Most binaries accept `quick` (default) or `full` as the first argument;
+//! `full` uses larger stand-ins and more configurations and can take tens
+//! of minutes.
+//!
+//! The library part hosts the [`datasets`] registry (scaled stand-ins for
+//! the paper's real-world graphs — see DESIGN.md §3 for the substitution
+//! argument) and small table/TSV helpers shared by the binaries.
+
+pub mod datasets;
+pub mod suite;
+pub mod table;
+
+pub use datasets::{Dataset, DATASETS};

@@ -1,0 +1,87 @@
+//! The benchmark partitioner roster (paper §7.1, "Benchmark Partitioning
+//! Algorithms") as uniform trait objects.
+
+use dne_core::{DistributedNe, NeConfig};
+use dne_partition::greedy::{NePartitioner, SnePartitioner};
+use dne_partition::hash_based::{
+    DbhPartitioner, GridPartitioner, HybridHashPartitioner, RandomPartitioner,
+};
+use dne_partition::streaming::{GingerPartitioner, HdrfPartitioner, ObliviousPartitioner};
+use dne_partition::vertex::{
+    MetisLikePartitioner, SheepPartitioner, SpinnerPartitioner, XtraPulpPartitioner,
+};
+use dne_partition::{EdgePartitioner, VertexToEdge};
+
+/// All distributed methods of the Figure 8 quality comparison, in the
+/// paper's legend order: Random, 2D-Random, Oblivious, Hybrid Ginger,
+/// Spinner, ParMETIS, Sheep, XtraPuLP, Distributed NE.
+pub fn figure8_roster(seed: u64) -> Vec<Box<dyn EdgePartitioner>> {
+    vec![
+        Box::new(RandomPartitioner::new(seed)),
+        Box::new(GridPartitioner::new(seed)),
+        Box::new(ObliviousPartitioner::new(seed)),
+        Box::new(GingerPartitioner::new(seed)),
+        Box::new(VertexToEdge::new(SpinnerPartitioner::new(seed), seed)),
+        Box::new(VertexToEdge::new(MetisLikePartitioner::new(seed), seed)),
+        Box::new(SheepPartitioner::new()),
+        Box::new(VertexToEdge::new(XtraPulpPartitioner::new(seed), seed)),
+        Box::new(DistributedNe::new(NeConfig::default().with_seed(seed))),
+    ]
+}
+
+/// The PowerLyra in-system methods of Table 5: Random, 2D-Random,
+/// Oblivious, Hybrid Ginger, Distributed NE.
+pub fn table5_roster(seed: u64) -> Vec<Box<dyn EdgePartitioner>> {
+    vec![
+        Box::new(RandomPartitioner::new(seed)),
+        Box::new(GridPartitioner::new(seed)),
+        Box::new(ObliviousPartitioner::new(seed)),
+        Box::new(GingerPartitioner::new(seed)),
+        Box::new(DistributedNe::new(NeConfig::default().with_seed(seed))),
+    ]
+}
+
+/// The sequential/streaming methods of Table 4: HDRF, NE, SNE (plus
+/// Distributed NE added by the binary itself).
+pub fn table4_roster(seed: u64) -> Vec<Box<dyn EdgePartitioner>> {
+    vec![
+        Box::new(HdrfPartitioner::new(seed)),
+        Box::new(NePartitioner::new(seed)),
+        Box::new(SnePartitioner::new(seed)),
+    ]
+}
+
+/// Everything (Table 6 compares all methods on road networks): the
+/// Figure 8 roster plus DBH and Hybrid Hash.
+pub fn full_roster(seed: u64) -> Vec<Box<dyn EdgePartitioner>> {
+    let mut r = figure8_roster(seed);
+    r.push(Box::new(DbhPartitioner::new(seed)));
+    r.push(Box::new(HybridHashPartitioner::new(seed)));
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dne_graph::gen;
+    use dne_partition::PartitionQuality;
+
+    #[test]
+    fn rosters_have_expected_sizes() {
+        assert_eq!(figure8_roster(1).len(), 9);
+        assert_eq!(table5_roster(1).len(), 5);
+        assert_eq!(table4_roster(1).len(), 3);
+        assert_eq!(full_roster(1).len(), 11);
+    }
+
+    #[test]
+    fn every_roster_method_produces_valid_partitions() {
+        let g = gen::rmat(&gen::RmatConfig::graph500(8, 4, 5));
+        for m in full_roster(5) {
+            let a = m.partition(&g, 4);
+            assert!(a.is_valid_for(&g), "{} produced an invalid assignment", m.name());
+            let q = PartitionQuality::measure(&g, &a);
+            assert!(q.replication_factor >= 0.5, "{}: nonsense RF", m.name());
+        }
+    }
+}

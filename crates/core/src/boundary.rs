@@ -1,0 +1,173 @@
+//! The expansion process's boundary priority queue (Algorithm 1's `B_p`).
+//!
+//! `B_p` is "a priority queue of ⟨D_rest(v), v⟩". In the distributed
+//! algorithm a vertex joins a partition's boundary exactly once (the
+//! membership sync deduplicates joins), with a `D_rest` score summed from
+//! the allocators' local contributions at join time. Scores are *not*
+//! updated afterwards — the epoch-staleness is inherent to the distributed
+//! setting and accepted by the paper (the sequential NE keeps exact scores;
+//! that difference is exactly the quality gap of Table 4). Consequently the
+//! queue needs no decrease-key: it is a plain binary min-heap plus an
+//! "already expanded" set that filters re-pops.
+
+use dne_graph::hash::FastSet;
+use dne_graph::VertexId;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Min-`D_rest` boundary queue with multi-expansion pops (Algorithm 4).
+#[derive(Debug, Default)]
+pub struct Boundary {
+    heap: BinaryHeap<Reverse<(u64, VertexId)>>,
+    expanded: FastSet<VertexId>,
+    enqueued: FastSet<VertexId>,
+}
+
+impl Boundary {
+    /// Empty boundary.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert vertex `v` with its (join-time) global `D_rest` score.
+    /// Ignored if `v` was already enqueued or expanded for this partition.
+    pub fn insert(&mut self, v: VertexId, drest: u64) {
+        if self.expanded.contains(&v) || !self.enqueued.insert(v) {
+            return;
+        }
+        self.heap.push(Reverse((drest, v)));
+    }
+
+    /// Number of boundary vertices not yet expanded (`|B_p|`).
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the boundary is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Mark a vertex as expanded without it ever entering the queue (used
+    /// for random-restart vertices so they cannot re-join the boundary).
+    pub fn mark_expanded(&mut self, v: VertexId) {
+        self.expanded.insert(v);
+    }
+
+    /// Pop the `k` minimum-score vertices (Algorithm 4,
+    /// `popK-MinDrestVertices`). Returns fewer if the boundary runs dry.
+    pub fn pop_k_min(&mut self, k: usize) -> Vec<VertexId> {
+        let mut out = Vec::with_capacity(k.min(self.heap.len()));
+        while out.len() < k {
+            match self.heap.pop() {
+                Some(Reverse((_, v))) => {
+                    self.expanded.insert(v);
+                    out.push(v);
+                }
+                None => break,
+            }
+        }
+        out
+    }
+
+    /// Multi-expansion pop: `k = ⌈λ·|B_p|⌉`, at least 1 (Algorithm 4
+    /// line 5 with the λ→0 floor of Algorithm 1).
+    pub fn pop_lambda(&mut self, lambda: f64) -> Vec<VertexId> {
+        let k = ((lambda * self.heap.len() as f64).ceil() as usize).max(1);
+        self.pop_k_min(k)
+    }
+
+    /// Capacity-aware multi-expansion pop: like [`Boundary::pop_lambda`]
+    /// but only pops vertices whose join-time `D_rest` scores fit in
+    /// `edge_budget` (the partition's remaining capacity). Join-time scores
+    /// are upper bounds on the edges a one-hop expansion can allocate
+    /// (rest degrees only shrink after the join), so the one-hop phase can
+    /// never exceed the budget. Returns empty when even the cheapest
+    /// boundary vertex does not fit — the partition's capacity is
+    /// effectively exhausted (Equation 2's constraint, which the paper's
+    /// reported edge balance of ≈ α implies is enforced).
+    pub fn pop_lambda_capped(&mut self, lambda: f64, edge_budget: u64) -> Vec<VertexId> {
+        let k = ((lambda * self.heap.len() as f64).ceil() as usize).max(1);
+        let mut out = Vec::new();
+        let mut estimated = 0u64;
+        while out.len() < k {
+            let Some(&Reverse((score, _))) = self.heap.peek() else { break };
+            if estimated + score.max(1) > edge_budget {
+                break; // even a zero-score vertex costs one slot
+            }
+            let Reverse((score, v)) = self.heap.pop().expect("peeked");
+            self.expanded.insert(v);
+            estimated += score.max(1);
+            out.push(v);
+        }
+        out
+    }
+
+    /// Estimated heap bytes (for the mem-score accounting).
+    pub fn heap_bytes(&self) -> usize {
+        self.heap.len() * 16 + (self.expanded.len() + self.enqueued.len()) * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_score_order() {
+        let mut b = Boundary::new();
+        b.insert(10, 5);
+        b.insert(11, 1);
+        b.insert(12, 3);
+        assert_eq!(b.pop_k_min(3), vec![11, 12, 10]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn expanded_vertices_never_rejoin() {
+        let mut b = Boundary::new();
+        b.insert(1, 2);
+        assert_eq!(b.pop_k_min(1), vec![1]);
+        b.insert(1, 0); // stale re-join attempt
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn duplicate_inserts_ignored() {
+        let mut b = Boundary::new();
+        b.insert(7, 3);
+        b.insert(7, 1);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.pop_k_min(2), vec![7]);
+    }
+
+    #[test]
+    fn mark_expanded_blocks_insert() {
+        let mut b = Boundary::new();
+        b.mark_expanded(9);
+        b.insert(9, 0);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn lambda_pop_sizes() {
+        let mut b = Boundary::new();
+        for v in 0..100 {
+            b.insert(v, v);
+        }
+        // λ = 0.1 over 100 → 10 vertices.
+        assert_eq!(b.pop_lambda(0.1).len(), 10);
+        // λ small → at least one.
+        assert_eq!(b.pop_lambda(1e-6).len(), 1);
+        // λ = 1.0 → everything left.
+        assert_eq!(b.pop_lambda(1.0).len(), 89);
+    }
+
+    #[test]
+    fn tie_break_is_by_vertex_id() {
+        let mut b = Boundary::new();
+        b.insert(5, 2);
+        b.insert(3, 2);
+        assert_eq!(b.pop_k_min(2), vec![3, 5]);
+    }
+}

@@ -1,0 +1,94 @@
+//! Configuration of a Distributed NE run.
+
+/// Tunable parameters of Distributed NE. Defaults follow the paper's
+/// experimental setting (§7.1): imbalance factor `α = 1.1`, expansion factor
+/// `λ = 0.1`.
+#[derive(Debug, Clone)]
+pub struct NeConfig {
+    /// Imbalance factor `α ≥ 1` in the capacity constraint
+    /// `max_p |E_p| < α·|E|/|P|` (Equation 2).
+    pub alpha: f64,
+    /// Expansion factor `0 < λ ≤ 1` of multi-expansion (Algorithm 4): each
+    /// iteration expands `k = ⌈λ·|B_p|⌉` minimum-`D_rest` boundary vertices.
+    /// `λ → 0` degenerates to single-vertex expansion (Algorithm 1); the
+    /// paper picks 0.1 "to maximize the performance and quality" (Figure 6).
+    pub lambda: f64,
+    /// RNG seed: drives the 2D-hash salts, seed-vertex choices and random
+    /// restarts. Equal seeds ⇒ identical partitions (the runtime's
+    /// lock-step exchanges make the whole algorithm deterministic).
+    pub seed: u64,
+    /// Report per-machine live heap bytes to the runtime each iteration
+    /// (the Figure 9 "mem score" accounting). Small overhead; on by default.
+    pub track_memory: bool,
+    /// Consecutive no-progress iterations tolerated before the leftover
+    /// trickle kicks in (isolated edges assigned to the least-loaded
+    /// partition). The paper leaves this corner unspecified; see DESIGN.md
+    /// §6.5.
+    pub stall_limit: u32,
+}
+
+impl Default for NeConfig {
+    fn default() -> Self {
+        Self { alpha: 1.1, lambda: 0.1, seed: 0, track_memory: true, stall_limit: 3 }
+    }
+}
+
+impl NeConfig {
+    /// Paper defaults with the given seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Override the imbalance factor `α`.
+    pub fn with_alpha(mut self, alpha: f64) -> Self {
+        assert!(alpha >= 1.0, "alpha must be >= 1.0");
+        self.alpha = alpha;
+        self
+    }
+
+    /// Override the expansion factor `λ`.
+    pub fn with_lambda(mut self, lambda: f64) -> Self {
+        assert!(lambda > 0.0 && lambda <= 1.0, "lambda must be in (0, 1]");
+        self.lambda = lambda;
+        self
+    }
+
+    /// Disable per-iteration memory reporting.
+    pub fn without_memory_tracking(mut self) -> Self {
+        self.track_memory = false;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = NeConfig::default();
+        assert_eq!(c.alpha, 1.1);
+        assert_eq!(c.lambda, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "lambda")]
+    fn rejects_zero_lambda() {
+        let _ = NeConfig::default().with_lambda(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn rejects_sub_one_alpha() {
+        let _ = NeConfig::default().with_alpha(0.5);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = NeConfig::default().with_seed(9).with_alpha(1.2).with_lambda(1.0);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.alpha, 1.2);
+        assert_eq!(c.lambda, 1.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Message types exchanged between expansion and allocation processes.
+//!
+//! One Distributed NE iteration is three lock-step all-to-all rounds
+//! (Figure 4 steps 1–6):
+//!
+//! 1. **Select** — expansion process `p` multicasts its chosen vertices to
+//!    the allocators in charge (Algorithm 1 line 8). Allocators not in any
+//!    chosen vertex's replica set receive an empty message (the lock-step
+//!    exchange still delivers one envelope per link; an empty message
+//!    charges only its header).
+//! 2. **Sync** — allocators synchronize new vertex-allocation ids with the
+//!    replicas of each vertex (Algorithm 2, `SyncVertexAllocations`).
+//! 3. **Result** — allocators return the new boundary with local `D_rest`
+//!    scores plus the newly allocated edges to the owning expansion
+//!    processes (Algorithm 2, `SendNewBoundaryWithLocalDrest` /
+//!    `SendNewAllocatedEdges`), piggybacking the free-edge gossip used for
+//!    random-restart routing.
+
+use dne_graph::{EdgeId, VertexId};
+use dne_runtime::WireSize;
+
+/// Partition id on the wire (matches `dne_partition::PartitionId`).
+pub type Part = u32;
+
+/// One envelope of the Distributed NE protocol.
+#[derive(Debug, Clone)]
+pub enum NeMsg {
+    /// Expansion → allocator: vertices selected for the sender's partition
+    /// this iteration; a non-zero `random_budget` asks the receiving
+    /// allocator to expand one random free vertex on the sender's behalf
+    /// (boundary exhausted), choosing one whose remaining local degree fits
+    /// the sender's remaining capacity.
+    Select { vertices: Vec<VertexId>, random_budget: u64 },
+    /// Allocator → allocator: `(vertex, partition)` memberships created by
+    /// the one-hop phase, destined for the vertex's replicas.
+    Sync { pairs: Vec<(VertexId, Part)> },
+    /// Allocator → expansion: new boundary vertices with their local
+    /// `D_rest` contribution, newly allocated edge ids for the receiving
+    /// partition, and the sender's free-edge count (gossip).
+    Result { boundary: Vec<(VertexId, u64)>, edges: Vec<EdgeId>, free_edges: u64 },
+}
+
+impl WireSize for NeMsg {
+    fn wire_bytes(&self) -> usize {
+        // 1-byte tag + payload; vectors carry an 8-byte length prefix.
+        match self {
+            NeMsg::Select { vertices, random_budget: _ } => 1 + 8 + 8 + 8 * vertices.len(),
+            NeMsg::Sync { pairs } => 1 + 8 + 12 * pairs.len(),
+            NeMsg::Result { boundary, edges, free_edges: _ } => {
+                1 + 8 + 16 * boundary.len() + 8 + 8 * edges.len() + 8
+            }
+        }
+    }
+}
+
+impl NeMsg {
+    /// An empty Select (no vertices, no random request).
+    pub fn empty_select() -> Self {
+        NeMsg::Select { vertices: Vec::new(), random_budget: 0 }
+    }
+
+    /// An empty Sync.
+    pub fn empty_sync() -> Self {
+        NeMsg::Sync { pairs: Vec::new() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_sizes_scale_with_payload() {
+        let s0 = NeMsg::empty_select().wire_bytes();
+        let s2 = NeMsg::Select { vertices: vec![1, 2], random_budget: 0 }.wire_bytes();
+        assert_eq!(s2 - s0, 16);
+        let y0 = NeMsg::empty_sync().wire_bytes();
+        let y3 = NeMsg::Sync { pairs: vec![(1, 0), (2, 1), (3, 2)] }.wire_bytes();
+        assert_eq!(y3 - y0, 36);
+        let r = NeMsg::Result { boundary: vec![(5, 2)], edges: vec![1, 2, 3], free_edges: 9 };
+        assert_eq!(r.wire_bytes(), 1 + 8 + 16 + 8 + 24 + 8);
+    }
+}

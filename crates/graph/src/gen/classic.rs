@@ -1,0 +1,117 @@
+//! Small deterministic graphs used as test fixtures and worst/best cases.
+
+use crate::types::VertexId;
+use crate::{EdgeListBuilder, Graph};
+
+/// Path graph `0 - 1 - ... - (n-1)` with `n` vertices and `n-1` edges.
+pub fn path(n: VertexId) -> Graph {
+    let mut b = EdgeListBuilder::with_capacity(n.saturating_sub(1) as usize);
+    for v in 1..n {
+        b.push(v - 1, v);
+    }
+    b.into_graph(n)
+}
+
+/// Cycle graph with `n >= 3` vertices and `n` edges.
+///
+/// # Panics
+/// If `n < 3` (smaller rings degenerate into multi-edges).
+pub fn cycle(n: VertexId) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 vertices");
+    let mut b = EdgeListBuilder::with_capacity(n as usize);
+    for v in 1..n {
+        b.push(v - 1, v);
+    }
+    b.push(n - 1, 0);
+    b.into_graph(n)
+}
+
+/// Star graph: hub `0` connected to spokes `1..n`. The canonical worst case
+/// for 1D hash partitioning (the hub replicates everywhere).
+pub fn star(n: VertexId) -> Graph {
+    assert!(n >= 2, "a star needs at least 2 vertices");
+    let mut b = EdgeListBuilder::with_capacity(n as usize - 1);
+    for v in 1..n {
+        b.push(0, v);
+    }
+    b.into_graph(n)
+}
+
+/// Complete graph `K_n` with `n(n-1)/2` edges.
+pub fn complete(n: VertexId) -> Graph {
+    let mut b = EdgeListBuilder::with_capacity((n * n.saturating_sub(1) / 2) as usize);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.push(u, v);
+        }
+    }
+    b.into_graph(n)
+}
+
+/// Two cliques of size `k` joined by a single bridge edge — the classic
+/// "obvious 2-cut" fixture: any sensible 2-way partitioner should cut only
+/// at the bridge.
+pub fn two_cliques_bridge(k: VertexId) -> Graph {
+    assert!(k >= 2);
+    let mut b = EdgeListBuilder::new();
+    for u in 0..k {
+        for v in (u + 1)..k {
+            b.push(u, v);
+            b.push(k + u, k + v);
+        }
+    }
+    b.push(k - 1, k); // bridge
+    b.into_graph(2 * k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn path_shape() {
+        let g = path(5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+    }
+
+    #[test]
+    fn single_vertex_path() {
+        let g = path(1);
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = cycle(6);
+        assert_eq!(g.num_edges(), 6);
+        assert!(g.vertices().all(|v| g.degree(v) == 2));
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(10);
+        assert_eq!(g.num_edges(), 9);
+        assert_eq!(g.degree(0), 9);
+        assert!((1..10).all(|v| g.degree(v) == 1));
+        assert_eq!(g.max_degree(), 9);
+    }
+
+    #[test]
+    fn complete_shape() {
+        let g = complete(6);
+        assert_eq!(g.num_edges(), 15);
+        assert!(g.vertices().all(|v| g.degree(v) == 5));
+    }
+
+    #[test]
+    fn bridge_fixture_shape() {
+        let g = two_cliques_bridge(4);
+        assert_eq!(g.num_vertices(), 8);
+        assert_eq!(g.num_edges(), 2 * 6 + 1);
+        assert_eq!(g.degree(3), 4); // clique internal (3) + bridge
+        assert_eq!(g.degree(4), 4);
+    }
+}

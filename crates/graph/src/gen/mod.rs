@@ -1,0 +1,30 @@
+//! Synthetic graph generators.
+//!
+//! The evaluation of the paper runs on (a) seven real-world skewed graphs,
+//! (b) RMAT graphs from Scale20–30 with edge factors 2^4–2^10 (§7.1), (c) the
+//! ring+complete construction that proves bound tightness (Theorem 2), and
+//! (d) three road networks (§7.7). Real graphs and the physical cluster are
+//! not available here, so:
+//!
+//! * [`rmat`] reproduces the Graph500 Kronecker/RMAT generator used for the
+//!   synthetic and trillion-edge experiments, and (with per-dataset skew
+//!   parameters) generates the scaled stand-ins for the real-world graphs;
+//! * [`road`] produces 2D-lattice graphs with the low, near-uniform degree
+//!   profile of road networks;
+//! * [`ring_complete`] reproduces the Theorem 2 worst-case construction;
+//! * [`classic`] and [`random`] provide test fixtures (paths, cliques,
+//!   stars, trees, Erdős–Rényi, Chung–Lu power law).
+
+pub mod barabasi;
+pub mod classic;
+pub mod random;
+pub mod ring_complete;
+pub mod rmat;
+pub mod road;
+
+pub use barabasi::barabasi_albert;
+pub use classic::{complete, cycle, path, star, two_cliques_bridge};
+pub use random::{chung_lu, erdos_renyi};
+pub use ring_complete::ring_complete;
+pub use rmat::{rmat, RmatConfig};
+pub use road::road_grid;

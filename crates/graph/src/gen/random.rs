@@ -1,0 +1,110 @@
+//! Random graph models: Erdős–Rényi G(n, m) and Chung–Lu power-law graphs.
+//!
+//! Erdős–Rényi graphs are the *non-skewed* random baseline used in tests and
+//! property checks. Chung–Lu graphs realize a prescribed power-law degree
+//! distribution `Pr[d] ∝ d^-α` — the model under which Table 1 computes the
+//! expected theoretical bounds — so the benchmark harness can check the
+//! closed-form expectations against sampled graphs.
+
+use crate::hash::SplitMix64;
+use crate::types::VertexId;
+use crate::{EdgeListBuilder, Graph};
+
+/// Erdős–Rényi `G(n, m)`: `m` edges sampled uniformly (after dedup the
+/// result may have slightly fewer than `m` edges).
+pub fn erdos_renyi(n: VertexId, m: u64, seed: u64) -> Graph {
+    assert!(n >= 2, "need at least two vertices");
+    let mut rng = SplitMix64::new(seed ^ 0x4552_474E); // "ERGN"
+    let mut b = EdgeListBuilder::with_capacity(m as usize);
+    let mut produced = 0u64;
+    let mut attempts = 0u64;
+    // Cap attempts so dense requests near the complete graph still terminate.
+    let max_attempts = m.saturating_mul(4).max(16);
+    while produced < m && attempts < max_attempts {
+        attempts += 1;
+        let u = rng.next_below(n);
+        let v = rng.next_below(n);
+        if u != v {
+            b.push(u, v);
+            produced += 1;
+        }
+    }
+    b.into_graph(n)
+}
+
+/// Chung–Lu power-law graph: vertex `i` gets weight `w_i ∝ (i+1)^(-1/(α-1))`
+/// scaled so the expected edge count is `target_edges`; endpoints of each
+/// edge are drawn proportionally to weight.
+///
+/// `alpha` is the power-law exponent (paper's Table 1 uses 2.2–2.8).
+pub fn chung_lu(n: VertexId, target_edges: u64, alpha: f64, seed: u64) -> Graph {
+    assert!(alpha > 2.0, "Chung-Lu needs alpha > 2 for finite mean degree");
+    assert!(n >= 2);
+    let mut rng = SplitMix64::new(seed ^ 0x434C_5047); // "CLPG"
+    let gamma = 1.0 / (alpha - 1.0);
+    // Cumulative weight table for inverse-transform sampling.
+    let mut cum = Vec::with_capacity(n as usize);
+    let mut total = 0.0f64;
+    for i in 0..n {
+        total += ((i + 1) as f64).powf(-gamma);
+        cum.push(total);
+    }
+    let sample = |rng: &mut SplitMix64| -> VertexId {
+        let x = rng.next_f64() * total;
+        // Binary search the cumulative table.
+        match cum.binary_search_by(|probe| probe.partial_cmp(&x).unwrap()) {
+            Ok(i) | Err(i) => (i as VertexId).min(n - 1),
+        }
+    };
+    let mut b = EdgeListBuilder::with_capacity(target_edges as usize);
+    for _ in 0..target_edges {
+        let u = sample(&mut rng);
+        let v = sample(&mut rng);
+        b.push(u, v);
+    }
+    b.into_graph(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erdos_renyi_sizes() {
+        let g = erdos_renyi(100, 300, 1);
+        assert_eq!(g.num_vertices(), 100);
+        assert!(g.num_edges() > 200 && g.num_edges() <= 300);
+    }
+
+    #[test]
+    fn erdos_renyi_terminates_when_dense() {
+        // Request more edges than exist in K_10 (45).
+        let g = erdos_renyi(10, 1000, 2);
+        assert!(g.num_edges() <= 45);
+    }
+
+    #[test]
+    fn chung_lu_is_skewed() {
+        let g = chung_lu(2000, 10_000, 2.2, 3);
+        let mean = 2.0 * g.num_edges() as f64 / g.num_vertices() as f64;
+        assert!(
+            g.max_degree() as f64 > 8.0 * mean,
+            "expected a heavy head: max {} vs mean {mean}",
+            g.max_degree()
+        );
+    }
+
+    #[test]
+    fn chung_lu_deterministic() {
+        let a = chung_lu(500, 2000, 2.5, 7);
+        let b = chung_lu(500, 2000, 2.5, 7);
+        assert_eq!(a.edges(), b.edges());
+    }
+
+    #[test]
+    fn higher_alpha_less_skew() {
+        let heavy = chung_lu(4000, 20_000, 2.1, 5);
+        let light = chung_lu(4000, 20_000, 2.9, 5);
+        assert!(heavy.max_degree() > light.max_degree());
+    }
+}

@@ -1,0 +1,82 @@
+//! Road-network-like graphs (non-skewed) for the §7.7 evaluation.
+//!
+//! The paper evaluates three real road networks (California, Pennsylvania,
+//! Texas) as representatives of large *non-skewed* graphs: near-uniform low
+//! degree (average ≈ 2.8 edges/vertex), huge diameter, strong locality.
+//! We substitute a 2D lattice with stochastic edge deletions and a sprinkle
+//! of diagonal shortcuts, which reproduces those structural properties
+//! (degree ≤ 4–5, locality, planarity-ish) at configurable scale.
+
+use crate::hash::SplitMix64;
+use crate::types::VertexId;
+use crate::{EdgeListBuilder, Graph};
+
+/// Generate a `width × height` lattice road network.
+///
+/// * `keep_prob` — probability that each lattice edge exists (models missing
+///   road segments; 1.0 gives the full grid). The paper's road networks have
+///   |E|/|V| ≈ 1.4, which a full grid (≈ 2.0) overshoots; `keep_prob ≈ 0.7`
+///   matches it.
+/// * `shortcut_prob` — probability per vertex of one extra diagonal edge
+///   (models highways/bridges).
+pub fn road_grid(
+    width: VertexId,
+    height: VertexId,
+    keep_prob: f64,
+    shortcut_prob: f64,
+    seed: u64,
+) -> Graph {
+    assert!(width >= 2 && height >= 2, "grid must be at least 2x2");
+    assert!((0.0..=1.0).contains(&keep_prob));
+    assert!((0.0..=1.0).contains(&shortcut_prob));
+    let id = |x: VertexId, y: VertexId| y * width + x;
+    let mut rng = SplitMix64::new(seed ^ 0x524F_4144_5F47_454E); // "ROAD_GEN"
+    let mut b = EdgeListBuilder::with_capacity((width * height * 2) as usize);
+    for y in 0..height {
+        for x in 0..width {
+            if x + 1 < width && rng.next_f64() < keep_prob {
+                b.push(id(x, y), id(x + 1, y));
+            }
+            if y + 1 < height && rng.next_f64() < keep_prob {
+                b.push(id(x, y), id(x, y + 1));
+            }
+            if x + 1 < width && y + 1 < height && rng.next_f64() < shortcut_prob {
+                b.push(id(x, y), id(x + 1, y + 1));
+            }
+        }
+    }
+    b.into_graph(width * height)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_grid_edge_count() {
+        // width*(height-1) + (width-1)*height edges for the full lattice.
+        let g = road_grid(10, 8, 1.0, 0.0, 1);
+        assert_eq!(g.num_vertices(), 80);
+        assert_eq!(g.num_edges(), 10 * 7 + 9 * 8);
+    }
+
+    #[test]
+    fn degrees_are_bounded_like_roads() {
+        let g = road_grid(30, 30, 0.7, 0.05, 2);
+        assert!(g.max_degree() <= 7, "road max degree should be small, got {}", g.max_degree());
+    }
+
+    #[test]
+    fn keep_prob_thins_the_graph() {
+        let dense = road_grid(20, 20, 1.0, 0.0, 3);
+        let sparse = road_grid(20, 20, 0.5, 0.0, 3);
+        assert!(sparse.num_edges() < dense.num_edges());
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = road_grid(12, 12, 0.8, 0.1, 9);
+        let b = road_grid(12, 12, 0.8, 0.1, 9);
+        assert_eq!(a.edges(), b.edges());
+    }
+}

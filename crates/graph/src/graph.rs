@@ -1,0 +1,260 @@
+//! The CSR graph type shared by every partitioner and application.
+
+use crate::types::{Edge, EdgeId, VertexId};
+use crate::HeapSize;
+
+/// An undirected, unweighted graph in compressed sparse row (CSR) form.
+///
+/// Storage (paper §4: "the core components of the graph are stored in CSR"):
+///
+/// * `edges[e]` — the canonical endpoint pair of edge `e` (`u < v`), sorted.
+/// * `offsets[v] .. offsets[v+1]` — the adjacency slice of vertex `v`.
+/// * `adj_v[i]` / `adj_e[i]` — the neighbor and the global edge id of the
+///   `i`-th incident arc. Every edge contributes one arc at each endpoint,
+///   so `adj_v.len() == 2 * edges.len()`.
+///
+/// Invariants (checked in debug builds and by tests):
+/// * edges are canonical (`u < v`), strictly sorted, and self-loop free;
+/// * `offsets` is non-decreasing with `offsets[0] == 0` and
+///   `offsets[n] == 2|E|`;
+/// * `adj_e[i]` always names an edge incident to the owning vertex.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    num_vertices: VertexId,
+    edges: Box<[Edge]>,
+    offsets: Box<[u64]>,
+    adj_v: Box<[VertexId]>,
+    adj_e: Box<[EdgeId]>,
+}
+
+impl Graph {
+    /// Build from a canonical (sorted, deduplicated, loop-free) edge list.
+    ///
+    /// Prefer [`crate::EdgeListBuilder`] which establishes those properties.
+    ///
+    /// # Panics
+    /// If an endpoint is out of range, a self loop is present, or the list is
+    /// not strictly sorted.
+    pub fn from_canonical_edges(num_vertices: VertexId, edges: Vec<Edge>) -> Self {
+        let n = num_vertices as usize;
+        let m = edges.len();
+        for w in edges.windows(2) {
+            assert!(w[0] < w[1], "edge list must be strictly sorted/deduplicated");
+        }
+        let mut degrees = vec![0u64; n];
+        for &(u, v) in &edges {
+            assert!(u < v, "edges must be canonical (u < v, no self loops)");
+            assert!((v as usize) < n, "endpoint {v} out of range (n = {n})");
+            degrees[u as usize] += 1;
+            degrees[v as usize] += 1;
+        }
+        let mut offsets = vec![0u64; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + degrees[v];
+        }
+        let total = offsets[n] as usize;
+        debug_assert_eq!(total, 2 * m);
+        let mut adj_v = vec![0 as VertexId; total];
+        let mut adj_e = vec![0 as EdgeId; total];
+        let mut cursor = offsets.clone();
+        for (eid, &(u, v)) in edges.iter().enumerate() {
+            let cu = cursor[u as usize] as usize;
+            adj_v[cu] = v;
+            adj_e[cu] = eid as EdgeId;
+            cursor[u as usize] += 1;
+            let cv = cursor[v as usize] as usize;
+            adj_v[cv] = u;
+            adj_e[cv] = eid as EdgeId;
+            cursor[v as usize] += 1;
+        }
+        Self {
+            num_vertices,
+            edges: edges.into_boxed_slice(),
+            offsets: offsets.into_boxed_slice(),
+            adj_v: adj_v.into_boxed_slice(),
+            adj_e: adj_e.into_boxed_slice(),
+        }
+    }
+
+    /// Number of vertices `|V|` (ids are `0..num_vertices`).
+    #[inline]
+    pub fn num_vertices(&self) -> VertexId {
+        self.num_vertices
+    }
+
+    /// Number of undirected edges `|E|`.
+    #[inline]
+    pub fn num_edges(&self) -> u64 {
+        self.edges.len() as u64
+    }
+
+    /// Average number of edges per vertex (`|E| / |V|`, the paper's
+    /// "edge factor" is `2|E|/|V|`... no: Graph500's edge factor counts
+    /// generated edges per vertex, i.e. `|E|/|V|` before dedup; we report the
+    /// post-dedup density here).
+    #[inline]
+    pub fn density(&self) -> f64 {
+        if self.num_vertices == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.num_vertices as f64
+        }
+    }
+
+    /// Degree of vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> u64 {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// The canonical endpoints of edge `e`.
+    #[inline]
+    pub fn edge(&self, e: EdgeId) -> Edge {
+        self.edges[e as usize]
+    }
+
+    /// All edges in canonical order (edge id == slice index).
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Iterate `(neighbor, edge_id)` pairs incident to `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        self.adj_v[lo..hi].iter().copied().zip(self.adj_e[lo..hi].iter().copied())
+    }
+
+    /// Neighbor vertex ids of `v` (no edge ids).
+    #[inline]
+    pub fn neighbor_vertices(&self, v: VertexId) -> &[VertexId] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.adj_v[lo..hi]
+    }
+
+    /// Incident edge ids of `v`.
+    #[inline]
+    pub fn incident_edges(&self, v: VertexId) -> &[EdgeId] {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        &self.adj_e[lo..hi]
+    }
+
+    /// Iterate all vertex ids.
+    #[inline]
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
+        0..self.num_vertices
+    }
+
+    /// Maximum degree over all vertices (0 for empty graphs).
+    pub fn max_degree(&self) -> u64 {
+        (0..self.num_vertices).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// The other endpoint of edge `e` as seen from `v`.
+    ///
+    /// # Panics
+    /// In debug builds if `v` is not an endpoint of `e`.
+    #[inline]
+    pub fn opposite(&self, e: EdgeId, v: VertexId) -> VertexId {
+        let (a, b) = self.edge(e);
+        debug_assert!(v == a || v == b, "vertex {v} is not an endpoint of edge {e}");
+        if v == a {
+            b
+        } else {
+            a
+        }
+    }
+}
+
+impl HeapSize for Graph {
+    fn heap_bytes(&self) -> usize {
+        self.edges.heap_bytes()
+            + self.offsets.heap_bytes()
+            + self.adj_v.heap_bytes()
+            + self.adj_e.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EdgeListBuilder;
+
+    fn triangle_plus_tail() -> Graph {
+        // 0-1, 1-2, 0-2 (triangle), 2-3 (tail)
+        let mut b = EdgeListBuilder::new();
+        b.extend_edges([(0, 1), (1, 2), (0, 2), (2, 3)]);
+        b.into_graph(4)
+    }
+
+    #[test]
+    fn csr_roundtrip_small() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(2), 3);
+        assert_eq!(g.degree(3), 1);
+        let n2: Vec<_> = g.neighbor_vertices(2).to_vec();
+        assert_eq!(n2.len(), 3);
+        assert!(n2.contains(&0) && n2.contains(&1) && n2.contains(&3));
+    }
+
+    #[test]
+    fn adjacency_edge_ids_are_consistent() {
+        let g = triangle_plus_tail();
+        for v in g.vertices() {
+            for (nbr, e) in g.neighbors(v) {
+                let (a, b) = g.edge(e);
+                assert!((a == v && b == nbr) || (a == nbr && b == v));
+                assert_eq!(g.opposite(e, v), nbr);
+            }
+        }
+    }
+
+    #[test]
+    fn sum_of_degrees_is_twice_edges() {
+        let g = triangle_plus_tail();
+        let total: u64 = g.vertices().map(|v| g.degree(v)).sum();
+        assert_eq!(total, 2 * g.num_edges());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_canonical_edges(0, vec![]);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+    }
+
+    #[test]
+    fn isolated_vertices_have_zero_degree() {
+        let mut b = EdgeListBuilder::new();
+        b.push(0, 1);
+        let g = b.into_graph(5);
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.neighbor_vertices(3), &[] as &[VertexId]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range_endpoint() {
+        Graph::from_canonical_edges(2, vec![(0, 5)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly sorted")]
+    fn rejects_unsorted_edges() {
+        Graph::from_canonical_edges(4, vec![(1, 2), (0, 1)]);
+    }
+
+    #[test]
+    fn heap_bytes_is_positive_for_nonempty() {
+        let g = triangle_plus_tail();
+        assert!(g.heap_bytes() > 0);
+    }
+}

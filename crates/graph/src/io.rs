@@ -1,0 +1,164 @@
+//! Edge-list IO: whitespace-separated text (SNAP/KONECT style) and a compact
+//! little-endian binary format.
+//!
+//! The paper's datasets ship as SNAP/KONECT edge lists; this module lets a
+//! user of the library feed their own graphs to the partitioners. Lines
+//! starting with `#` or `%` are treated as comments (SNAP and KONECT
+//! conventions respectively).
+
+use std::fs::File;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::types::VertexId;
+use crate::{EdgeListBuilder, Graph};
+
+/// Read a whitespace-separated text edge list. Vertices are renumbered
+/// densely in order of first appearance so sparse external ids are fine.
+pub fn read_text_edge_list(path: impl AsRef<Path>) -> io::Result<Graph> {
+    let file = File::open(path)?;
+    read_text_edge_list_from(BufReader::new(file))
+}
+
+/// Like [`read_text_edge_list`] but from any reader (useful for tests).
+pub fn read_text_edge_list_from(reader: impl BufRead) -> io::Result<Graph> {
+    let mut remap = crate::hash::FastMap::default();
+    let mut next_id: VertexId = 0;
+    let mut intern = |raw: u64, remap: &mut crate::hash::FastMap<u64, VertexId>| -> VertexId {
+        *remap.entry(raw).or_insert_with(|| {
+            let id = next_id;
+            next_id += 1;
+            id
+        })
+    };
+    let mut b = EdgeListBuilder::new();
+    let mut line = String::new();
+    let mut reader = reader;
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            break;
+        }
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let (Some(a), Some(bb)) = (it.next(), it.next()) else {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed edge line: {t:?}"),
+            ));
+        };
+        let parse = |s: &str| {
+            s.parse::<u64>().map_err(|e| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("bad vertex id {s:?}: {e}"))
+            })
+        };
+        let u = intern(parse(a)?, &mut remap);
+        let v = intern(parse(bb)?, &mut remap);
+        b.push(u, v);
+    }
+    Ok(b.into_graph(next_id))
+}
+
+/// Write a graph as a text edge list (one `u v` pair per line, canonical
+/// order) with a `#` header carrying counts.
+pub fn write_text_edge_list(g: &Graph, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    writeln!(w, "# vertices {} edges {}", g.num_vertices(), g.num_edges())?;
+    for &(u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()
+}
+
+const BINARY_MAGIC: &[u8; 8] = b"DNEGRAPH";
+
+/// Write the compact binary format: magic, |V|, |E|, then |E| canonical
+/// `(u, v)` pairs, all little-endian u64.
+pub fn write_binary(g: &Graph, path: impl AsRef<Path>) -> io::Result<()> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(BINARY_MAGIC)?;
+    w.write_all(&g.num_vertices().to_le_bytes())?;
+    w.write_all(&g.num_edges().to_le_bytes())?;
+    for &(u, v) in g.edges() {
+        w.write_all(&u.to_le_bytes())?;
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Read the binary format written by [`write_binary`].
+pub fn read_binary(path: impl AsRef<Path>) -> io::Result<Graph> {
+    let mut r = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != BINARY_MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a DNEGRAPH file"));
+    }
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    let n = u64::from_le_bytes(buf);
+    r.read_exact(&mut buf)?;
+    let m = u64::from_le_bytes(buf);
+    let mut edges = Vec::with_capacity(m as usize);
+    for _ in 0..m {
+        r.read_exact(&mut buf)?;
+        let u = u64::from_le_bytes(buf);
+        r.read_exact(&mut buf)?;
+        let v = u64::from_le_bytes(buf);
+        edges.push((u, v));
+    }
+    Ok(Graph::from_canonical_edges(n, edges))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use std::io::Cursor;
+
+    #[test]
+    fn text_roundtrip_via_tempfile() {
+        let g = gen::rmat(&gen::RmatConfig::graph500(6, 4, 1));
+        let dir = std::env::temp_dir().join("dne_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("g.txt");
+        write_text_edge_list(&g, &p).unwrap();
+        let g2 = read_text_edge_list(&p).unwrap();
+        assert_eq!(g.num_edges(), g2.num_edges());
+    }
+
+    #[test]
+    fn binary_roundtrip_is_exact() {
+        let g = gen::rmat(&gen::RmatConfig::graph500(7, 4, 2));
+        let dir = std::env::temp_dir().join("dne_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("g.bin");
+        write_binary(&g, &p).unwrap();
+        let g2 = read_binary(&p).unwrap();
+        assert_eq!(g.num_vertices(), g2.num_vertices());
+        assert_eq!(g.edges(), g2.edges());
+    }
+
+    #[test]
+    fn text_reader_skips_comments_and_renumbers() {
+        let text = "# snap comment\n% konect comment\n100 200\n200 300\n100 300\n";
+        let g = read_text_edge_list_from(Cursor::new(text)).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+    }
+
+    #[test]
+    fn text_reader_rejects_garbage() {
+        let text = "1 notanumber\n";
+        assert!(read_text_edge_list_from(Cursor::new(text)).is_err());
+    }
+
+    #[test]
+    fn text_reader_rejects_short_line() {
+        let text = "42\n";
+        assert!(read_text_edge_list_from(Cursor::new(text)).is_err());
+    }
+}

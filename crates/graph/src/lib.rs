@@ -1,0 +1,59 @@
+//! # dne-graph — graph substrate for Distributed NE
+//!
+//! This crate provides the in-memory graph representation and the synthetic
+//! graph generators used throughout the Distributed NE reproduction:
+//!
+//! * [`Graph`] — an undirected, unweighted graph stored in **compressed
+//!   sparse row (CSR)** form with globally numbered, deduplicated edges.
+//!   This mirrors the paper's storage choice (§4 "Data Structure"): the core
+//!   components are continuous arrays, no hash maps on the hot path.
+//! * [`EdgeListBuilder`] — canonicalizing edge-list builder (drops self
+//!   loops, deduplicates parallel edges, sorts) used by every generator and
+//!   by the IO layer.
+//! * [`gen`] — synthetic generators: Graph500-style RMAT ([`gen::rmat`]),
+//!   the ring+complete construction from Theorem 2
+//!   ([`gen::ring_complete`]), 2D-lattice road networks ([`gen::road`]),
+//!   Erdős–Rényi, Chung–Lu power-law, and small classic graphs for tests.
+//! * [`hash`] — fast non-cryptographic hashing (splitmix64-based) used for
+//!   1D/2D hash partitioning and for internal hash maps.
+//! * [`io`] — plain-text and binary edge-list readers/writers.
+//! * [`degree`] — degree-distribution statistics used by the benchmark
+//!   harness to validate that dataset stand-ins preserve skew.
+//!
+//! The crate is dependency-light by design (only `rand`) so that every other
+//! crate in the workspace can build on it.
+
+pub mod degree;
+pub mod edge_list;
+pub mod gen;
+pub mod graph;
+pub mod hash;
+pub mod io;
+pub mod transform;
+pub mod types;
+
+pub use edge_list::EdgeListBuilder;
+pub use graph::Graph;
+pub use types::{EdgeId, VertexId, INVALID_VERTEX};
+
+/// Types that can report (an estimate of) their owned heap allocation.
+///
+/// Used by the simulated-cluster memory accounting (`dne-runtime`) to
+/// reproduce the paper's "mem score" metric (Figure 9): total bytes of live
+/// partitioning state at the peak snapshot, normalized by `|E|`.
+pub trait HeapSize {
+    /// Estimated number of heap bytes owned by `self` (excluding `size_of::<Self>()`).
+    fn heap_bytes(&self) -> usize;
+}
+
+impl<T> HeapSize for Vec<T> {
+    fn heap_bytes(&self) -> usize {
+        self.capacity() * std::mem::size_of::<T>()
+    }
+}
+
+impl<T> HeapSize for Box<[T]> {
+    fn heap_bytes(&self) -> usize {
+        self.len() * std::mem::size_of::<T>()
+    }
+}

@@ -1,0 +1,52 @@
+//! Fundamental identifier types shared across the workspace.
+//!
+//! Vertex and edge identifiers are 64-bit to match the paper's target scale
+//! (a trillion-edge graph has `2^30` vertices and `2^40` edges; 32 bits would
+//! overflow on edge ids). The simulated experiments in this repository run at
+//! reduced scale but keep the trillion-capable types so the library is usable
+//! as-released.
+
+/// Global vertex identifier. Vertices of a [`crate::Graph`] are numbered
+/// `0..num_vertices` densely.
+pub type VertexId = u64;
+
+/// Global edge identifier. Edges of a [`crate::Graph`] are numbered
+/// `0..num_edges` densely, in canonical sorted order of their endpoint pair.
+pub type EdgeId = u64;
+
+/// Sentinel for "no vertex". Never a valid id of a constructed graph.
+pub const INVALID_VERTEX: VertexId = VertexId::MAX;
+
+/// An undirected edge expressed as its canonical endpoint pair `(u, v)` with
+/// `u < v`. Self loops are rejected at build time, so `u != v` always holds
+/// for edges stored in a [`crate::Graph`].
+pub type Edge = (VertexId, VertexId);
+
+/// Canonicalize an endpoint pair so that the smaller id comes first.
+///
+/// ```
+/// use dne_graph::types::canonical;
+/// assert_eq!(canonical(7, 3), (3, 7));
+/// assert_eq!(canonical(3, 7), (3, 7));
+/// ```
+#[inline]
+pub fn canonical(u: VertexId, v: VertexId) -> Edge {
+    if u <= v {
+        (u, v)
+    } else {
+        (v, u)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_orders_endpoints() {
+        assert_eq!(canonical(1, 2), (1, 2));
+        assert_eq!(canonical(2, 1), (1, 2));
+        assert_eq!(canonical(5, 5), (5, 5));
+        assert_eq!(canonical(0, VertexId::MAX), (0, VertexId::MAX));
+    }
+}

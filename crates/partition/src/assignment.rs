@@ -1,0 +1,140 @@
+//! The output type of every edge partitioner: a dense edge → partition map.
+
+use dne_graph::{EdgeId, Graph, HeapSize};
+
+/// Partition identifier. The paper's experiments go up to `|P| = 1024`;
+/// `u32` leaves ample headroom while keeping assignments compact.
+pub type PartitionId = u32;
+
+/// Sentinel for "not (yet) assigned". Final assignments never contain it.
+pub const UNASSIGNED: PartitionId = PartitionId::MAX;
+
+/// A complete `|P|`-way edge partitioning of a graph: `parts[e]` is the
+/// partition of edge `e`. Because edge partitions are *disjoint covers* of
+/// `E` (paper §2.1), a plain dense vector is the lossless representation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EdgeAssignment {
+    parts: Vec<PartitionId>,
+    num_partitions: PartitionId,
+}
+
+impl EdgeAssignment {
+    /// Wrap a dense assignment vector.
+    ///
+    /// # Panics
+    /// If any entry is `>= num_partitions` (including [`UNASSIGNED`]).
+    pub fn new(parts: Vec<PartitionId>, num_partitions: PartitionId) -> Self {
+        assert!(num_partitions > 0, "need at least one partition");
+        for (e, &p) in parts.iter().enumerate() {
+            assert!(p < num_partitions, "edge {e} has invalid partition {p}");
+        }
+        Self { parts, num_partitions }
+    }
+
+    /// Build by evaluating `f` for every edge of `g`.
+    pub fn from_fn(
+        g: &Graph,
+        num_partitions: PartitionId,
+        mut f: impl FnMut(EdgeId) -> PartitionId,
+    ) -> Self {
+        let parts = (0..g.num_edges()).map(&mut f).collect();
+        Self::new(parts, num_partitions)
+    }
+
+    /// Number of partitions `|P|`.
+    #[inline]
+    pub fn num_partitions(&self) -> PartitionId {
+        self.num_partitions
+    }
+
+    /// Number of edges covered.
+    #[inline]
+    pub fn num_edges(&self) -> u64 {
+        self.parts.len() as u64
+    }
+
+    /// Partition of edge `e`.
+    #[inline]
+    pub fn part_of(&self, e: EdgeId) -> PartitionId {
+        self.parts[e as usize]
+    }
+
+    /// The raw dense vector (index = edge id).
+    #[inline]
+    pub fn as_slice(&self) -> &[PartitionId] {
+        &self.parts
+    }
+
+    /// `|E_p|` for every partition `p`, indexed by partition id.
+    pub fn edge_counts(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.num_partitions as usize];
+        for &p in &self.parts {
+            counts[p as usize] += 1;
+        }
+        counts
+    }
+
+    /// Edge ids grouped per partition (order: ascending edge id).
+    pub fn edges_by_partition(&self) -> Vec<Vec<EdgeId>> {
+        let mut out = vec![Vec::new(); self.num_partitions as usize];
+        for (e, &p) in self.parts.iter().enumerate() {
+            out[p as usize].push(e as EdgeId);
+        }
+        out
+    }
+
+    /// Check that this assignment covers exactly the edges of `g`.
+    pub fn is_valid_for(&self, g: &Graph) -> bool {
+        self.parts.len() as u64 == g.num_edges()
+    }
+}
+
+impl HeapSize for EdgeAssignment {
+    fn heap_bytes(&self) -> usize {
+        self.parts.heap_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dne_graph::gen;
+
+    #[test]
+    fn counts_and_grouping_agree() {
+        let g = gen::cycle(6);
+        let a = EdgeAssignment::new(vec![0, 1, 0, 1, 2, 2], 3);
+        assert!(a.is_valid_for(&g));
+        assert_eq!(a.edge_counts(), vec![2, 2, 2]);
+        let groups = a.edges_by_partition();
+        assert_eq!(groups[0], vec![0, 2]);
+        assert_eq!(groups[2], vec![4, 5]);
+    }
+
+    #[test]
+    fn from_fn_round_robin() {
+        let g = gen::path(5);
+        let a = EdgeAssignment::from_fn(&g, 2, |e| (e % 2) as PartitionId);
+        assert_eq!(a.part_of(0), 0);
+        assert_eq!(a.part_of(3), 1);
+        assert_eq!(a.num_edges(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid partition")]
+    fn rejects_out_of_range_partition() {
+        EdgeAssignment::new(vec![0, 5], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid partition")]
+    fn rejects_unassigned_sentinel() {
+        EdgeAssignment::new(vec![UNASSIGNED], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn rejects_zero_partitions() {
+        EdgeAssignment::new(vec![], 0);
+    }
+}

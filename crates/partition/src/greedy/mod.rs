@@ -1,0 +1,14 @@
+//! Offline greedy expansion partitioners (Zhang et al., KDD 2017).
+//!
+//! NE is "the state-of-the-art greedy algorithm based on the expansion of
+//! the edge set. It currently provides the best quality in practice, but the
+//! scalability is limited since it is an offline sequential algorithm"
+//! (paper §2.2). Table 4 compares Distributed NE against NE and its
+//! streaming variant SNE: NE wins on RF, Distributed NE wins on time by
+//! 1–2 orders of magnitude.
+
+mod ne;
+mod sne;
+
+pub use ne::NePartitioner;
+pub use sne::SnePartitioner;

@@ -1,0 +1,86 @@
+//! DBH — Degree-Based Hashing (Xie et al., NIPS 2014).
+//!
+//! "The latest hash-based approaches utilize the degree of vertices, where
+//! the edge is randomly assigned so that high-degree vertices are divided
+//! into more partitions than low-degree ones" (paper §2.2). DBH hashes each
+//! edge by its *lower-degree* endpoint: low-degree vertices then keep all
+//! their edges in one partition (no replication) while high-degree hubs —
+//! which would replicate anyway — absorb the cuts. Table 1 compares its
+//! theoretical bound with Distributed NE's.
+
+use crate::assignment::{EdgeAssignment, PartitionId};
+use crate::traits::EdgePartitioner;
+use dne_graph::hash::mix2;
+use dne_graph::Graph;
+
+/// Degree-based hashing edge partitioner.
+#[derive(Debug, Clone)]
+pub struct DbhPartitioner {
+    seed: u64,
+}
+
+impl DbhPartitioner {
+    /// Seeded constructor.
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+}
+
+impl EdgePartitioner for DbhPartitioner {
+    fn name(&self) -> String {
+        "DBH".into()
+    }
+
+    fn partition(&self, g: &Graph, k: PartitionId) -> EdgeAssignment {
+        EdgeAssignment::from_fn(g, k, |e| {
+            let (u, v) = g.edge(e);
+            // Hash the lower-degree endpoint; ties broken by smaller id so
+            // the choice is deterministic.
+            let anchor = if g.degree(u) < g.degree(v) || (g.degree(u) == g.degree(v) && u < v) {
+                u
+            } else {
+                v
+            };
+            (mix2(self.seed, anchor) % k as u64) as PartitionId
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash_based::RandomPartitioner;
+    use crate::quality::PartitionQuality;
+    use dne_graph::gen;
+
+    #[test]
+    fn star_spokes_never_replicate() {
+        let g = gen::star(1000);
+        let a = DbhPartitioner::new(1).partition(&g, 8);
+        let q = PartitionQuality::measure(&g, &a);
+        // Every spoke has degree 1 → anchored by itself → exactly one
+        // replica each. Only the hub replicates (into ≤ 8 parts).
+        assert!(q.total_replicas <= 999 + 8);
+    }
+
+    #[test]
+    fn beats_random_on_power_law() {
+        let g = gen::chung_lu(4000, 30_000, 2.2, 3);
+        let qd = PartitionQuality::measure(&g, &DbhPartitioner::new(1).partition(&g, 16));
+        let qr = PartitionQuality::measure(&g, &RandomPartitioner::new(1).partition(&g, 16));
+        assert!(
+            qd.replication_factor < qr.replication_factor,
+            "DBH {} should beat Random {}",
+            qd.replication_factor,
+            qr.replication_factor
+        );
+    }
+
+    #[test]
+    fn valid_and_deterministic() {
+        let g = gen::rmat(&gen::RmatConfig::graph500(8, 4, 2));
+        let a = DbhPartitioner::new(4).partition(&g, 5);
+        assert!(a.is_valid_for(&g));
+        assert_eq!(a, DbhPartitioner::new(4).partition(&g, 5));
+    }
+}

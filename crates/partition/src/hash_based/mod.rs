@@ -1,0 +1,16 @@
+//! Hash-based edge partitioners (paper §2.2, "one of the major approaches").
+//!
+//! These are the cheap, scalable, low-quality baselines: edges are assigned
+//! by hashing so no graph structure is consulted (beyond degree for
+//! DBH/Hybrid). They anchor the *low-quality* end of Figure 8 and the
+//! *fast* end of the performance discussion.
+
+mod dbh;
+mod grid;
+mod hybrid;
+mod random;
+
+pub use dbh::DbhPartitioner;
+pub use grid::{grid_dims, GridPartitioner};
+pub use hybrid::HybridHashPartitioner;
+pub use random::RandomPartitioner;

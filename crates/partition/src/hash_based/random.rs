@@ -1,0 +1,73 @@
+//! Random (1D-hash) edge partitioning.
+//!
+//! "The most straightforward approach is 1D-hash partitioning, where the
+//! edge is randomly assigned to a one-dimensional partitioning space"
+//! (paper §2.2). Expected RF for power-law graphs is the worst of the hash
+//! family (Table 1, "Random" row).
+
+use crate::assignment::{EdgeAssignment, PartitionId};
+use crate::traits::EdgePartitioner;
+use dne_graph::hash::mix2;
+use dne_graph::Graph;
+
+/// 1D hash partitioner: `p(e{u,v}) = h(u, v) mod |P|`.
+#[derive(Debug, Clone)]
+pub struct RandomPartitioner {
+    seed: u64,
+}
+
+impl RandomPartitioner {
+    /// Seeded constructor (hash is salted by the seed).
+    pub fn new(seed: u64) -> Self {
+        Self { seed }
+    }
+}
+
+impl EdgePartitioner for RandomPartitioner {
+    fn name(&self) -> String {
+        "Random".into()
+    }
+
+    fn partition(&self, g: &Graph, k: PartitionId) -> EdgeAssignment {
+        EdgeAssignment::from_fn(g, k, |e| {
+            let (u, v) = g.edge(e);
+            (mix2(self.seed, mix2(u, v)) % k as u64) as PartitionId
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::PartitionQuality;
+    use dne_graph::gen;
+
+    #[test]
+    fn covers_all_edges_and_balances_well() {
+        let g = gen::rmat(&gen::RmatConfig::graph500(9, 8, 1));
+        let a = RandomPartitioner::new(1).partition(&g, 8);
+        assert!(a.is_valid_for(&g));
+        let q = PartitionQuality::measure(&g, &a);
+        assert!(q.edge_balance < 1.2, "hash should balance edges, got {}", q.edge_balance);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = gen::cycle(100);
+        let a = RandomPartitioner::new(5).partition(&g, 4);
+        let b = RandomPartitioner::new(5).partition(&g, 4);
+        let c = RandomPartitioner::new(6).partition(&g, 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn replicates_hub_of_star_everywhere() {
+        let g = gen::star(4000);
+        let a = RandomPartitioner::new(2).partition(&g, 8);
+        let q = PartitionQuality::measure(&g, &a);
+        // Hub lands in all 8 partitions with overwhelming probability.
+        assert_eq!(q.vertex_counts.iter().filter(|&&c| c > 0).count(), 8);
+        assert!(q.replication_factor > 1.0);
+    }
+}

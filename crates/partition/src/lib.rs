@@ -1,0 +1,57 @@
+//! # dne-partition — partitioning framework and baseline partitioners
+//!
+//! Defines the workspace-wide partitioning abstractions and implements every
+//! *baseline* the paper compares against (§7.1 "Benchmark Partitioning
+//! Algorithms"). Distributed NE itself lives in `dne-core` and plugs into
+//! the same [`EdgePartitioner`] trait.
+//!
+//! ## Framework
+//!
+//! * [`EdgeAssignment`] — a dense `edge id → partition id` map, the output
+//!   of every edge partitioner.
+//! * [`PartitionQuality`] — replication factor (Equation 1), edge balance
+//!   and vertex balance (§7.6 definitions) measured from an assignment.
+//! * [`EdgePartitioner`] / [`VertexPartitioner`] — the two partitioner
+//!   families; [`VertexToEdge`] converts a vertex partitioner into an edge
+//!   partitioner by assigning each edge to the partition of one of its
+//!   endpoints at random, exactly as the paper does for ParMETIS, Spinner
+//!   and XtraPuLP ("each edge is randomly assigned to one of its adjacent
+//!   vertices' partitions", after Bourse et al.).
+//!
+//! ## Baselines (paper §2.2 / §7.1 → module)
+//!
+//! | Paper name        | Kind                 | Module |
+//! |-------------------|----------------------|--------|
+//! | Random (1D hash)  | hash                 | [`hash_based::RandomPartitioner`] |
+//! | 2D-Random / Grid  | hash                 | [`hash_based::GridPartitioner`] |
+//! | DBH               | degree-based hash    | [`hash_based::DbhPartitioner`] |
+//! | Hybrid Hash       | degree-based hash    | [`hash_based::HybridHashPartitioner`] |
+//! | Oblivious         | greedy streaming     | [`streaming::ObliviousPartitioner`] |
+//! | HDRF              | greedy streaming     | [`streaming::HdrfPartitioner`] |
+//! | Hybrid Ginger     | hash + refinement    | [`streaming::GingerPartitioner`] |
+//! | NE (sequential)   | offline greedy       | [`greedy::NePartitioner`] |
+//! | SNE               | streaming NE         | [`greedy::SnePartitioner`] |
+//! | Spinner           | LP vertex partition  | [`vertex::SpinnerPartitioner`] |
+//! | XtraPuLP          | LP vertex partition  | [`vertex::XtraPulpPartitioner`] |
+//! | ParMETIS          | multilevel vertex    | [`vertex::MetisLikePartitioner`] |
+//! | Sheep             | elimination tree     | [`vertex::SheepPartitioner`] |
+//!
+//! The re-implementations follow the published algorithm cores; they are
+//! labelled `*-like` in benchmark output where the original is a large
+//! external system (ParMETIS, Sheep, XtraPuLP, Spinner).
+
+pub mod assignment;
+pub mod comm_model;
+pub mod dynamic;
+pub mod greedy;
+pub mod hash_based;
+pub mod quality;
+pub mod streaming;
+pub mod traits;
+pub mod vertex;
+
+pub use assignment::{EdgeAssignment, PartitionId, UNASSIGNED};
+pub use comm_model::{estimate_comm, CommEstimate};
+pub use dynamic::IncrementalVertexCut;
+pub use quality::PartitionQuality;
+pub use traits::{EdgePartitioner, VertexPartitioner, VertexToEdge};

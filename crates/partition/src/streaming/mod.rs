@@ -1,0 +1,113 @@
+//! Streaming / iterative-refinement edge partitioners.
+//!
+//! The paper groups these as "heuristics to iteratively refine the
+//! assignment after the hash partitioning" (Oblivious, Hybrid Ginger,
+//! §2.2) and "streaming methods, where the input graph is represented as a
+//! sequence of edges and processed one-by-one" (HDRF, §2.2). They form the
+//! middle band of Figure 8's quality ordering: better than pure hashing,
+//! worse than direct greedy optimization.
+
+mod ginger;
+mod hdrf;
+mod oblivious;
+
+pub use ginger::GingerPartitioner;
+pub use hdrf::HdrfPartitioner;
+pub use oblivious::ObliviousPartitioner;
+
+use crate::assignment::PartitionId;
+
+/// Shared per-vertex partition-set bookkeeping for the streaming methods:
+/// `A(v)` = set of partitions vertex `v` already appears in, kept as tiny
+/// sorted vectors (the replication factor *is* their average length, so
+/// they stay short by construction).
+#[derive(Debug)]
+pub(crate) struct StreamState {
+    /// `A(v)` per vertex, each sorted ascending.
+    pub vparts: Vec<Vec<PartitionId>>,
+    /// `|E_p|` per partition.
+    pub sizes: Vec<u64>,
+}
+
+impl StreamState {
+    pub(crate) fn new(num_vertices: usize, k: usize) -> Self {
+        Self { vparts: vec![Vec::new(); num_vertices], sizes: vec![0; k] }
+    }
+
+    /// Record that edge `e{u,v}` went to partition `p`.
+    #[inline]
+    pub(crate) fn place(&mut self, u: u64, v: u64, p: PartitionId) {
+        self.sizes[p as usize] += 1;
+        for w in [u, v] {
+            let set = &mut self.vparts[w as usize];
+            if let Err(pos) = set.binary_search(&p) {
+                set.insert(pos, p);
+            }
+        }
+    }
+
+    /// Least-loaded partition among `candidates` (deterministic tie break by
+    /// smaller id). Falls back to the global least-loaded when `candidates`
+    /// is empty.
+    pub(crate) fn least_loaded(&self, candidates: &[PartitionId]) -> PartitionId {
+        let pick = |iter: &mut dyn Iterator<Item = PartitionId>| -> PartitionId {
+            iter.min_by_key(|&p| (self.sizes[p as usize], p)).expect("non-empty candidate set")
+        };
+        if candidates.is_empty() {
+            pick(&mut (0..self.sizes.len() as PartitionId))
+        } else {
+            pick(&mut candidates.iter().copied())
+        }
+    }
+
+    /// Sorted intersection of two partition sets.
+    pub(crate) fn intersect(a: &[PartitionId], b: &[PartitionId]) -> Vec<PartitionId> {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out
+    }
+
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn place_updates_sets_and_sizes() {
+        let mut s = StreamState::new(3, 2);
+        s.place(0, 1, 1);
+        s.place(1, 2, 1);
+        s.place(0, 2, 0);
+        assert_eq!(s.sizes, vec![1, 2]);
+        assert_eq!(s.vparts[0], vec![0, 1]);
+        assert_eq!(s.vparts[1], vec![1]);
+        assert_eq!(s.vparts[2], vec![0, 1]);
+    }
+
+    #[test]
+    fn least_loaded_prefers_smaller_size_then_id() {
+        let mut s = StreamState::new(1, 3);
+        s.sizes = vec![5, 2, 2];
+        assert_eq!(s.least_loaded(&[]), 1);
+        assert_eq!(s.least_loaded(&[0, 2]), 2);
+    }
+
+    #[test]
+    fn set_ops() {
+        assert_eq!(StreamState::intersect(&[1, 2, 3], &[2, 3, 4]), vec![2, 3]);
+        assert_eq!(StreamState::intersect(&[1], &[2]), Vec::<PartitionId>::new());
+        assert_eq!(StreamState::intersect(&[], &[1]), Vec::<PartitionId>::new());
+    }
+}

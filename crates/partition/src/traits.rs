@@ -1,0 +1,118 @@
+//! Partitioner traits and the vertex→edge partition adapter.
+
+use crate::assignment::{EdgeAssignment, PartitionId};
+use dne_graph::hash::mix2;
+use dne_graph::Graph;
+
+/// An edge partitioner: divides `E` into `k` disjoint parts (vertex-cut
+/// partitioning, Figure 1(a) of the paper).
+pub trait EdgePartitioner {
+    /// Human-readable name used in benchmark tables.
+    fn name(&self) -> String;
+
+    /// Partition the edges of `g` into `k` parts.
+    fn partition(&self, g: &Graph, k: PartitionId) -> EdgeAssignment;
+}
+
+/// A vertex partitioner: divides `V` into `k` disjoint parts (edge-cut
+/// partitioning, Figure 1(b)).
+pub trait VertexPartitioner {
+    /// Human-readable name used in benchmark tables.
+    fn name(&self) -> String;
+
+    /// Assign every vertex of `g` to a partition; result indexed by vertex.
+    fn partition_vertices(&self, g: &Graph, k: PartitionId) -> Vec<PartitionId>;
+}
+
+/// Adapter turning a [`VertexPartitioner`] into an [`EdgePartitioner`].
+///
+/// The paper compares against vertex partitioners (ParMETIS, Spinner,
+/// XtraPuLP) by converting their output "as demonstrated in [Bourse et
+/// al.]: each edge is randomly assigned to one of its adjacent vertices'
+/// partitions" (§7.1). The random pick is a seeded hash of the edge, so the
+/// conversion is deterministic per seed.
+pub struct VertexToEdge<V> {
+    inner: V,
+    seed: u64,
+}
+
+impl<V: VertexPartitioner> VertexToEdge<V> {
+    /// Wrap `inner` with the conversion seed.
+    pub fn new(inner: V, seed: u64) -> Self {
+        Self { inner, seed }
+    }
+}
+
+impl<V: VertexPartitioner> EdgePartitioner for VertexToEdge<V> {
+    fn name(&self) -> String {
+        self.inner.name()
+    }
+
+    fn partition(&self, g: &Graph, k: PartitionId) -> EdgeAssignment {
+        let vparts = self.inner.partition_vertices(g, k);
+        debug_assert_eq!(vparts.len() as u64, g.num_vertices());
+        EdgeAssignment::from_fn(g, k, |e| {
+            let (u, v) = g.edge(e);
+            // Coin flip by edge hash: endpoint u's or endpoint v's partition.
+            if mix2(self.seed, mix2(u, v)) & 1 == 0 {
+                vparts[u as usize]
+            } else {
+                vparts[v as usize]
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dne_graph::gen;
+
+    struct AllZero;
+    impl VertexPartitioner for AllZero {
+        fn name(&self) -> String {
+            "AllZero".into()
+        }
+        fn partition_vertices(&self, g: &Graph, _k: PartitionId) -> Vec<PartitionId> {
+            vec![0; g.num_vertices() as usize]
+        }
+    }
+
+    struct ByParity;
+    impl VertexPartitioner for ByParity {
+        fn name(&self) -> String {
+            "ByParity".into()
+        }
+        fn partition_vertices(&self, g: &Graph, _k: PartitionId) -> Vec<PartitionId> {
+            (0..g.num_vertices()).map(|v| (v % 2) as PartitionId).collect()
+        }
+    }
+
+    #[test]
+    fn conversion_respects_endpoint_partitions() {
+        let g = gen::cycle(10);
+        let conv = VertexToEdge::new(ByParity, 7);
+        let a = conv.partition(&g, 2);
+        for e in 0..g.num_edges() {
+            let (u, v) = g.edge(e);
+            let p = a.part_of(e);
+            assert!(p == (u % 2) as u32 || p == (v % 2) as u32);
+        }
+    }
+
+    #[test]
+    fn degenerate_vertex_partition_converts_cleanly() {
+        let g = gen::star(6);
+        let conv = VertexToEdge::new(AllZero, 1);
+        let a = conv.partition(&g, 2);
+        assert!(a.as_slice().iter().all(|&p| p == 0));
+    }
+
+    #[test]
+    fn conversion_is_deterministic_per_seed() {
+        let g = gen::rmat(&gen::RmatConfig::graph500(7, 4, 1));
+        let a1 = VertexToEdge::new(ByParity, 9).partition(&g, 2);
+        let a2 = VertexToEdge::new(ByParity, 9).partition(&g, 2);
+        assert_eq!(a1, a2);
+    }
+}

@@ -1,0 +1,250 @@
+//! The simulated cluster: spawn P "machines", wire them together, run a
+//! per-rank closure, join the results.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::collectives::Collectives;
+use crate::comm::CommEndpoint;
+use crate::memory::{MemoryReport, MemoryTracker};
+use crate::stats::CommStats;
+use crate::wire::WireSize;
+
+/// Handle given to each simulated machine: its rank, the interconnect, the
+/// collectives, and the accounting hooks.
+pub struct Ctx<M> {
+    comm: CommEndpoint<M>,
+    coll: Arc<Collectives>,
+    mem: Arc<MemoryTracker>,
+}
+
+impl<M: Send + WireSize> Ctx<M> {
+    /// This machine's rank in `0..nprocs`.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.comm.rank()
+    }
+
+    /// Number of machines in the cluster.
+    #[inline]
+    pub fn nprocs(&self) -> usize {
+        self.comm.nprocs()
+    }
+
+    /// Point-to-point send (FIFO per link, byte-accounted).
+    #[inline]
+    pub fn send(&self, dst: usize, msg: M) {
+        self.comm.send(dst, msg);
+    }
+
+    /// Blocking receive of the next message from any peer.
+    #[inline]
+    pub fn recv(&self) -> (usize, M) {
+        self.comm.recv()
+    }
+
+    /// Lock-step all-to-all: send one message to every rank (produced by
+    /// `make(dst)`), then receive exactly one from every rank, returned
+    /// indexed by source. The workhorse primitive of every iterative
+    /// algorithm in this workspace; see module docs for why back-to-back
+    /// exchanges are race-free.
+    pub fn exchange(&mut self, mut make: impl FnMut(usize) -> M) -> Vec<M> {
+        for dst in 0..self.nprocs() {
+            self.comm.send(dst, make(dst));
+        }
+        self.comm.recv_one_from_each()
+    }
+
+    /// MPI-style barrier across all machines.
+    #[inline]
+    pub fn barrier(&self) {
+        self.coll.barrier(self.rank());
+    }
+
+    /// All-gather one `u64` per machine.
+    #[inline]
+    pub fn all_gather_u64(&self, value: u64) -> Vec<u64> {
+        self.coll.all_gather_u64(self.rank(), value)
+    }
+
+    /// Sum-reduce a `u64` across machines (paper's `AllGatherSum`).
+    #[inline]
+    pub fn all_reduce_sum_u64(&self, value: u64) -> u64 {
+        self.coll.all_reduce_sum_u64(self.rank(), value)
+    }
+
+    /// Max-reduce a `u64` across machines.
+    #[inline]
+    pub fn all_reduce_max_u64(&self, value: u64) -> u64 {
+        self.coll.all_reduce_max_u64(self.rank(), value)
+    }
+
+    /// Sum-reduce an `f64` across machines.
+    #[inline]
+    pub fn all_reduce_sum_f64(&self, value: f64) -> f64 {
+        self.coll.all_reduce_sum_f64(self.rank(), value)
+    }
+
+    /// OR-reduce a `bool` across machines.
+    #[inline]
+    pub fn all_reduce_any(&self, value: bool) -> bool {
+        self.coll.all_reduce_any(self.rank(), value)
+    }
+
+    /// Report this machine's current live heap bytes (mem-score snapshot).
+    #[inline]
+    pub fn report_memory(&self, live_bytes: usize) {
+        self.mem.report(self.rank(), live_bytes);
+    }
+}
+
+/// Everything a cluster run produces: per-rank results plus accounting.
+#[derive(Debug)]
+pub struct ClusterOutcome<R> {
+    /// Per-rank return values, indexed by rank.
+    pub results: Vec<R>,
+    /// Communication accounting for the whole run.
+    pub comm: Arc<CommStats>,
+    /// Peak-memory accounting for the whole run.
+    pub memory: MemoryReport,
+    /// Wall-clock duration of the parallel section.
+    pub elapsed: Duration,
+}
+
+/// Factory for simulated cluster runs.
+#[derive(Debug, Clone, Copy)]
+pub struct Cluster {
+    nprocs: usize,
+}
+
+impl Cluster {
+    /// A cluster of `nprocs` simulated machines (`nprocs >= 1`).
+    pub fn new(nprocs: usize) -> Self {
+        assert!(nprocs >= 1, "cluster needs at least one machine");
+        Self { nprocs }
+    }
+
+    /// Number of machines.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// Run `f` on every machine in parallel and join the results.
+    ///
+    /// `M` is the message type of the run's interconnect; `f` receives a
+    /// mutable [`Ctx`] and may borrow from the caller's stack (scoped
+    /// threads), which is how the partitioners share one immutable `&Graph`
+    /// across machines without `Arc`.
+    ///
+    /// # Panics
+    /// Propagates a panic from any machine.
+    pub fn run<M, R, F>(&self, f: F) -> ClusterOutcome<R>
+    where
+        M: Send + WireSize,
+        R: Send,
+        F: Fn(&mut Ctx<M>) -> R + Sync,
+    {
+        let stats = CommStats::new(self.nprocs);
+        let coll = Collectives::new(self.nprocs, Arc::clone(&stats));
+        let mem = MemoryTracker::new(self.nprocs);
+        let endpoints = CommEndpoint::<M>::fabric(self.nprocs, Arc::clone(&stats));
+        let start = Instant::now();
+        let results: Vec<R> = std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(self.nprocs);
+            for comm in endpoints {
+                let coll = Arc::clone(&coll);
+                let mem = Arc::clone(&mem);
+                let f = &f;
+                handles.push(scope.spawn(move || {
+                    let mut ctx = Ctx { comm, coll, mem };
+                    f(&mut ctx)
+                }));
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+                .collect()
+        });
+        let elapsed = start.elapsed();
+        ClusterOutcome { results, comm: stats, memory: mem.report_summary(), elapsed }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_returns_rank_indexed_results() {
+        let out = Cluster::new(4).run::<u64, _, _>(|ctx| ctx.rank() * 2);
+        assert_eq!(out.results, vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn exchange_is_all_to_all() {
+        let out = Cluster::new(3).run::<u64, _, _>(|ctx| {
+            let rank = ctx.rank();
+            // Everyone sends (own rank * 100 + dst) to each dst.
+            let got = ctx.exchange(|dst| (rank * 100 + dst) as u64);
+            // From src we must get src*100 + our rank.
+            let want: Vec<u64> = (0..3).map(|src| (src * 100 + rank) as u64).collect();
+            assert_eq!(got, want);
+            got.len()
+        });
+        assert_eq!(out.results, vec![3, 3, 3]);
+    }
+
+    #[test]
+    fn repeated_exchanges_stay_aligned() {
+        Cluster::new(4).run::<u64, _, _>(|ctx| {
+            for round in 0..100u64 {
+                let got = ctx.exchange(|_| round);
+                assert!(got.iter().all(|&r| r == round));
+            }
+        });
+    }
+
+    #[test]
+    fn collectives_work_inside_run() {
+        let out = Cluster::new(5).run::<u64, _, _>(|ctx| {
+            let total = ctx.all_reduce_sum_u64(ctx.rank() as u64);
+            assert_eq!(total, 10);
+            ctx.barrier();
+            total
+        });
+        assert!(out.results.iter().all(|&t| t == 10));
+    }
+
+    #[test]
+    fn memory_and_comm_accounting_flow_through() {
+        let out = Cluster::new(2).run::<u64, _, _>(|ctx| {
+            ctx.report_memory(1000 * (ctx.rank() + 1));
+            ctx.barrier();
+            if ctx.rank() == 0 {
+                ctx.send(1, 7);
+            } else {
+                let (src, v) = ctx.recv();
+                assert_eq!((src, v), (0, 7));
+            }
+        });
+        assert_eq!(out.memory.peak_total_bytes, 3000);
+        // One point-to-point u64 (8 bytes) plus two barrier charges (8 each).
+        assert_eq!(out.comm.total_bytes(), 8 + 16);
+    }
+
+    #[test]
+    fn single_machine_cluster() {
+        let out = Cluster::new(1).run::<u64, _, _>(|ctx| {
+            let v = ctx.exchange(|_| 42u64);
+            assert_eq!(v, vec![42]);
+            ctx.all_reduce_sum_u64(5)
+        });
+        assert_eq!(out.results, vec![5]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_machines_rejected() {
+        Cluster::new(0);
+    }
+}

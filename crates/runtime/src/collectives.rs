@@ -1,0 +1,176 @@
+//! MPI-style collectives over shared memory: barrier, all-gather,
+//! all-reduce.
+//!
+//! Algorithm 1 of the paper uses `Barrier()` (line 9) and
+//! `AllGatherSum(|Ep|)` (line 14) every iteration; the application engine
+//! uses all-reduce for convergence/frontier checks. The implementation is a
+//! generation-counted rendezvous: the last process to arrive publishes the
+//! round's result and bumps the generation; everyone else waits on a condvar
+//! for the bump. A process can re-enter the next collective before slow
+//! peers have *read* the previous result because the publish buffer is only
+//! rewritten at the *last arrival* of the next round, which cannot happen
+//! until every peer has left the current one.
+//!
+//! Byte accounting: each collective charges `8·(P−1)` bytes to every
+//! participant (the cost of a flat all-gather of one word), approximating
+//! what an MPI implementation would move.
+
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::stats::CommStats;
+
+struct RoundState {
+    arrived: usize,
+    generation: u64,
+    /// Scratch slots written by arriving processes.
+    slots: Vec<u64>,
+    /// Published result of the completed round.
+    published: Vec<u64>,
+}
+
+/// Shared collective-communication context for one cluster run.
+pub struct Collectives {
+    state: Mutex<RoundState>,
+    cv: Condvar,
+    nprocs: usize,
+    stats: Arc<CommStats>,
+}
+
+impl Collectives {
+    /// Collectives for `nprocs` participants.
+    pub fn new(nprocs: usize, stats: Arc<CommStats>) -> Arc<Self> {
+        Arc::new(Self {
+            state: Mutex::new(RoundState {
+                arrived: 0,
+                generation: 0,
+                slots: vec![0; nprocs],
+                published: vec![0; nprocs],
+            }),
+            cv: Condvar::new(),
+            nprocs,
+            stats,
+        })
+    }
+
+    /// Rendezvous: deposit `value` for `rank`, wait for everyone, return the
+    /// full vector of deposited values indexed by rank.
+    pub fn all_gather_u64(&self, rank: usize, value: u64) -> Vec<u64> {
+        if self.nprocs > 1 {
+            self.stats.record_send(rank, 8 * (self.nprocs - 1));
+        }
+        let mut st = self.state.lock();
+        st.slots[rank] = value;
+        st.arrived += 1;
+        if st.arrived == self.nprocs {
+            st.arrived = 0;
+            let slots = std::mem::take(&mut st.slots);
+            st.published = slots.clone();
+            st.slots = slots; // reuse the allocation for the next round
+            st.generation += 1;
+            self.cv.notify_all();
+            st.published.clone()
+        } else {
+            let gen = st.generation;
+            while st.generation == gen {
+                self.cv.wait(&mut st);
+            }
+            st.published.clone()
+        }
+    }
+
+    /// Barrier: all processes wait until everyone has arrived.
+    pub fn barrier(&self, rank: usize) {
+        self.all_gather_u64(rank, 0);
+    }
+
+    /// Sum-reduce a `u64` across all processes.
+    pub fn all_reduce_sum_u64(&self, rank: usize, value: u64) -> u64 {
+        self.all_gather_u64(rank, value).iter().sum()
+    }
+
+    /// Max-reduce a `u64` across all processes.
+    pub fn all_reduce_max_u64(&self, rank: usize, value: u64) -> u64 {
+        self.all_gather_u64(rank, value).into_iter().max().unwrap_or(0)
+    }
+
+    /// Sum-reduce an `f64` (transported via bit pattern, summed at reader).
+    pub fn all_reduce_sum_f64(&self, rank: usize, value: f64) -> f64 {
+        self.all_gather_u64(rank, value.to_bits()).iter().map(|&b| f64::from_bits(b)).sum()
+    }
+
+    /// Logical OR across processes (any process true ⇒ all see true).
+    pub fn all_reduce_any(&self, rank: usize, value: bool) -> bool {
+        self.all_reduce_sum_u64(rank, value as u64) > 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_on(n: usize, f: impl Fn(usize, &Collectives) + Sync) {
+        let stats = CommStats::new(n);
+        let coll = Collectives::new(n, stats);
+        std::thread::scope(|s| {
+            for r in 0..n {
+                let coll = &coll;
+                let f = &f;
+                s.spawn(move || f(r, coll));
+            }
+        });
+    }
+
+    #[test]
+    fn all_gather_returns_rank_indexed_values() {
+        run_on(4, |rank, coll| {
+            let got = coll.all_gather_u64(rank, (rank * 10) as u64);
+            assert_eq!(got, vec![0, 10, 20, 30]);
+        });
+    }
+
+    #[test]
+    fn repeated_rounds_do_not_mix() {
+        run_on(3, |rank, coll| {
+            for round in 0..50u64 {
+                let got = coll.all_gather_u64(rank, round * 100 + rank as u64);
+                assert_eq!(got, vec![round * 100, round * 100 + 1, round * 100 + 2]);
+            }
+        });
+    }
+
+    #[test]
+    fn reductions() {
+        run_on(4, |rank, coll| {
+            assert_eq!(coll.all_reduce_sum_u64(rank, 2), 8);
+            assert_eq!(coll.all_reduce_max_u64(rank, rank as u64), 3);
+            let s = coll.all_reduce_sum_f64(rank, 0.5);
+            assert!((s - 2.0).abs() < 1e-12);
+            assert!(coll.all_reduce_any(rank, rank == 2));
+            assert!(!coll.all_reduce_any(rank, false));
+        });
+    }
+
+    #[test]
+    fn single_process_collectives_are_identity() {
+        run_on(1, |rank, coll| {
+            assert_eq!(coll.all_gather_u64(rank, 9), vec![9]);
+            assert_eq!(coll.all_reduce_sum_u64(rank, 9), 9);
+            coll.barrier(rank);
+        });
+    }
+
+    #[test]
+    fn collectives_charge_bytes() {
+        let stats = CommStats::new(2);
+        let coll = Collectives::new(2, stats.clone());
+        std::thread::scope(|s| {
+            for r in 0..2 {
+                let coll = &coll;
+                s.spawn(move || coll.barrier(r));
+            }
+        });
+        assert_eq!(stats.total_bytes(), 2 * 8);
+    }
+}

@@ -1,0 +1,168 @@
+//! Point-to-point FIFO channels between simulated machines.
+//!
+//! Each process owns one unbounded MPMC receiver; every peer holds a cloned
+//! sender to it. Messages carry their source rank so the lock-step
+//! [`crate::Ctx::exchange`] primitive can index replies by sender. Per-link
+//! FIFO order is guaranteed by crossbeam channels (per-producer FIFO), which
+//! is exactly the MPI non-overtaking guarantee the algorithms rely on.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+
+use crate::stats::CommStats;
+use crate::wire::WireSize;
+
+/// An envelope in flight: `(source rank, payload)`.
+pub(crate) type Envelope<M> = (usize, M);
+
+/// The per-process endpoint of the simulated interconnect.
+pub struct CommEndpoint<M> {
+    rank: usize,
+    senders: Vec<Sender<Envelope<M>>>,
+    receiver: Receiver<Envelope<M>>,
+    /// Messages that arrived early (next round) while we were still
+    /// collecting the current round — see `exchange` in `cluster.rs`.
+    pending: Vec<VecDeque<M>>,
+    stats: Arc<CommStats>,
+}
+
+impl<M: Send + WireSize> CommEndpoint<M> {
+    /// Build all `n` connected endpoints at once.
+    pub(crate) fn fabric(n: usize, stats: Arc<CommStats>) -> Vec<CommEndpoint<M>> {
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        receivers
+            .into_iter()
+            .enumerate()
+            .map(|(rank, receiver)| CommEndpoint {
+                rank,
+                senders: senders.clone(),
+                receiver,
+                pending: (0..n).map(|_| VecDeque::new()).collect(),
+                stats: Arc::clone(&stats),
+            })
+            .collect()
+    }
+
+    /// This endpoint's rank.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of processes in the fabric.
+    #[inline]
+    pub fn nprocs(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Send `msg` to `dst`, charging its wire size to this rank.
+    /// Self-sends are free (no wire crossing) but still delivered, so
+    /// algorithms can treat all ranks uniformly.
+    pub fn send(&self, dst: usize, msg: M) {
+        if dst != self.rank {
+            self.stats.record_send(self.rank, msg.wire_bytes());
+        }
+        self.senders[dst].send((self.rank, msg)).expect("receiver endpoint dropped");
+    }
+
+    /// Blocking receive of the next message from any source.
+    pub fn recv(&self) -> (usize, M) {
+        self.receiver.recv().expect("all sender endpoints dropped")
+    }
+
+    /// Receive exactly one message from *every* rank (including self),
+    /// returning them indexed by source. Out-of-round messages (a second
+    /// message from a rank that already delivered this round) are buffered
+    /// for the next call — this is what makes back-to-back exchanges safe
+    /// even when peers race ahead.
+    pub fn recv_one_from_each(&mut self) -> Vec<M> {
+        let n = self.nprocs();
+        let mut slots: Vec<Option<M>> = (0..n).map(|_| None).collect();
+        let mut filled = 0;
+        // Serve from the pending buffers first.
+        for (slot, pending) in slots.iter_mut().zip(self.pending.iter_mut()) {
+            if slot.is_none() {
+                if let Some(m) = pending.pop_front() {
+                    *slot = Some(m);
+                    filled += 1;
+                }
+            }
+        }
+        while filled < n {
+            let (src, msg) = self.recv();
+            if slots[src].is_none() {
+                slots[src] = Some(msg);
+                filled += 1;
+            } else {
+                self.pending[src].push_back(msg);
+            }
+        }
+        slots.into_iter().map(|s| s.expect("slot filled")).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fabric_delivers_point_to_point() {
+        let stats = CommStats::new(2);
+        let mut eps = CommEndpoint::<u64>::fabric(2, stats.clone());
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        a.send(1, 42);
+        let (src, v) = b.recv();
+        assert_eq!((src, v), (0, 42));
+        assert_eq!(stats.total_bytes(), 8);
+    }
+
+    #[test]
+    fn self_send_is_free_but_delivered() {
+        let stats = CommStats::new(1);
+        let mut eps = CommEndpoint::<u64>::fabric(1, stats.clone());
+        let a = eps.pop().unwrap();
+        a.send(0, 7);
+        assert_eq!(a.recv(), (0, 7));
+        assert_eq!(stats.total_bytes(), 0);
+    }
+
+    #[test]
+    fn recv_one_from_each_buffers_early_rounds() {
+        let stats = CommStats::new(2);
+        let mut eps = CommEndpoint::<u64>::fabric(2, stats);
+        let b = eps.pop().unwrap();
+        let mut a = eps.pop().unwrap();
+        // Rank 1 races two rounds ahead before rank 0 collects round 1.
+        b.send(0, 10); // round 1
+        b.send(0, 20); // round 2 (early)
+        a.send(0, 1); // rank 0's self message, round 1
+        let round1 = a.recv_one_from_each();
+        assert_eq!(round1, vec![1, 10]);
+        a.send(0, 2); // self, round 2
+        let round2 = a.recv_one_from_each();
+        assert_eq!(round2, vec![2, 20]);
+    }
+
+    #[test]
+    fn per_link_fifo_order() {
+        let stats = CommStats::new(2);
+        let mut eps = CommEndpoint::<u64>::fabric(2, stats);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        for i in 0..100 {
+            a.send(1, i);
+        }
+        for i in 0..100 {
+            assert_eq!(b.recv(), (0, i));
+        }
+    }
+}

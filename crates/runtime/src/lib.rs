@@ -1,0 +1,46 @@
+//! # dne-runtime — simulated distributed message-passing runtime
+//!
+//! The paper runs Distributed NE with IntelMPI on 4–256 physical machines
+//! (§7.1, Table 3). This crate substitutes that substrate with a faithful
+//! in-process simulation:
+//!
+//! * every simulated **machine** is an OS thread ([`Cluster::run`] spawns
+//!   `P` of them and joins their results);
+//! * the **interconnect** is a matrix of FIFO channels with per-link byte
+//!   accounting ([`CommStats`]) using a [`WireSize`] estimate of every
+//!   message — this is what the Table 5 "COM" column measures;
+//! * **collectives** (barrier, all-gather, all-reduce over `u64`/`f64`)
+//!   match the MPI primitives the paper's pseudo-code uses
+//!   (`Barrier()` in Algorithm 1 line 9, `AllGatherSum` in line 14);
+//! * **memory accounting** ([`MemoryTracker`]) reproduces the paper's "mem
+//!   score" methodology (§7.3): processes report their live heap bytes at
+//!   phase boundaries, and the tracker keeps the snapshot at which the
+//!   *total across processes* peaks.
+//!
+//! ## Why this preserves the paper's behaviour
+//!
+//! Distributed NE's *quality* is transport-independent: partitioning
+//! decisions depend only on message contents exchanged in lock-step rounds.
+//! The *performance story* (iteration counts, communication volume,
+//! imbalance between expansion processes) is preserved because those are
+//! algorithmic quantities this runtime measures directly.
+//!
+//! ## Determinism
+//!
+//! All cross-process interaction in this workspace goes through the
+//! lock-step [`Ctx::exchange`] primitive or the collectives, both of which
+//! deliver results indexed by source rank. Algorithms built on them are
+//! deterministic under a fixed seed even though threads run concurrently —
+//! a property the integration tests rely on.
+
+pub mod cluster;
+pub mod collectives;
+pub mod comm;
+pub mod memory;
+pub mod stats;
+pub mod wire;
+
+pub use cluster::{Cluster, ClusterOutcome, Ctx};
+pub use memory::{MemoryReport, MemoryTracker};
+pub use stats::CommStats;
+pub use wire::WireSize;

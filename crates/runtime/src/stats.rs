@@ -1,0 +1,101 @@
+//! Communication statistics: bytes and message counts per process.
+//!
+//! The Table 5 "COM" column of the paper reports total communication volume
+//! in GB per application run; Figure 10's discussion attributes the linear
+//! elapsed-time growth partly to communication cost. [`CommStats`]
+//! accumulates both quantities per sending rank with relaxed atomics (exact
+//! totals, no ordering requirements).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Shared, thread-safe per-rank communication counters.
+#[derive(Debug)]
+pub struct CommStats {
+    bytes_sent: Vec<AtomicU64>,
+    msgs_sent: Vec<AtomicU64>,
+}
+
+impl CommStats {
+    /// Counters for `nprocs` ranks, all zero.
+    pub fn new(nprocs: usize) -> Arc<Self> {
+        Arc::new(Self {
+            bytes_sent: (0..nprocs).map(|_| AtomicU64::new(0)).collect(),
+            msgs_sent: (0..nprocs).map(|_| AtomicU64::new(0)).collect(),
+        })
+    }
+
+    /// Charge one sent message of `bytes` bytes to `rank`.
+    #[inline]
+    pub fn record_send(&self, rank: usize, bytes: usize) {
+        self.bytes_sent[rank].fetch_add(bytes as u64, Ordering::Relaxed);
+        self.msgs_sent[rank].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Bytes sent by `rank` so far.
+    pub fn bytes_sent_by(&self, rank: usize) -> u64 {
+        self.bytes_sent[rank].load(Ordering::Relaxed)
+    }
+
+    /// Messages sent by `rank` so far.
+    pub fn msgs_sent_by(&self, rank: usize) -> u64 {
+        self.msgs_sent[rank].load(Ordering::Relaxed)
+    }
+
+    /// Total bytes sent across all ranks.
+    pub fn total_bytes(&self) -> u64 {
+        self.bytes_sent.iter().map(|a| a.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Total messages sent across all ranks.
+    pub fn total_msgs(&self) -> u64 {
+        self.msgs_sent.iter().map(|a| a.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Number of ranks tracked.
+    pub fn nprocs(&self) -> usize {
+        self.bytes_sent.len()
+    }
+
+    /// Snapshot of per-rank sent bytes.
+    pub fn per_rank_bytes(&self) -> Vec<u64> {
+        self.bytes_sent.iter().map(|a| a.load(Ordering::Relaxed)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_per_rank() {
+        let s = CommStats::new(3);
+        s.record_send(0, 100);
+        s.record_send(0, 50);
+        s.record_send(2, 8);
+        assert_eq!(s.bytes_sent_by(0), 150);
+        assert_eq!(s.bytes_sent_by(1), 0);
+        assert_eq!(s.bytes_sent_by(2), 8);
+        assert_eq!(s.total_bytes(), 158);
+        assert_eq!(s.total_msgs(), 3);
+        assert_eq!(s.msgs_sent_by(0), 2);
+        assert_eq!(s.per_rank_bytes(), vec![150, 0, 8]);
+    }
+
+    #[test]
+    fn concurrent_updates_are_exact() {
+        let s = CommStats::new(4);
+        std::thread::scope(|scope| {
+            for r in 0..4 {
+                let s = &s;
+                scope.spawn(move || {
+                    for _ in 0..10_000 {
+                        s.record_send(r, 3);
+                    }
+                });
+            }
+        });
+        assert_eq!(s.total_bytes(), 4 * 10_000 * 3);
+        assert_eq!(s.total_msgs(), 40_000);
+    }
+}

@@ -1,0 +1,84 @@
+//! Wire-size estimation for communication accounting.
+//!
+//! Messages in the simulated cluster are moved by pointer, so the runtime
+//! needs an explicit estimate of how many bytes the message would occupy on
+//! a real interconnect. [`WireSize`] provides that estimate; the
+//! communicator charges it to the sending link at `send` time.
+//!
+//! The estimates use the natural packed encoding (payload bytes, no
+//! framing): a `u64` is 8 bytes, a `Vec<T>` is `8 + n * size(T)` (length
+//! prefix plus elements), a tuple is the sum of its fields. This mirrors how
+//! the paper's implementation serializes flat arrays over MPI.
+
+/// Estimated serialized size of a message in bytes.
+pub trait WireSize {
+    /// Number of bytes this value would occupy on the wire.
+    fn wire_bytes(&self) -> usize;
+}
+
+macro_rules! fixed_wire {
+    ($($t:ty),*) => {
+        $(impl WireSize for $t {
+            #[inline]
+            fn wire_bytes(&self) -> usize { std::mem::size_of::<$t>() }
+        })*
+    };
+}
+
+fixed_wire!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool);
+
+impl WireSize for () {
+    #[inline]
+    fn wire_bytes(&self) -> usize {
+        0
+    }
+}
+
+impl<A: WireSize, B: WireSize> WireSize for (A, B) {
+    #[inline]
+    fn wire_bytes(&self) -> usize {
+        self.0.wire_bytes() + self.1.wire_bytes()
+    }
+}
+
+impl<A: WireSize, B: WireSize, C: WireSize> WireSize for (A, B, C) {
+    #[inline]
+    fn wire_bytes(&self) -> usize {
+        self.0.wire_bytes() + self.1.wire_bytes() + self.2.wire_bytes()
+    }
+}
+
+impl<T: WireSize> WireSize for Vec<T> {
+    fn wire_bytes(&self) -> usize {
+        8 + self.iter().map(WireSize::wire_bytes).sum::<usize>()
+    }
+}
+
+impl<T: WireSize> WireSize for Option<T> {
+    fn wire_bytes(&self) -> usize {
+        1 + self.as_ref().map_or(0, WireSize::wire_bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives() {
+        assert_eq!(7u64.wire_bytes(), 8);
+        assert_eq!(1u8.wire_bytes(), 1);
+        assert_eq!(true.wire_bytes(), 1);
+        assert_eq!(().wire_bytes(), 0);
+    }
+
+    #[test]
+    fn composites() {
+        assert_eq!((1u32, 2u64).wire_bytes(), 12);
+        assert_eq!(vec![1u64, 2, 3].wire_bytes(), 8 + 24);
+        assert_eq!(Some(5u64).wire_bytes(), 9);
+        assert_eq!(None::<u64>.wire_bytes(), 1);
+        let nested: Vec<(u64, u32)> = vec![(1, 2), (3, 4)];
+        assert_eq!(nested.wire_bytes(), 8 + 2 * 12);
+    }
+}

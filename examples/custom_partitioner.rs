@@ -1,0 +1,61 @@
+//! Extending the library: implement your own `EdgePartitioner` and compare
+//! it against the built-in roster with the shared quality metrics and the
+//! analytic communication model.
+//!
+//! Run with: `cargo run --release --example custom_partitioner`
+
+use distributed_ne::graph::gen::{rmat, RmatConfig};
+use distributed_ne::partition::hash_based::RandomPartitioner;
+use distributed_ne::partition::{estimate_comm, PartitionId};
+use distributed_ne::prelude::*;
+
+/// A deliberately simple custom method: round-robin over sorted edges.
+/// Perfect edge balance, no locality — a useful foil for the metrics.
+struct RoundRobin;
+
+impl EdgePartitioner for RoundRobin {
+    fn name(&self) -> String {
+        "RoundRobin".into()
+    }
+
+    fn partition(&self, g: &Graph, k: PartitionId) -> EdgeAssignment {
+        EdgeAssignment::from_fn(g, k, |e| (e % k as u64) as PartitionId)
+    }
+}
+
+fn main() {
+    let graph = rmat(&RmatConfig::graph500(12, 8, 21));
+    let k = 8;
+    println!(
+        "graph: |V| = {}, |E| = {}; comparing on {k} partitions\n",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+    let methods: Vec<Box<dyn EdgePartitioner>> = vec![
+        Box::new(RoundRobin),
+        Box::new(RandomPartitioner::new(21)),
+        Box::new(DistributedNe::new(NeConfig::default().with_seed(21))),
+    ];
+    println!(
+        "{:<14} {:>7} {:>7} {:>14} {:>18}",
+        "method", "RF", "EB", "mirrors", "est. KB/superstep"
+    );
+    for m in methods {
+        let a = m.partition(&graph, k);
+        let q = PartitionQuality::measure(&graph, &a);
+        let est = estimate_comm(&graph, &a);
+        println!(
+            "{:<14} {:>7.2} {:>7.2} {:>14} {:>18.1}",
+            m.name(),
+            q.replication_factor,
+            q.edge_balance,
+            est.mirrors,
+            est.bytes_per_superstep as f64 / 1e3,
+        );
+    }
+    println!(
+        "\nRound-robin balances edges perfectly but replicates heavily;\n\
+         the analytic model translates that into superstep traffic before\n\
+         any application runs."
+    );
+}

@@ -1,0 +1,39 @@
+//! Quickstart: generate a skewed graph, partition it with Distributed NE,
+//! inspect quality and the Theorem 1 bound.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use distributed_ne::prelude::*;
+use distributed_ne::core::theory;
+
+fn main() {
+    // 1. A Graph500-style RMAT graph: 2^14 vertices, edge factor 16.
+    let graph = rmat(&RmatConfig::graph500(14, 16, 42));
+    println!(
+        "graph: |V| = {}, |E| = {}, max degree = {}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.max_degree()
+    );
+
+    // 2. Partition the edges across 16 simulated machines.
+    let k = 16;
+    let ne = DistributedNe::new(NeConfig::default().with_seed(42));
+    let (assignment, stats) = ne.partition_with_stats(&graph, k);
+
+    // 3. Quality: replication factor and balance (paper Equations 1–2).
+    let q = PartitionQuality::measure(&graph, &assignment);
+    let ub = theory::upper_bound(graph.num_edges(), graph.num_vertices(), k as u64);
+    println!("replication factor : {:.3} (Theorem 1 bound: {:.3})", q.replication_factor, ub);
+    println!("edge balance       : {:.3}", q.edge_balance);
+    println!("vertex balance     : {:.3}", q.vertex_balance);
+    println!("iterations         : {}", stats.iterations);
+    println!("simulated comm     : {:.2} MB", stats.comm_bytes as f64 / 1e6);
+    println!("mem score          : {:.1} bytes/edge", stats.mem_score);
+    assert!(q.replication_factor <= ub, "Theorem 1 must hold");
+
+    // 4. The per-partition edge counts respect the α·|E|/|P| capacity.
+    let cap = (1.1 * graph.num_edges() as f64 / k as f64).ceil() as u64;
+    let max = q.edge_counts.iter().max().unwrap();
+    println!("largest partition  : {max} edges (capacity ≈ {cap})");
+}

@@ -1,0 +1,45 @@
+//! Road-network scenario (non-skewed graphs, paper §7.7): on a lattice
+//! road graph, direct optimizers — including Distributed NE — reach
+//! RF ≈ 1, and classic vertex partitioning is a perfectly good choice.
+//!
+//! Run with: `cargo run --release --example road_network`
+
+use distributed_ne::graph::degree::degree_stats;
+use distributed_ne::partition::hash_based::{GridPartitioner, RandomPartitioner};
+use distributed_ne::partition::vertex::MetisLikePartitioner;
+use distributed_ne::partition::VertexToEdge;
+use distributed_ne::prelude::*;
+
+fn main() {
+    // A California-like road lattice: low uniform degree, strong locality.
+    let graph = road_grid(64, 64, 0.72, 0.02, 11);
+    let s = degree_stats(&graph);
+    println!(
+        "road network: |V| = {}, |E| = {}, max degree = {} (skew {:.1})",
+        graph.num_vertices(),
+        graph.num_edges(),
+        s.max,
+        s.skew
+    );
+    let k = 16;
+    let rows: Vec<(String, f64)> = vec![
+        measure(&graph, &RandomPartitioner::new(1), k),
+        measure(&graph, &GridPartitioner::new(1), k),
+        measure(&graph, &VertexToEdge::new(MetisLikePartitioner::new(1), 1), k),
+        measure(&graph, &DistributedNe::new(NeConfig::default().with_seed(1)), k),
+    ];
+    println!("\n{:<16} {:>6}", "method", "RF");
+    for (name, rf) in rows {
+        println!("{name:<16} {rf:>6.3}");
+    }
+    println!(
+        "\nTable 6's message: on non-skewed graphs everyone in the direct\n\
+         family is near-optimal; Distributed NE is built for skew but does\n\
+         not regress here."
+    );
+}
+
+fn measure(g: &Graph, m: &dyn EdgePartitioner, k: u32) -> (String, f64) {
+    let q = PartitionQuality::measure(g, &m.partition(g, k));
+    (m.name(), q.replication_factor)
+}

@@ -1,0 +1,41 @@
+//! # distributed-ne — umbrella crate
+//!
+//! Re-exports the whole Distributed NE workspace behind one dependency, and
+//! hosts the runnable examples (`examples/`) and the cross-crate integration
+//! tests (`tests/`).
+//!
+//! A reproduction of: Hanai et al., *Distributed Edge Partitioning for
+//! Trillion-edge Graphs*, PVLDB 12(13), 2019.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use distributed_ne::prelude::*;
+//!
+//! // 1. Generate (or load) a skewed graph.
+//! let graph = rmat(&RmatConfig::graph500(10, 8, 42));
+//!
+//! // 2. Partition its edges across 8 simulated machines with Distributed NE.
+//! let partitioner = DistributedNe::new(NeConfig::default().with_seed(42));
+//! let assignment = partitioner.partition(&graph, 8);
+//!
+//! // 3. Inspect quality.
+//! let q = PartitionQuality::measure(&graph, &assignment);
+//! assert!(q.replication_factor >= 1.0);
+//! assert!(q.replication_factor <= (graph.num_edges() + graph.num_vertices() + 8) as f64
+//!     / graph.num_vertices() as f64);
+//! ```
+
+pub use dne_apps as apps;
+pub use dne_core as core;
+pub use dne_graph as graph;
+pub use dne_partition as partition;
+pub use dne_runtime as runtime;
+
+/// Convenient glob-import surface for examples and downstream quick starts.
+pub mod prelude {
+    pub use dne_core::{DistributedNe, NeConfig};
+    pub use dne_graph::gen::{rmat, road_grid, RmatConfig};
+    pub use dne_graph::{EdgeListBuilder, Graph, VertexId};
+    pub use dne_partition::{EdgeAssignment, EdgePartitioner, PartitionQuality};
+}

@@ -1,0 +1,99 @@
+//! End-to-end correctness of the distributed application engine: for any
+//! partitioning method, SSSP/WCC/PageRank results must equal the
+//! sequential references — partitioning changes performance, never
+//! answers.
+#![allow(clippy::needless_range_loop)]
+
+use distributed_ne::apps::{pagerank_reference, sssp_reference, wcc_reference, Engine};
+use distributed_ne::core::{DistributedNe, NeConfig};
+use distributed_ne::graph::gen;
+use distributed_ne::partition::hash_based::{GridPartitioner, RandomPartitioner};
+use distributed_ne::partition::streaming::HdrfPartitioner;
+use distributed_ne::partition::{EdgeAssignment, EdgePartitioner};
+use distributed_ne::prelude::*;
+use proptest::prelude::*;
+
+fn assignments(g: &Graph, k: u32) -> Vec<(String, EdgeAssignment)> {
+    vec![
+        ("Random".into(), RandomPartitioner::new(3).partition(g, k)),
+        ("Grid".into(), GridPartitioner::new(3).partition(g, k)),
+        ("HDRF".into(), HdrfPartitioner::new(3).partition(g, k)),
+        (
+            "DistributedNE".into(),
+            DistributedNe::new(NeConfig::default().with_seed(3)).partition(g, k),
+        ),
+    ]
+}
+
+#[test]
+fn sssp_agrees_with_bfs_for_every_partitioner() {
+    let g = gen::rmat(&gen::RmatConfig::graph500(8, 6, 1));
+    let want = sssp_reference(&g, 0);
+    for (name, a) in assignments(&g, 6) {
+        let run = Engine::new(&g, &a).sssp(0);
+        for v in 0..g.num_vertices() as usize {
+            if g.degree(v as u64) > 0 {
+                assert_eq!(run.values[v], want[v], "{name}: vertex {v}");
+            }
+        }
+    }
+}
+
+#[test]
+fn wcc_agrees_with_reference_on_disconnected_graph() {
+    let g = gen::ring_complete(7);
+    let want = wcc_reference(&g);
+    for (name, a) in assignments(&g, 5) {
+        let run = Engine::new(&g, &a).wcc();
+        assert_eq!(run.values, want, "{name}");
+    }
+}
+
+#[test]
+fn pagerank_agrees_within_fp_tolerance() {
+    let g = gen::rmat(&gen::RmatConfig::graph500(7, 6, 9));
+    let want = pagerank_reference(&g, 15);
+    for (name, a) in assignments(&g, 4) {
+        let run = Engine::new(&g, &a).pagerank(15);
+        for v in 0..g.num_vertices() as usize {
+            if g.degree(v as u64) > 0 {
+                assert!(
+                    (run.values[v] - want[v]).abs() < 1e-8,
+                    "{name}: vertex {v}: {} vs {}",
+                    run.values[v],
+                    want[v]
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn better_partitions_move_fewer_bytes() {
+    // Table 5's causal chain: lower RF ⇒ lower COM, measured on PageRank
+    // (the communication-heavy app).
+    let g = gen::rmat(&gen::RmatConfig::graph500(10, 12, 5));
+    let k = 8;
+    let random = RandomPartitioner::new(5).partition(&g, k);
+    let dne = DistributedNe::new(NeConfig::default().with_seed(5)).partition(&g, k);
+    let com_random = Engine::new(&g, &random).pagerank(5).comm_bytes;
+    let com_dne = Engine::new(&g, &dne).pagerank(5).comm_bytes;
+    assert!(
+        com_dne < com_random,
+        "D.NE comm {com_dne} should be below Random {com_random}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// WCC correctness over random graphs and partition counts.
+    #[test]
+    fn wcc_random_graphs(n in 20u64..120, m in 20u64..300, seed in 0u64..500, k in 2u32..6) {
+        let g = gen::erdos_renyi(n, m, seed);
+        prop_assume!(g.num_edges() > 0);
+        let a = RandomPartitioner::new(seed).partition(&g, k);
+        let run = Engine::new(&g, &a).wcc();
+        prop_assert_eq!(run.values, wcc_reference(&g));
+    }
+}

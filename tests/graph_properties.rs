@@ -1,0 +1,128 @@
+//! Property tests of the graph substrate: CSR invariants, builder
+//! idempotence, IO round-trips, generator guarantees.
+
+use distributed_ne::graph::gen;
+use distributed_ne::graph::transform;
+use distributed_ne::graph::{EdgeListBuilder, Graph};
+use proptest::prelude::*;
+
+/// Strategy: an arbitrary small raw edge list (with duplicates and loops).
+fn raw_edges() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    prop::collection::vec((0u64..64, 0u64..64), 0..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The builder always yields a canonical, loop-free, deduplicated list.
+    #[test]
+    fn builder_canonicalizes(raw in raw_edges()) {
+        let mut b = EdgeListBuilder::new();
+        b.extend_edges(raw.clone());
+        let edges = b.finish();
+        for w in edges.windows(2) {
+            prop_assert!(w[0] < w[1], "must be strictly sorted");
+        }
+        for &(u, v) in &edges {
+            prop_assert!(u < v, "must be canonical and loop-free");
+        }
+        // Idempotence: re-ingesting the output reproduces it.
+        let mut b2 = EdgeListBuilder::new();
+        b2.extend_edges(edges.clone());
+        prop_assert_eq!(b2.finish(), edges);
+    }
+
+    /// CSR adjacency is an involution: every edge appears in exactly two
+    /// adjacency slots, and `opposite` round-trips.
+    #[test]
+    fn csr_adjacency_involution(raw in raw_edges()) {
+        let mut b = EdgeListBuilder::new();
+        b.extend_edges(raw);
+        let g = b.into_graph(64);
+        let mut slot_count = vec![0u32; g.num_edges() as usize];
+        for v in g.vertices() {
+            for (u, e) in g.neighbors(v) {
+                slot_count[e as usize] += 1;
+                prop_assert_eq!(g.opposite(e, v), u);
+                prop_assert_eq!(g.opposite(e, u), v);
+            }
+        }
+        prop_assert!(slot_count.iter().all(|&c| c == 2));
+        let degree_sum: u64 = g.vertices().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.num_edges());
+    }
+
+    /// Binary IO round-trips exactly.
+    #[test]
+    fn binary_io_roundtrip(raw in raw_edges(), tag in 0u64..1_000_000) {
+        use distributed_ne::graph::io;
+        let mut b = EdgeListBuilder::new();
+        b.extend_edges(raw);
+        let g = b.into_graph(64);
+        let dir = std::env::temp_dir().join("dne_proptest_io");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("g_{tag}.bin"));
+        io::write_binary(&g, &path).unwrap();
+        let g2 = io::read_binary(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        prop_assert_eq!(g.num_vertices(), g2.num_vertices());
+        prop_assert_eq!(g.edges(), g2.edges());
+    }
+
+    /// Component labels partition the vertex set and are closed over edges.
+    #[test]
+    fn component_labels_are_consistent(raw in raw_edges()) {
+        let mut b = EdgeListBuilder::new();
+        b.extend_edges(raw);
+        let g = b.into_graph(64);
+        let labels = transform::component_labels(&g);
+        for &(u, v) in g.edges() {
+            prop_assert_eq!(labels[u as usize], labels[v as usize]);
+        }
+        // Every label is the smallest vertex id of its component.
+        for v in g.vertices() {
+            prop_assert!(labels[v as usize] <= v);
+        }
+    }
+
+    /// Induced subgraphs never contain edges touching dropped vertices.
+    #[test]
+    fn induced_subgraph_is_sound(raw in raw_edges(), mask_seed in 0u64..1000) {
+        let mut b = EdgeListBuilder::new();
+        b.extend_edges(raw);
+        let g = b.into_graph(64);
+        let keep: Vec<bool> = (0..64u64)
+            .map(|v| distributed_ne::graph::hash::mix2(mask_seed, v) & 1 == 0)
+            .collect();
+        let (sub, old_of) = transform::induced_subgraph(&g, &keep);
+        prop_assert_eq!(old_of.len() as u64, sub.num_vertices());
+        for &(u, v) in sub.edges() {
+            prop_assert!(keep[old_of[u as usize] as usize]);
+            prop_assert!(keep[old_of[v as usize] as usize]);
+        }
+    }
+
+    /// RMAT stays within its configured vertex budget and sample cap.
+    #[test]
+    fn rmat_respects_budgets(scale in 4u32..9, ef in 1u64..8, seed in 0u64..500) {
+        let cfg = gen::RmatConfig::graph500(scale, ef, seed);
+        let g = gen::rmat(&cfg);
+        prop_assert_eq!(g.num_vertices(), 1u64 << scale);
+        prop_assert!(g.num_edges() <= cfg.num_samples());
+    }
+}
+
+#[test]
+fn largest_component_of_connected_graph_is_identity_sized() {
+    let g = gen::complete(10);
+    let (lcc, _) = transform::largest_component(&g);
+    assert_eq!(lcc.num_vertices(), 10);
+    assert_eq!(lcc.num_edges(), 45);
+}
+
+#[test]
+fn empty_graph_transforms() {
+    let g = Graph::from_canonical_edges(0, vec![]);
+    let labels = transform::component_labels(&g);
+    assert!(labels.is_empty());
+}

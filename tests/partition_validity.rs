@@ -1,0 +1,112 @@
+//! Cross-crate invariant: every partitioner in the workspace produces a
+//! valid, complete, in-range edge assignment on every graph family.
+
+use distributed_ne::core::{DistributedNe, NeConfig};
+use distributed_ne::graph::gen;
+use distributed_ne::partition::greedy::{NePartitioner, SnePartitioner};
+use distributed_ne::partition::hash_based::{
+    DbhPartitioner, GridPartitioner, HybridHashPartitioner, RandomPartitioner,
+};
+use distributed_ne::partition::streaming::{
+    GingerPartitioner, HdrfPartitioner, ObliviousPartitioner,
+};
+use distributed_ne::partition::vertex::{
+    MetisLikePartitioner, SheepPartitioner, SpinnerPartitioner, XtraPulpPartitioner,
+};
+use distributed_ne::partition::{EdgePartitioner, PartitionQuality, VertexToEdge};
+use distributed_ne::prelude::*;
+
+fn all_methods(seed: u64) -> Vec<Box<dyn EdgePartitioner>> {
+    vec![
+        Box::new(RandomPartitioner::new(seed)),
+        Box::new(GridPartitioner::new(seed)),
+        Box::new(DbhPartitioner::new(seed)),
+        Box::new(HybridHashPartitioner::new(seed)),
+        Box::new(ObliviousPartitioner::new(seed)),
+        Box::new(HdrfPartitioner::new(seed)),
+        Box::new(GingerPartitioner::new(seed)),
+        Box::new(NePartitioner::new(seed)),
+        Box::new(SnePartitioner::new(seed)),
+        Box::new(SheepPartitioner::new()),
+        Box::new(VertexToEdge::new(SpinnerPartitioner::new(seed), seed)),
+        Box::new(VertexToEdge::new(XtraPulpPartitioner::new(seed), seed)),
+        Box::new(VertexToEdge::new(MetisLikePartitioner::new(seed), seed)),
+        Box::new(DistributedNe::new(NeConfig::default().with_seed(seed))),
+    ]
+}
+
+fn graph_zoo() -> Vec<(&'static str, Graph)> {
+    vec![
+        ("rmat", gen::rmat(&gen::RmatConfig::graph500(9, 8, 3))),
+        ("power-law", gen::chung_lu(800, 4000, 2.3, 4)),
+        ("road", gen::road_grid(20, 20, 0.8, 0.02, 5)),
+        ("clique-bridge", gen::two_cliques_bridge(12)),
+        ("ring+complete", gen::ring_complete(6)),
+        ("star", gen::star(300)),
+        ("path", gen::path(100)),
+    ]
+}
+
+#[test]
+fn every_method_covers_every_graph() {
+    for (gname, g) in graph_zoo() {
+        for k in [1u32, 2, 7, 16] {
+            for m in all_methods(1) {
+                let a = m.partition(&g, k);
+                assert!(a.is_valid_for(&g), "{} on {gname} (k={k}): bad cover", m.name());
+                assert_eq!(a.num_partitions(), k);
+                assert!(
+                    a.as_slice().iter().all(|&p| p < k),
+                    "{} on {gname} (k={k}): out-of-range id",
+                    m.name()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn quality_is_measurable_and_sane_everywhere() {
+    for (gname, g) in graph_zoo() {
+        for m in all_methods(2) {
+            let a = m.partition(&g, 4);
+            let q = PartitionQuality::measure(&g, &a);
+            // RF is at least (covered vertices)/|V| and at most |P|.
+            assert!(
+                q.replication_factor <= 4.0 + 1e-9,
+                "{} on {gname}: RF {} > |P|",
+                m.name(),
+                q.replication_factor
+            );
+            let covered = g.vertices().filter(|&v| g.degree(v) > 0).count() as f64;
+            assert!(
+                q.total_replicas as f64 >= covered,
+                "{} on {gname}: fewer replicas than covered vertices",
+                m.name()
+            );
+            assert!(q.edge_balance >= 1.0 - 1e-9);
+            assert!(q.vertex_balance >= 1.0 - 1e-9);
+        }
+    }
+}
+
+#[test]
+fn balance_promising_methods_respect_alpha() {
+    // Methods with an explicit α·|E|/|P| capacity: NE, SNE, Distributed NE.
+    let g = gen::rmat(&gen::RmatConfig::graph500(10, 8, 7));
+    let capped: Vec<Box<dyn EdgePartitioner>> = vec![
+        Box::new(NePartitioner::new(7)),
+        Box::new(SnePartitioner::new(7)),
+        Box::new(DistributedNe::new(NeConfig::default().with_seed(7))),
+    ];
+    for m in capped {
+        let a = m.partition(&g, 8);
+        let q = PartitionQuality::measure(&g, &a);
+        assert!(
+            q.edge_balance < 1.35,
+            "{}: edge balance {} too far above alpha = 1.1",
+            m.name(),
+            q.edge_balance
+        );
+    }
+}
