@@ -23,6 +23,21 @@
 //! PageRank (heavy, all-vertices-active) — the three workload classes of
 //! Table 5 — each with a sequential reference implementation used by the
 //! correctness tests.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dne_apps::{wcc_reference, Engine};
+//! use dne_graph::gen;
+//! use dne_partition::hash_based::RandomPartitioner;
+//! use dne_partition::EdgePartitioner;
+//!
+//! let g = gen::ring_complete(5);
+//! let assignment = RandomPartitioner::new(1).partition(&g, 4);
+//! let run = Engine::new(&g, &assignment).wcc();
+//! // Partitioning changes performance, never answers.
+//! assert_eq!(run.values, wcc_reference(&g));
+//! ```
 
 pub mod apps;
 pub mod engine;

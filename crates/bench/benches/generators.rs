@@ -74,4 +74,3 @@ fn bench_neighbor_scan(c: &mut Criterion) {
 
 criterion_group!(benches, bench_rmat, bench_csr_build, bench_dedup, bench_neighbor_scan);
 criterion_main!(benches);
-

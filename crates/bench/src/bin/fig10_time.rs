@@ -120,16 +120,15 @@ fn run_weak(quick: bool) {
             eprintln!("machines {p} ef {ef}: done in {:?}", stats.elapsed);
         }
     }
-    println!(
-        "\n=== Figure 10(j): weak scaling (2^{verts_per_machine} vertices/machine) ===",
-    );
+    println!("\n=== Figure 10(j): weak scaling (2^{verts_per_machine} vertices/machine) ===",);
     table.print();
     let _ = table.write_tsv("fig10_weak");
 }
 
 fn main() {
     let quick = parse_mode();
-    let which: Vec<String> = std::env::args().skip(1).filter(|a| a != "full" && a != "quick").collect();
+    let which: Vec<String> =
+        std::env::args().skip(1).filter(|a| a != "full" && a != "quick").collect();
     let all = which.is_empty();
     if all || which.iter().any(|w| w == "real") {
         run_real(quick);

@@ -6,8 +6,8 @@
 //! decreasing from λ = 1e-4 to 1e-1 and degrades at λ = 1.0, motivating
 //! the default λ = 0.1.
 
-use dne_bench::table::{f2, parse_mode, Table};
 use dne_bench::datasets;
+use dne_bench::table::{f2, parse_mode, Table};
 use dne_core::{DistributedNe, NeConfig};
 use dne_partition::PartitionQuality;
 

@@ -37,13 +37,28 @@ fn mem_rows(name: &str, g: &Graph, k: u32, table: &mut Table) {
     let metis = MetisLikePartitioner::new(3);
     let _ = metis.partition_vertices(g, k);
     let metis_bytes = g.heap_bytes() + metis.peak_memory_bytes();
-    table.row(vec![name.into(), k.to_string(), "ParMETIS-like".into(), f2(metis_bytes as f64 / m as f64)]);
+    table.row(vec![
+        name.into(),
+        k.to_string(),
+        "ParMETIS-like".into(),
+        f2(metis_bytes as f64 / m as f64),
+    ]);
     // Sheep-like: input CSR + rank/parent/owned/children/tour arrays.
     let sheep_bytes = g.heap_bytes() + 32 * n as usize + 4 * m as usize;
-    table.row(vec![name.into(), k.to_string(), "Sheep-like".into(), f2(sheep_bytes as f64 / m as f64)]);
+    table.row(vec![
+        name.into(),
+        k.to_string(),
+        "Sheep-like".into(),
+        f2(sheep_bytes as f64 / m as f64),
+    ]);
     // XtraPuLP-like: input CSR + labels/queues/loads.
     let xp_bytes = g.heap_bytes() + 16 * n as usize;
-    table.row(vec![name.into(), k.to_string(), "XtraPuLP-like".into(), f2(xp_bytes as f64 / m as f64)]);
+    table.row(vec![
+        name.into(),
+        k.to_string(),
+        "XtraPuLP-like".into(),
+        f2(xp_bytes as f64 / m as f64),
+    ]);
 }
 
 fn main() {

@@ -40,8 +40,7 @@ fn main() {
                 f2(q.vertex_balance),
             ]);
             let engine = Engine::new(&g, &a);
-            let runs =
-                [engine.sssp(0), engine.wcc(), engine.pagerank(pr_iters)];
+            let runs = [engine.sssp(0), engine.wcc(), engine.pagerank(pr_iters)];
             for run in runs {
                 apps.row(vec![
                     d.name.into(),

@@ -21,6 +21,20 @@
 //! The library part hosts the [`datasets`] registry (scaled stand-ins for
 //! the paper's real-world graphs — see DESIGN.md §3 for the substitution
 //! argument) and small table/TSV helpers shared by the binaries.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dne_bench::{suite, DATASETS};
+//!
+//! // The seven Table 2 stand-ins, in the paper's figure order.
+//! assert_eq!(DATASETS.len(), 7);
+//! assert_eq!(DATASETS[0].name, "Pokec");
+//!
+//! // The Figure 8 roster: nine distributed methods, ready to partition.
+//! let roster = suite::figure8_roster(42);
+//! assert_eq!(roster.len(), 9);
+//! ```
 
 pub mod datasets;
 pub mod suite;

@@ -1,0 +1,31 @@
+//! Smoke tests: the reproduction binaries run to completion in quick mode.
+//!
+//! The two fastest table binaries run on every `cargo test`; the full
+//! `run_all` sweep takes minutes in debug builds, so it is `#[ignore]`d
+//! here and exercised by CI as `cargo test --release -- --ignored`.
+
+use std::process::Command;
+
+fn run(exe: &str, args: &[&str]) {
+    let status = Command::new(exe)
+        .args(args)
+        .status()
+        .unwrap_or_else(|e| panic!("failed to launch {exe}: {e}"));
+    assert!(status.success(), "{exe} {args:?} exited with {status}");
+}
+
+#[test]
+fn table1_bounds_quick_completes() {
+    run(env!("CARGO_BIN_EXE_table1_bounds"), &["quick"]);
+}
+
+#[test]
+fn table6_roads_quick_completes() {
+    run(env!("CARGO_BIN_EXE_table6_roads"), &["quick"]);
+}
+
+#[test]
+#[ignore = "runs every table/figure binary (~minutes in debug); CI runs it in release"]
+fn run_all_quick_completes() {
+    run(env!("CARGO_BIN_EXE_run_all"), &[]);
+}

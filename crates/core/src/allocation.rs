@@ -182,7 +182,10 @@ pub fn two_hop(
 /// Phase 4: this allocator's local `D_rest` contribution for each new
 /// boundary vertex (Algorithm 2, `ComputeLocalDrest`). Run *after*
 /// [`two_hop`] so the score reflects this iteration's allocations.
-pub fn local_drest(part: &AllocatorPart, bp_new: &[(VertexId, Part)]) -> Vec<(VertexId, Part, u64)> {
+pub fn local_drest(
+    part: &AllocatorPart,
+    bp_new: &[(VertexId, Part)],
+) -> Vec<(VertexId, Part, u64)> {
     bp_new
         .iter()
         .filter_map(|&(v, p)| part.local_of(v).map(|lv| (v, p, part.rest[lv as usize])))
@@ -206,8 +209,7 @@ mod tests {
     fn one_hop_allocates_star_center() {
         let g = gen::star(5);
         let mut part = single_allocator(&g, 2);
-        let req =
-            vec![SelectRequest { part: 0, vertices: vec![0], random_budget: 0 }];
+        let req = vec![SelectRequest { part: 0, vertices: vec![0], random_budget: 0 }];
         let out = one_hop(&mut part, &req);
         assert_eq!(out.allocated.len(), 4, "all hub edges claimed");
         // Memberships: hub + 4 spokes.

@@ -66,7 +66,12 @@ impl ExpansionState {
     ///
     /// `local_free` is the colocated allocator's free-edge count;
     /// `free_hints` the last-known free counts of all allocators (gossip).
-    pub fn select(&mut self, local_rank: usize, local_free: u64, free_hints: &[u64]) -> SelectAction {
+    pub fn select(
+        &mut self,
+        local_rank: usize,
+        local_free: u64,
+        free_hints: &[u64],
+    ) -> SelectAction {
         if self.is_full() {
             return SelectAction::Nothing;
         }

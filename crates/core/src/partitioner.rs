@@ -75,7 +75,8 @@ impl DistributedNe {
         let cells: Vec<Mutex<Option<Vec<EdgeId>>>> =
             buckets.into_iter().map(|b| Mutex::new(Some(b))).collect();
         let outcome = Cluster::new(k as usize).run::<NeMsg, MachineResult, _>(|ctx| {
-            let my_edges = cells[ctx.rank()].lock().take().expect("each rank takes its bucket once");
+            let my_edges =
+                cells[ctx.rank()].lock().take().expect("each rank takes its bucket once");
             self.run_machine(ctx, g, &grid, my_edges, k)
         });
         // Assemble the global assignment from the expansion processes'
@@ -284,9 +285,7 @@ impl DistributedNe {
                 let mut extra: Vec<Vec<EdgeId>> = vec![Vec::new(); kk];
                 for le in 0..alloc.num_local_edges() as u32 {
                     if alloc.edge_part[le as usize] == FREE {
-                        let p = (0..kk)
-                            .min_by_key(|&p| (model[p], p))
-                            .expect("k >= 1 partitions");
+                        let p = (0..kk).min_by_key(|&p| (model[p], p)).expect("k >= 1 partitions");
                         model[p] += kk as u64;
                         alloc.claim_edge(le, p as Part);
                         extra[p].push(alloc.edge_global[le as usize]);
@@ -396,8 +395,7 @@ mod tests {
         let g = gen::rmat(&gen::RmatConfig::graph500(10, 8, 7));
         let (a, _) = ne(7).partition_with_stats(&g, 16);
         let qd = PartitionQuality::measure(&g, &a);
-        let qr =
-            PartitionQuality::measure(&g, &RandomPartitioner::new(7).partition(&g, 16));
+        let qr = PartitionQuality::measure(&g, &RandomPartitioner::new(7).partition(&g, 16));
         assert!(
             qd.replication_factor < qr.replication_factor,
             "D.NE {} must beat Random {}",

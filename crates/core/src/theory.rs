@@ -106,8 +106,7 @@ pub fn expected_rf_dbh(alpha: f64, p: u64) -> f64 {
     let max_d = 100_000u64;
     let (probs, tail) = degree_distribution(alpha, max_d);
     // Degree-biased neighbor distribution: Pr_nbr[d] ∝ d·Pr[d].
-    let mean_d: f64 =
-        probs.iter().enumerate().map(|(i, pr)| (i + 1) as f64 * pr).sum::<f64>();
+    let mean_d: f64 = probs.iter().enumerate().map(|(i, pr)| (i + 1) as f64 * pr).sum::<f64>();
     // q(d) = Σ_{d'<=d} d'·Pr[d'] / E[d]  (prob. a neighbor anchors the edge).
     let mut cum = 0.0;
     let mut q = Vec::with_capacity(max_d as usize);
@@ -167,10 +166,7 @@ mod tests {
         let expect = [(2.2, 2.88), (2.4, 2.12), (2.6, 1.88), (2.8, 1.75)];
         for (alpha, want) in expect {
             let got = expected_bound_dne(alpha);
-            assert!(
-                (got - want).abs() < 0.02,
-                "alpha {alpha}: computed {got:.3}, paper {want}"
-            );
+            assert!((got - want).abs() < 0.02, "alpha {alpha}: computed {got:.3}, paper {want}");
         }
     }
 

@@ -20,8 +20,28 @@
 //! * [`degree`] — degree-distribution statistics used by the benchmark
 //!   harness to validate that dataset stand-ins preserve skew.
 //!
-//! The crate is dependency-light by design (only `rand`) so that every other
-//! crate in the workspace can build on it.
+//! The crate is dependency-free by design (generators use an internal
+//! splitmix64 RNG) so that every other crate in the workspace can build on
+//! it.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dne_graph::{EdgeListBuilder, Graph};
+//!
+//! // Raw input with a self loop, a duplicate, and both orientations.
+//! let mut b = EdgeListBuilder::new();
+//! b.extend_edges([(0, 1), (1, 0), (1, 2), (1, 2), (2, 2)]);
+//! let g: Graph = b.into_graph(3);
+//!
+//! assert_eq!(g.num_vertices(), 3);
+//! assert_eq!(g.num_edges(), 2); // (0,1) and (1,2)
+//! assert_eq!(g.degree(1), 2);
+//!
+//! // Generators produce ready-made graphs.
+//! let r = dne_graph::gen::rmat(&dne_graph::gen::RmatConfig::graph500(8, 4, 42));
+//! assert_eq!(r.num_vertices(), 1 << 8);
+//! ```
 
 pub mod degree;
 pub mod edge_list;

@@ -93,19 +93,18 @@ impl EdgePartitioner for SnePartitioner {
                 adj.iter().map(|(&v, es)| (v, es.len() as u64)).collect();
             let mut heap: BinaryHeap<Reverse<(u64, VertexId)>> = BinaryHeap::new();
             // Seed the boundary with window vertices already in V(E_current).
-            let seed_boundary =
-                |heap: &mut BinaryHeap<Reverse<(u64, VertexId)>>,
-                 adj: &WindowAdj,
-                 rest: &FastMap<VertexId, u64>,
-                 vparts: &Vec<Vec<PartitionId>>,
-                 p: PartitionId| {
-                    heap.clear();
-                    for (&v, _) in adj.iter() {
-                        if rest[&v] > 0 && vparts[v as usize].binary_search(&p).is_ok() {
-                            heap.push(Reverse((rest[&v], v)));
-                        }
+            let seed_boundary = |heap: &mut BinaryHeap<Reverse<(u64, VertexId)>>,
+                                 adj: &WindowAdj,
+                                 rest: &FastMap<VertexId, u64>,
+                                 vparts: &Vec<Vec<PartitionId>>,
+                                 p: PartitionId| {
+                heap.clear();
+                for (&v, _) in adj.iter() {
+                    if rest[&v] > 0 && vparts[v as usize].binary_search(&p).is_ok() {
+                        heap.push(Reverse((rest[&v], v)));
                     }
-                };
+                }
+            };
             seed_boundary(&mut heap, &adj, &rest, &vparts, current);
             let mut remaining = chunk.len() as u64;
             let mut cursor_keys: Vec<VertexId> = adj.keys().copied().collect();

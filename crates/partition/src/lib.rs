@@ -39,6 +39,21 @@
 //! The re-implementations follow the published algorithm cores; they are
 //! labelled `*-like` in benchmark output where the original is a large
 //! external system (ParMETIS, Sheep, XtraPuLP, Spinner).
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dne_graph::gen::{rmat, RmatConfig};
+//! use dne_partition::hash_based::RandomPartitioner;
+//! use dne_partition::{EdgePartitioner, PartitionQuality};
+//!
+//! let g = rmat(&RmatConfig::graph500(8, 8, 1));
+//! let assignment = RandomPartitioner::new(1).partition(&g, 4);
+//! assert!(assignment.is_valid_for(&g));
+//!
+//! let q = PartitionQuality::measure(&g, &assignment);
+//! assert!(q.replication_factor >= 1.0);
+//! ```
 
 pub mod assignment;
 pub mod comm_model;

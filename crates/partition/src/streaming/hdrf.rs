@@ -77,8 +77,8 @@ impl EdgePartitioner for HdrfPartitioner {
                 let in_v = state.vparts[v as usize].binary_search(&p).is_ok();
                 let g_u = if in_u { 1.0 + (1.0 - theta_u) } else { 0.0 };
                 let g_v = if in_v { 1.0 + (1.0 - theta_v) } else { 0.0 };
-                let c_bal = (maxsize - state.sizes[p as usize] as f64)
-                    / (self.epsilon + maxsize - minsize);
+                let c_bal =
+                    (maxsize - state.sizes[p as usize] as f64) / (self.epsilon + maxsize - minsize);
                 let score = g_u + g_v + self.lambda * c_bal;
                 if score > best_score {
                     best_score = score;

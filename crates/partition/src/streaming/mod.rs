@@ -77,7 +77,6 @@ impl StreamState {
         }
         out
     }
-
 }
 
 #[cfg(test)]

@@ -64,7 +64,13 @@ pub struct MetisLikePartitioner {
 impl MetisLikePartitioner {
     /// Seeded constructor with METIS-flavoured defaults.
     pub fn new(seed: u64) -> Self {
-        Self { seed, coarsen_target_per_part: 32, refine_passes: 4, slack: 1.05, peak_bytes: Cell::new(0) }
+        Self {
+            seed,
+            coarsen_target_per_part: 32,
+            refine_passes: 4,
+            slack: 1.05,
+            peak_bytes: Cell::new(0),
+        }
     }
 
     /// Peak memory (bytes) held by the level hierarchy in the last run.

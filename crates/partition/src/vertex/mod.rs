@@ -57,7 +57,8 @@ pub(crate) fn label_propagation_refine(
             for p in 0..k {
                 // Load the label would carry if v ends up there.
                 let load_after = if p == old { loads[p] } else { loads[p] + deg as f64 };
-                let penalty = 1.0 - load_after / capacity; // additive, may go negative
+                // Additive balance penalty; may go negative.
+                let penalty = 1.0 - load_after / capacity;
                 // Slight stickiness to the current label damps oscillation.
                 let sticky = if p == old { 1e-6 } else { 0.0 };
                 let score = affinity[p] / deg as f64 + penalty + sticky;

@@ -179,6 +179,9 @@ mod tests {
     #[test]
     fn deterministic() {
         let g = gen::cycle(50);
-        assert_eq!(SheepPartitioner::new().partition(&g, 4), SheepPartitioner::new().partition(&g, 4));
+        assert_eq!(
+            SheepPartitioner::new().partition(&g, 4),
+            SheepPartitioner::new().partition(&g, 4)
+        );
     }
 }

@@ -32,6 +32,18 @@
 //! deliver results indexed by source rank. Algorithms built on them are
 //! deterministic under a fixed seed even though threads run concurrently —
 //! a property the integration tests rely on.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use dne_runtime::Cluster;
+//!
+//! // Four simulated machines sum their ranks with an all-reduce.
+//! let out = Cluster::new(4).run::<u64, _, _>(|ctx| ctx.all_reduce_sum_u64(ctx.rank() as u64));
+//! assert_eq!(out.results, vec![6, 6, 6, 6]);
+//! // Each collective charges 8·(P−1) bytes per participant.
+//! assert_eq!(out.comm.total_bytes(), 4 * 3 * 8);
+//! ```
 
 pub mod cluster;
 pub mod collectives;

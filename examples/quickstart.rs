@@ -3,8 +3,8 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use distributed_ne::prelude::*;
 use distributed_ne::core::theory;
+use distributed_ne::prelude::*;
 
 fn main() {
     // 1. A Graph500-style RMAT graph: 2^14 vertices, edge factor 16.

@@ -78,10 +78,7 @@ fn better_partitions_move_fewer_bytes() {
     let dne = DistributedNe::new(NeConfig::default().with_seed(5)).partition(&g, k);
     let com_random = Engine::new(&g, &random).pagerank(5).comm_bytes;
     let com_dne = Engine::new(&g, &dne).pagerank(5).comm_bytes;
-    assert!(
-        com_dne < com_random,
-        "D.NE comm {com_dne} should be below Random {com_random}"
-    );
+    assert!(com_dne < com_random, "D.NE comm {com_dne} should be below Random {com_random}");
 }
 
 proptest! {

@@ -33,10 +33,7 @@ fn seeds_change_results_but_not_quality_class() {
     let q2 = PartitionQuality::measure(&g, &a2).replication_factor;
     // The paper reports <5% relative standard error over 5 seeds; two
     // seeds should land in the same quality class (within 25%).
-    assert!(
-        (q1 - q2).abs() / q1.min(q2) < 0.25,
-        "seed sensitivity too high: {q1} vs {q2}"
-    );
+    assert!((q1 - q2).abs() / q1.min(q2) < 0.25, "seed sensitivity too high: {q1} vs {q2}");
 }
 
 #[test]

@@ -6,7 +6,9 @@ use distributed_ne::apps::Engine;
 use distributed_ne::core::{DistributedNe, NeConfig};
 use distributed_ne::graph::gen;
 use distributed_ne::partition::hash_based::RandomPartitioner;
-use distributed_ne::partition::{estimate_comm, EdgeAssignment, EdgePartitioner, IncrementalVertexCut, PartitionQuality};
+use distributed_ne::partition::{
+    estimate_comm, EdgeAssignment, EdgePartitioner, IncrementalVertexCut, PartitionQuality,
+};
 
 #[test]
 fn incremental_log_is_a_valid_assignment() {

@@ -1,0 +1,264 @@
+//! Offline shim for the subset of `criterion` used by this workspace.
+//!
+//! The container building this repo cannot reach crates.io, so this crate
+//! provides an API-compatible, dependency-free harness: same macros and
+//! builder surface, wall-clock timing, plain-text report. It honors the
+//! `--test` flag cargo passes for `cargo test --benches` (one iteration
+//! per benchmark, no timing loop) and a `DNE_BENCH_QUICK=1` environment
+//! variable for fast smoke runs in CI.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// How `iter_batched` amortizes setup cost. The shim runs setup before
+/// every routine invocation regardless of the hint.
+#[derive(Clone, Copy)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Per-benchmark measurement driver handed to the closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Time `routine` on fresh input from `setup` each iteration; setup
+    /// time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+}
+
+/// Top-level harness state (sample sizes, test mode, report output).
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+    quick: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10, test_mode: false, quick: false }
+    }
+}
+
+impl Criterion {
+    /// Build a harness from process arguments (recognizes `--test`) and
+    /// the `DNE_BENCH_QUICK` environment variable.
+    pub fn from_args() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        let quick = std::env::var("DNE_BENCH_QUICK").map(|v| v == "1").unwrap_or(false);
+        Self { test_mode, quick, ..Self::default() }
+    }
+
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: None, throughput: None }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size;
+        self.run_one(None, id.into(), None, sample_size, f);
+        self
+    }
+
+    pub fn final_summary(&mut self) {}
+
+    fn iters_for(&self, sample_size: usize) -> u64 {
+        if self.test_mode || self.quick {
+            1
+        } else {
+            sample_size as u64
+        }
+    }
+
+    fn run_one<F>(
+        &mut self,
+        group: Option<&str>,
+        id: BenchmarkId,
+        throughput: Option<Throughput>,
+        sample_size: usize,
+        mut f: F,
+    ) where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { iters: self.iters_for(sample_size), elapsed: Duration::ZERO };
+        f(&mut b);
+        let label = match group {
+            Some(g) => format!("{g}/{}", id.id),
+            None => id.id,
+        };
+        if self.test_mode {
+            println!("test {label} ... ok");
+            return;
+        }
+        let per_iter = b.elapsed.as_secs_f64() / b.iters.max(1) as f64;
+        let rate = match throughput {
+            Some(Throughput::Elements(n)) if per_iter > 0.0 => {
+                format!("  {:>12.0} elem/s", n as f64 / per_iter)
+            }
+            Some(Throughput::Bytes(n)) if per_iter > 0.0 => {
+                format!("  {:>12.0} B/s", n as f64 / per_iter)
+            }
+            _ => String::new(),
+        };
+        println!("{label:<48} {:>12.3} ms/iter{rate}", per_iter * 1e3);
+    }
+}
+
+/// A named group of related benchmarks sharing sample-size/throughput
+/// configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n.max(1));
+        self
+    }
+
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.sample_size.unwrap_or(self.criterion.sample_size);
+        let name = self.name.clone();
+        self.criterion.run_one(Some(&name), id.into(), self.throughput, sample_size, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Re-export so `criterion::black_box` call sites work; prefer
+/// `std::hint::black_box` in new code.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($group(&mut c);)+
+            c.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut c = Criterion { sample_size: 2, test_mode: true, quick: false };
+        let mut ran = 0;
+        c.bench_function("smoke", |b| b.iter(|| ran += 1));
+        assert!(ran >= 1);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_iteration() {
+        let mut c = Criterion { sample_size: 3, test_mode: false, quick: false };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut setups = 0;
+        group.bench_function(BenchmarkId::from_parameter(1), |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 4]
+                },
+                |v| v.len(),
+                BatchSize::LargeInput,
+            )
+        });
+        group.finish();
+        assert_eq!(setups, 3);
+    }
+}
