@@ -1,0 +1,127 @@
+//! Serial vs parallel ingestion micro-benchmarks.
+//!
+//! The acceptance workload of the parallel ingestion subsystem: build a CSR
+//! graph from raw RMAT samples with the sequential path
+//! (`EdgeListBuilder::finish` + `Graph::from_canonical_edges`) and the
+//! parallel path (`build_parallel`) at several thread counts, plus the
+//! end-to-end generator comparison (`rmat` vs `rmat_parallel`). Outputs are
+//! byte-identical by construction, so the numbers compare the same work.
+//!
+//! The `DNE_INGEST_SCALE` environment variable (default 14) selects the
+//! RMAT scale; scale 17 × EF 80 reproduces the 10M-edge acceptance sweep
+//! on machines with the memory for it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dne_graph::gen::{rmat, rmat_parallel, RmatConfig};
+use dne_graph::parallel::default_ingest_threads;
+use dne_graph::{EdgeListBuilder, Graph};
+use std::hint::black_box;
+
+fn scale() -> u32 {
+    std::env::var("DNE_INGEST_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(14)
+}
+
+/// Thread counts to sweep: 1 (sequential), 2, and the machine width.
+fn thread_sweep() -> Vec<usize> {
+    let mut t = vec![1, 2, default_ingest_threads()];
+    t.sort_unstable();
+    t.dedup();
+    t
+}
+
+/// Raw (pre-dedup) canonical samples of an RMAT stream, the input the
+/// builder benchmarks consume.
+fn raw_samples(cfg: &RmatConfig) -> (u64, Vec<(u64, u64)>) {
+    let g = rmat(cfg);
+    let n = g.num_vertices();
+    // Re-expand the deduplicated edge list into a shuffled, duplicated raw
+    // stream so `finish` has realistic compaction work to do.
+    let mut raw = Vec::with_capacity(2 * g.edges().len());
+    for (i, &(u, v)) in g.edges().iter().enumerate() {
+        raw.push((v, u));
+        if i % 3 != 0 {
+            raw.push((u, v)); // duplicate to compact away
+        }
+    }
+    let mut rng = dne_graph::hash::SplitMix64::new(9);
+    for i in (1..raw.len()).rev() {
+        raw.swap(i, rng.next_below(i as u64 + 1) as usize);
+    }
+    (n, raw)
+}
+
+fn bench_builder(c: &mut Criterion) {
+    let cfg = RmatConfig::graph500(scale(), 8, 1);
+    let (n, raw) = raw_samples(&cfg);
+    let mut group = c.benchmark_group("edge_list_build");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(raw.len() as u64));
+    group.bench_function("serial", |b| {
+        b.iter_batched(
+            || {
+                let mut bld = EdgeListBuilder::with_capacity(raw.len());
+                bld.extend_edges(raw.iter().copied());
+                bld
+            },
+            |bld| black_box(bld.into_graph(n)),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    for threads in thread_sweep() {
+        group.bench_function(BenchmarkId::new("parallel", threads), |b| {
+            b.iter_batched(
+                || {
+                    let mut bld = EdgeListBuilder::with_capacity(raw.len());
+                    bld.extend_edges(raw.iter().copied());
+                    bld
+                },
+                |bld| black_box(bld.build_parallel(n, threads)),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_csr(c: &mut Criterion) {
+    let g = rmat(&RmatConfig::graph500(scale(), 8, 2));
+    let edges: Vec<_> = g.edges().to_vec();
+    let n = g.num_vertices();
+    let mut group = c.benchmark_group("csr_build_parallel");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(g.num_edges()));
+    group.bench_function("serial", |b| {
+        b.iter_batched(
+            || edges.clone(),
+            |e| black_box(Graph::from_canonical_edges(n, e)),
+            criterion::BatchSize::LargeInput,
+        )
+    });
+    for threads in thread_sweep() {
+        group.bench_function(BenchmarkId::new("parallel", threads), |b| {
+            b.iter_batched(
+                || edges.clone(),
+                |e| black_box(Graph::from_canonical_edges_parallel(n, e, threads)),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_generator(c: &mut Criterion) {
+    let cfg = RmatConfig::graph500(scale(), 8, 3);
+    let mut group = c.benchmark_group("rmat_end_to_end");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(cfg.num_samples()));
+    group.bench_function("serial", |b| b.iter(|| black_box(rmat(&cfg))));
+    for threads in thread_sweep() {
+        group.bench_function(BenchmarkId::new("parallel", threads), |b| {
+            b.iter(|| black_box(rmat_parallel(&cfg, threads)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_builder, bench_csr, bench_generator);
+criterion_main!(benches);

@@ -20,7 +20,8 @@ use std::time::Instant;
 use dne_bench::datasets::{self, DATASETS};
 use dne_bench::table::{parse_mode, secs, Table};
 use dne_core::{DistributedNe, NeConfig};
-use dne_graph::gen::{rmat, RmatConfig};
+use dne_graph::gen::{rmat_parallel, RmatConfig};
+use dne_graph::parallel::default_ingest_threads;
 use dne_graph::Graph;
 use dne_partition::vertex::{MetisLikePartitioner, SheepPartitioner, XtraPulpPartitioner};
 use dne_partition::{EdgePartitioner, VertexToEdge};
@@ -72,7 +73,7 @@ fn run_ef(quick: bool) {
     let efs: &[u64] = if quick { &[4, 16, 64] } else { &[4, 16, 64, 256] };
     let mut table = Table::new(&["graph", "|P|", "method", "time_s", "iterations"]);
     for &ef in efs {
-        let g = rmat(&RmatConfig::graph500(scale, ef, 5));
+        let g = rmat_parallel(&RmatConfig::graph500(scale, ef, 5), default_ingest_threads());
         eprintln!("RMAT s{scale} ef{ef}: |E|={}", g.num_edges());
         time_all(&format!("RMAT-s{scale}-ef{ef}"), &g, 64, &mut table);
     }
@@ -86,7 +87,7 @@ fn run_scale(quick: bool) {
     let ef = if quick { 32 } else { 64 };
     let mut table = Table::new(&["graph", "|P|", "method", "time_s", "iterations"]);
     for &s in scales {
-        let g = rmat(&RmatConfig::graph500(s, ef, 5));
+        let g = rmat_parallel(&RmatConfig::graph500(s, ef, 5), default_ingest_threads());
         eprintln!("RMAT s{s} ef{ef}: |E|={}", g.num_edges());
         time_all(&format!("RMAT-s{s}-ef{ef}"), &g, 64, &mut table);
     }
@@ -106,7 +107,7 @@ fn run_weak(quick: bool) {
     for &ef in efs {
         for &p in machines {
             let scale = verts_per_machine + p.ilog2();
-            let g = rmat(&RmatConfig::graph500(scale, ef, 5));
+            let g = rmat_parallel(&RmatConfig::graph500(scale, ef, 5), default_ingest_threads());
             let ne = DistributedNe::new(NeConfig::default().with_seed(9));
             let (_, stats) = ne.partition_with_stats(&g, p);
             table.row(vec![

@@ -13,7 +13,8 @@
 use dne_bench::datasets::{self, DATASETS};
 use dne_bench::suite::figure8_roster;
 use dne_bench::table::{f2, parse_mode, Table};
-use dne_graph::gen::{rmat, RmatConfig};
+use dne_graph::gen::{rmat_parallel, RmatConfig};
+use dne_graph::parallel::default_ingest_threads;
 use dne_partition::PartitionQuality;
 
 fn main() {
@@ -54,7 +55,7 @@ fn main() {
     let mut table2 = Table::new(&["scale", "EF", "method", "RF"]);
     for &scale in scales {
         for &ef in efs {
-            let g = rmat(&RmatConfig::graph500(scale, ef, seed));
+            let g = rmat_parallel(&RmatConfig::graph500(scale, ef, seed), default_ingest_threads());
             eprintln!("RMAT s{scale} ef{ef}: |V|={} |E|={}", g.num_vertices(), g.num_edges());
             for m in figure8_roster(seed) {
                 let a = m.partition(&g, k);

@@ -21,7 +21,8 @@
 use dne_bench::datasets::{self, DATASETS};
 use dne_bench::table::{f2, parse_mode, Table};
 use dne_core::{DistributedNe, NeConfig};
-use dne_graph::gen::{rmat, RmatConfig};
+use dne_graph::gen::{rmat_parallel, RmatConfig};
+use dne_graph::parallel::default_ingest_threads;
 use dne_graph::{Graph, HeapSize};
 use dne_partition::vertex::MetisLikePartitioner;
 use dne_partition::VertexPartitioner;
@@ -77,7 +78,7 @@ fn main() {
     let efs: &[u64] = if quick { &[4, 16, 64] } else { &[4, 16, 64, 256] };
     let scale = if quick { 12 } else { 14 };
     for &ef in efs {
-        let g = rmat(&RmatConfig::graph500(scale, ef, 5));
+        let g = rmat_parallel(&RmatConfig::graph500(scale, ef, 5), default_ingest_threads());
         eprintln!("RMAT s{scale} ef{ef}: |E|={}", g.num_edges());
         mem_rows(&format!("RMAT-s{scale}-ef{ef}"), &g, k, &mut table);
     }

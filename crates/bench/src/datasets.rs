@@ -10,7 +10,8 @@
 //! benchmark suite runs on one machine; the registry records the original
 //! sizes for the EXPERIMENTS.md comparison.
 
-use dne_graph::gen::{rmat, RmatConfig};
+use dne_graph::gen::{rmat_parallel, RmatConfig};
+use dne_graph::parallel::default_ingest_threads;
 use dne_graph::Graph;
 
 /// Skew class of a stand-in (selects the RMAT parameterization).
@@ -43,27 +44,26 @@ pub struct Dataset {
 }
 
 impl Dataset {
-    /// Generate the stand-in graph (deterministic per dataset).
-    pub fn build(&self) -> Graph {
+    /// The RMAT configuration of this stand-in at the given scale.
+    pub fn config_at(&self, scale: u32) -> RmatConfig {
         let seed = self.name.bytes().fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64));
-        let cfg = match self.skew {
-            Skew::Social => RmatConfig::social(self.scale, self.edge_factor, seed),
-            Skew::Graph500 => RmatConfig::graph500(self.scale, self.edge_factor, seed),
-            Skew::Web => RmatConfig::web(self.scale, self.edge_factor, seed),
-        };
-        rmat(&cfg)
+        match self.skew {
+            Skew::Social => RmatConfig::social(scale, self.edge_factor, seed),
+            Skew::Graph500 => RmatConfig::graph500(scale, self.edge_factor, seed),
+            Skew::Web => RmatConfig::web(scale, self.edge_factor, seed),
+        }
+    }
+
+    /// Generate the stand-in graph (deterministic per dataset — the
+    /// parallel generator is byte-identical at every thread count).
+    pub fn build(&self) -> Graph {
+        rmat_parallel(&self.config_at(self.scale), default_ingest_threads())
     }
 
     /// A smaller variant for quick mode (two scales down).
     pub fn build_quick(&self) -> Graph {
-        let seed = self.name.bytes().fold(0u64, |h, b| h.wrapping_mul(131).wrapping_add(b as u64));
         let scale = self.scale.saturating_sub(2).max(8);
-        let cfg = match self.skew {
-            Skew::Social => RmatConfig::social(scale, self.edge_factor, seed),
-            Skew::Graph500 => RmatConfig::graph500(scale, self.edge_factor, seed),
-            Skew::Web => RmatConfig::web(scale, self.edge_factor, seed),
-        };
-        rmat(&cfg)
+        rmat_parallel(&self.config_at(scale), default_ingest_threads())
     }
 }
 

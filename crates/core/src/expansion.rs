@@ -28,7 +28,12 @@ pub enum SelectAction {
     Vertices(Vec<VertexId>),
     /// Boundary empty: ask allocator `target` for one random free vertex
     /// fitting the remaining capacity `budget`.
-    Random { target: usize, budget: u64 },
+    Random {
+        /// Rank of the allocator asked for the random vertex.
+        target: usize,
+        /// Remaining edge capacity the vertex's local degree must fit.
+        budget: u64,
+    },
     /// Partition full (or graph exhausted): participate in the rounds but
     /// select nothing.
     Nothing,

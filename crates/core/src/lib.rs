@@ -33,6 +33,8 @@
 //! assert!(stats.iterations > 0);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod allocation;
 pub mod boundary;
 pub mod config;

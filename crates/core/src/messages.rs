@@ -30,14 +30,29 @@ pub enum NeMsg {
     /// allocator to expand one random free vertex on the sender's behalf
     /// (boundary exhausted), choosing one whose remaining local degree fits
     /// the sender's remaining capacity.
-    Select { vertices: Vec<VertexId>, random_budget: u64 },
+    Select {
+        /// Vertices selected for expansion this iteration.
+        vertices: Vec<VertexId>,
+        /// Non-zero: capacity budget for the random-vertex fallback.
+        random_budget: u64,
+    },
     /// Allocator → allocator: `(vertex, partition)` memberships created by
     /// the one-hop phase, destined for the vertex's replicas.
-    Sync { pairs: Vec<(VertexId, Part)> },
+    Sync {
+        /// New `(vertex, partition)` membership pairs.
+        pairs: Vec<(VertexId, Part)>,
+    },
     /// Allocator → expansion: new boundary vertices with their local
     /// `D_rest` contribution, newly allocated edge ids for the receiving
     /// partition, and the sender's free-edge count (gossip).
-    Result { boundary: Vec<(VertexId, u64)>, edges: Vec<EdgeId>, free_edges: u64 },
+    Result {
+        /// New boundary vertices with their local `D_rest` contribution.
+        boundary: Vec<(VertexId, u64)>,
+        /// Edge ids newly allocated to the receiving partition.
+        edges: Vec<EdgeId>,
+        /// The sender's count of still-unallocated local edges (gossip).
+        free_edges: u64,
+    },
 }
 
 impl WireSize for NeMsg {

@@ -65,6 +65,36 @@ impl EdgeListBuilder {
         self.raw
     }
 
+    /// Finalize like [`Self::finish`] using up to `threads` threads: the raw
+    /// vector is split into per-thread chunks, each chunk compacted and
+    /// sorted in parallel, and the sorted runs merge-deduplicated pairwise.
+    ///
+    /// The output is byte-identical to [`Self::finish`] for every thread
+    /// count (it is the sorted set of canonical pairs); `threads == 1` takes
+    /// the sequential path directly.
+    pub fn finish_parallel(self, threads: usize) -> Vec<Edge> {
+        crate::parallel::sort_dedup_parallel(self.raw, threads)
+    }
+
+    /// Finalize directly into a [`crate::Graph`] using up to `threads`
+    /// threads for both canonicalization ([`Self::finish_parallel`]) and CSR
+    /// construction ([`crate::Graph::from_canonical_edges_parallel`]).
+    ///
+    /// Byte-identical to [`Self::into_graph`] for every thread count.
+    /// Panics if any endpoint is `>= num_vertices`.
+    pub fn build_parallel(self, num_vertices: VertexId, threads: usize) -> crate::Graph {
+        let edges = self.finish_parallel(threads);
+        crate::Graph::from_canonical_edges_parallel(num_vertices, edges, threads)
+    }
+
+    /// Like [`Self::build_parallel`] but sized by the maximum endpoint seen
+    /// (`max + 1` vertices), mirroring [`Self::into_graph_auto`].
+    pub fn build_parallel_auto(self, threads: usize) -> crate::Graph {
+        let edges = self.finish_parallel(threads);
+        let n = edges.iter().map(|&(_, v)| v + 1).max().unwrap_or(0);
+        crate::Graph::from_canonical_edges_parallel(n, edges, threads)
+    }
+
     /// Finalize directly into a [`crate::Graph`] with `num_vertices`
     /// vertices. Panics if any endpoint is `>= num_vertices`.
     pub fn into_graph(self, num_vertices: VertexId) -> crate::Graph {

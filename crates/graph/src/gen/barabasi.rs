@@ -11,12 +11,12 @@ use crate::hash::SplitMix64;
 use crate::types::VertexId;
 use crate::{EdgeListBuilder, Graph};
 
-/// Barabási–Albert graph: start from a small clique, then attach each new
-/// vertex to `m` existing vertices chosen proportionally to degree.
-///
-/// `n` total vertices, `m ≥ 1` attachments per new vertex; the seed makes
-/// the growth deterministic.
-pub fn barabasi_albert(n: VertexId, m: u64, seed: u64) -> Graph {
+/// The sequential growth process shared by [`barabasi_albert`] and
+/// [`barabasi_albert_parallel`]: preferential attachment is inherently
+/// serial (each new vertex samples from the degree distribution *so far*),
+/// so both variants grow the same raw edge stream and differ only in how
+/// the builder finalizes it.
+fn grow(n: VertexId, m: u64, seed: u64) -> EdgeListBuilder {
     assert!(m >= 1, "need at least one attachment per vertex");
     assert!(n > m, "need more vertices than attachments");
     let mut rng = SplitMix64::new(seed ^ 0x4241_6765_6E21); // "BAgen!"
@@ -48,7 +48,28 @@ pub fn barabasi_albert(n: VertexId, m: u64, seed: u64) -> Graph {
             endpoints.push(t);
         }
     }
-    b.into_graph(n)
+    b
+}
+
+/// Barabási–Albert graph: start from a small clique, then attach each new
+/// vertex to `m` existing vertices chosen proportionally to degree.
+///
+/// `n` total vertices, `m ≥ 1` attachments per new vertex; the seed makes
+/// the growth deterministic.
+pub fn barabasi_albert(n: VertexId, m: u64, seed: u64) -> Graph {
+    grow(n, m, seed).into_graph(n)
+}
+
+/// Barabási–Albert graph finalized with up to `threads` threads;
+/// byte-identical to [`barabasi_albert`] for every thread count.
+///
+/// The growth itself stays sequential (each attachment samples the degree
+/// distribution produced by all previous attachments — there is no
+/// independent sample stream to chunk), so this variant parallelizes the
+/// expensive downstream half of ingestion: canonicalization, sort,
+/// merge-dedup, and CSR construction.
+pub fn barabasi_albert_parallel(n: VertexId, m: u64, seed: u64, threads: usize) -> Graph {
+    grow(n, m, seed).build_parallel(n, threads)
 }
 
 #[cfg(test)]
@@ -94,5 +115,14 @@ mod tests {
     #[should_panic(expected = "more vertices")]
     fn rejects_tiny_n() {
         barabasi_albert(3, 5, 1);
+    }
+
+    #[test]
+    fn parallel_is_byte_identical_to_serial() {
+        // n·m > the parallel cutover so the chunked sort/merge/CSR path runs.
+        let serial = barabasi_albert(3000, 3, 5);
+        for threads in [1usize, 2, 8] {
+            assert_eq!(serial, barabasi_albert_parallel(3000, 3, 5, threads));
+        }
     }
 }

@@ -6,14 +6,22 @@
 //! (d) three road networks (§7.7). Real graphs and the physical cluster are
 //! not available here, so:
 //!
-//! * [`rmat`] reproduces the Graph500 Kronecker/RMAT generator used for the
+//! * [`rmat()`] reproduces the Graph500 Kronecker/RMAT generator used for the
 //!   synthetic and trillion-edge experiments, and (with per-dataset skew
 //!   parameters) generates the scaled stand-ins for the real-world graphs;
 //! * [`road`] produces 2D-lattice graphs with the low, near-uniform degree
 //!   profile of road networks;
-//! * [`ring_complete`] reproduces the Theorem 2 worst-case construction;
+//! * [`ring_complete()`] reproduces the Theorem 2 worst-case construction;
 //! * [`classic`] and [`random`] provide test fixtures (paths, cliques,
 //!   stars, trees, Erdős–Rényi, Chung–Lu power law).
+//!
+//! The stochastic generators with a heavy sampling phase also come in
+//! parallel variants ([`rmat_parallel`], [`erdos_renyi_parallel`],
+//! [`chung_lu_parallel`], [`barabasi_albert_parallel`]) that chunk the
+//! sample stream over worker threads via [`crate::hash::SplitMix64`]
+//! stream jumping. Each is **byte-identical to its serial counterpart for
+//! every thread count** — the thread count only changes wall-clock, never
+//! the graph.
 
 pub mod barabasi;
 pub mod classic;
@@ -22,9 +30,9 @@ pub mod ring_complete;
 pub mod rmat;
 pub mod road;
 
-pub use barabasi::barabasi_albert;
+pub use barabasi::{barabasi_albert, barabasi_albert_parallel};
 pub use classic::{complete, cycle, path, star, two_cliques_bridge};
-pub use random::{chung_lu, erdos_renyi};
+pub use random::{chung_lu, chung_lu_parallel, erdos_renyi, erdos_renyi_parallel};
 pub use ring_complete::ring_complete;
-pub use rmat::{rmat, RmatConfig};
+pub use rmat::{rmat, rmat_parallel, RmatConfig};
 pub use road::road_grid;

@@ -131,6 +131,32 @@ fn sample_edge(cfg: &RmatConfig, rng: &mut SplitMix64) -> (VertexId, VertexId) {
     (u, v)
 }
 
+/// Optional label permutation: a seeded Feistel-style permutation would
+/// avoid materializing the table, but an explicit shuffled table is
+/// simpler and the memory is charged to generation, not partitioning.
+fn label_permutation(cfg: &RmatConfig) -> Option<Vec<VertexId>> {
+    if !cfg.permute {
+        return None;
+    }
+    let mut p: Vec<VertexId> = (0..cfg.num_vertices()).collect();
+    // Fisher–Yates with an independently salted generator so that the
+    // edge sample stream is identical with and without permutation.
+    let mut prng = SplitMix64::new(cfg.seed ^ 0x5045_524D_5554_4521); // "PERMUTE!"
+    for i in (1..p.len()).rev() {
+        let j = prng.next_below(i as u64 + 1) as usize;
+        p.swap(i, j);
+    }
+    Some(p)
+}
+
+/// RNG draws [`sample_edge`] consumes per sample: one `f64` per level, two
+/// when per-level smoothing also draws a jitter. Exact by construction —
+/// this is what lets [`rmat_parallel`] jump a worker into the middle of the
+/// sample stream with [`SplitMix64::advance`].
+fn draws_per_sample(cfg: &RmatConfig) -> u64 {
+    cfg.scale as u64 * if cfg.noise > 0.0 { 2 } else { 1 }
+}
+
 /// Generate an RMAT graph. Self loops and duplicates are removed, so the
 /// returned simple graph has at most `cfg.num_samples()` edges.
 pub fn rmat(cfg: &RmatConfig) -> Graph {
@@ -139,22 +165,7 @@ pub fn rmat(cfg: &RmatConfig) -> Graph {
     let samples = cfg.num_samples();
     let mut rng = SplitMix64::new(cfg.seed ^ RMAT_STREAM_SALT);
     let mut b = EdgeListBuilder::with_capacity(samples as usize);
-    // Optional label permutation: a seeded Feistel-style permutation would
-    // avoid materializing the table, but an explicit shuffled table is
-    // simpler and the memory is charged to generation, not partitioning.
-    let perm: Option<Vec<VertexId>> = if cfg.permute {
-        let mut p: Vec<VertexId> = (0..n).collect();
-        // Fisher–Yates with an independently salted generator so that the
-        // edge sample stream is identical with and without permutation.
-        let mut prng = SplitMix64::new(cfg.seed ^ 0x5045_524D_5554_4521); // "PERMUTE!"
-        for i in (1..p.len()).rev() {
-            let j = prng.next_below(i as u64 + 1) as usize;
-            p.swap(i, j);
-        }
-        Some(p)
-    } else {
-        None
-    };
+    let perm = label_permutation(cfg);
     for _ in 0..samples {
         let (mut u, mut v) = sample_edge(cfg, &mut rng);
         if let Some(p) = &perm {
@@ -164,6 +175,47 @@ pub fn rmat(cfg: &RmatConfig) -> Graph {
         b.push(u, v);
     }
     b.into_graph(n)
+}
+
+/// Samples per work unit handed to one [`rmat_parallel`] worker. Fixed (not
+/// derived from the thread count) so the chunk decomposition — and with it
+/// the output — is the same for every thread count.
+const SAMPLE_CHUNK: u64 = 1 << 14;
+
+/// Generate an RMAT graph with up to `threads` threads.
+///
+/// **Byte-identical to [`rmat`] for the same config, at every thread
+/// count.** The sample stream is deterministic: each sample consumes a fixed
+/// number of RNG draws, so worker `c` seeds the same generator as the serial
+/// path and [`SplitMix64::advance`]s straight to its chunk's position in the
+/// stream. Chunks are canonicalized and sorted in parallel, merge-deduped,
+/// and assembled with the parallel CSR builder — each stage preserving the
+/// sorted-set semantics of the sequential [`EdgeListBuilder`] pass.
+pub fn rmat_parallel(cfg: &RmatConfig, threads: usize) -> Graph {
+    cfg.validate();
+    if threads <= 1 {
+        return rmat(cfg);
+    }
+    let n = cfg.num_vertices();
+    let samples = cfg.num_samples();
+    let perm = label_permutation(cfg);
+    let perm = perm.as_deref();
+    let draws = draws_per_sample(cfg);
+    let edges = crate::parallel::generate_chunked(samples, SAMPLE_CHUNK, threads, |lo, hi, out| {
+        let mut rng = SplitMix64::new(cfg.seed ^ RMAT_STREAM_SALT);
+        rng.advance(lo * draws);
+        for _ in lo..hi {
+            let (mut u, mut v) = sample_edge(cfg, &mut rng);
+            if let Some(p) = perm {
+                u = p[u as usize];
+                v = p[v as usize];
+            }
+            if u != v {
+                out.push(crate::types::canonical(u, v));
+            }
+        }
+    });
+    Graph::from_canonical_edges_parallel(n, edges, threads)
 }
 
 /// Salt XORed into user seeds so the RMAT stream is decorrelated from other
@@ -236,5 +288,22 @@ mod tests {
     #[should_panic(expected = "sum to 1")]
     fn rejects_bad_probabilities() {
         rmat(&RmatConfig { a: 0.9, ..RmatConfig::graph500(4, 2, 0) });
+    }
+
+    #[test]
+    fn parallel_is_byte_identical_to_serial() {
+        // Scale 11 / EF 16 spans two sample chunks, so the stream-jumping
+        // path is genuinely exercised; test both smoothing settings since
+        // they consume different draw counts per sample.
+        for cfg in [
+            RmatConfig::graph500(11, 16, 42),
+            RmatConfig { noise: 0.0, permute: false, ..RmatConfig::web(11, 16, 7) },
+        ] {
+            let serial = rmat(&cfg);
+            for threads in [1usize, 2, 8] {
+                let par = rmat_parallel(&cfg, threads);
+                assert_eq!(serial, par, "threads {threads}");
+            }
+        }
     }
 }

@@ -18,7 +18,11 @@ use crate::HeapSize;
 /// * `offsets` is non-decreasing with `offsets[0] == 0` and
 ///   `offsets[n] == 2|E|`;
 /// * `adj_e[i]` always names an edge incident to the owning vertex.
-#[derive(Debug, Clone)]
+///
+/// Equality compares every CSR component array, so two graphs compare equal
+/// exactly when they are byte-identical — the property the parallel
+/// ingestion tests assert against the sequential build.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Graph {
     num_vertices: VertexId,
     edges: Box<[Edge]>,
@@ -73,6 +77,34 @@ impl Graph {
             offsets: offsets.into_boxed_slice(),
             adj_v: adj_v.into_boxed_slice(),
             adj_e: adj_e.into_boxed_slice(),
+        }
+    }
+
+    /// Build from a canonical edge list like [`Self::from_canonical_edges`],
+    /// using up to `threads` threads for validation, degree counting, and
+    /// the adjacency fill (see `crate::parallel` for the scheme).
+    ///
+    /// The result is byte-identical to the sequential constructor for every
+    /// thread count; `threads == 1` and small inputs take the sequential
+    /// path directly.
+    ///
+    /// # Panics
+    /// As [`Self::from_canonical_edges`], with the same messages.
+    pub fn from_canonical_edges_parallel(
+        num_vertices: VertexId,
+        edges: Vec<Edge>,
+        threads: usize,
+    ) -> Self {
+        if threads <= 1 || edges.len() < crate::parallel::PAR_MIN_ITEMS {
+            return Self::from_canonical_edges(num_vertices, edges);
+        }
+        let csr = crate::parallel::build_csr_parallel(num_vertices, &edges, threads);
+        Self {
+            num_vertices,
+            edges: edges.into_boxed_slice(),
+            offsets: csr.offsets.into_boxed_slice(),
+            adj_v: csr.adj_v.into_boxed_slice(),
+            adj_e: csr.adj_e.into_boxed_slice(),
         }
     }
 

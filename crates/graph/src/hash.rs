@@ -76,6 +76,29 @@ impl SplitMix64 {
     pub fn split(&mut self) -> SplitMix64 {
         SplitMix64::new(self.next_u64() ^ 0xA5A5_A5A5_DEAD_BEEF)
     }
+
+    /// Jump the stream forward by `k` draws in O(1), as if [`Self::next_u64`]
+    /// had been called `k` times and the results discarded.
+    ///
+    /// The splitmix64 state advances by a constant per draw, which is what
+    /// makes the generator's streams *chunkable*: a worker responsible for
+    /// draws `[lo, hi)` of a shared logical stream seeds its own generator
+    /// and advances by `lo`, reproducing exactly the values a sequential
+    /// consumer would have seen — the property the parallel graph
+    /// generators rely on to be byte-identical to their serial versions.
+    ///
+    /// ```
+    /// use dne_graph::hash::SplitMix64;
+    /// let mut a = SplitMix64::new(7);
+    /// for _ in 0..1000 { a.next_u64(); }
+    /// let mut b = SplitMix64::new(7);
+    /// b.advance(1000);
+    /// assert_eq!(a.next_u64(), b.next_u64());
+    /// ```
+    #[inline]
+    pub fn advance(&mut self, k: u64) {
+        self.state = self.state.wrapping_add(k.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    }
 }
 
 /// FxHash-style hasher: fast multiply-rotate per word. Not HashDoS safe;

@@ -1,16 +1,28 @@
-//! Edge-list IO: whitespace-separated text (SNAP/KONECT style) and a compact
-//! little-endian binary format.
+//! Edge-list IO: whitespace-separated text (SNAP/KONECT style), a compact
+//! little-endian binary format, and a chunk-framed streaming binary format
+//! for graphs too large to buffer twice.
 //!
 //! The paper's datasets ship as SNAP/KONECT edge lists; this module lets a
 //! user of the library feed their own graphs to the partitioners. Lines
 //! starting with `#` or `%` are treated as comments (SNAP and KONECT
-//! conventions respectively).
+//! conventions respectively); an optional third weight column is accepted
+//! and explicitly ignored (the graph model is unweighted).
+//!
+//! Three on-disk formats:
+//! * **text** ([`read_text_edge_list`] / [`write_text_edge_list`]) — for
+//!   interchange with published datasets;
+//! * **monolithic binary** ([`read_binary`] / [`write_binary`]) — magic +
+//!   counts + one flat pair array, when the whole graph comfortably fits;
+//! * **chunk-framed binary** ([`ChunkedGraphWriter`] / [`read_chunked`] /
+//!   [`read_chunked_parallel`]) — the streaming format: edges travel in
+//!   length-prefixed frames so writer and reader each hold at most one
+//!   chunk beyond the final edge array itself.
 
 use std::fs::File;
-use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Seek, Write};
 use std::path::Path;
 
-use crate::types::VertexId;
+use crate::types::{Edge, VertexId};
 use crate::{EdgeListBuilder, Graph};
 
 /// Read a whitespace-separated text edge list. Vertices are renumbered
@@ -21,6 +33,16 @@ pub fn read_text_edge_list(path: impl AsRef<Path>) -> io::Result<Graph> {
 }
 
 /// Like [`read_text_edge_list`] but from any reader (useful for tests).
+///
+/// Parsing is strict: a data line must be `u v` or `u v w` where `u`/`v`
+/// are unsigned integers and `w` — a weight column some SNAP/KONECT
+/// exports carry — parses as a number but is **explicitly ignored** (the
+/// graph model is unweighted, §2.1). Anything else (a missing endpoint, a
+/// non-numeric token, a fourth column) is an `InvalidData` error naming
+/// the offending 1-based line number. Note this deliberately rejects
+/// KONECT's four-column temporal exports (`u v weight timestamp`) —
+/// strip the trailing columns first if the timestamps carry no meaning
+/// for your experiment.
 pub fn read_text_edge_list_from(reader: impl BufRead) -> io::Result<Graph> {
     let mut remap = crate::hash::FastMap::default();
     let mut next_id: VertexId = 0;
@@ -31,32 +53,41 @@ pub fn read_text_edge_list_from(reader: impl BufRead) -> io::Result<Graph> {
             id
         })
     };
+    let bad = |line_no: usize, what: String| {
+        io::Error::new(io::ErrorKind::InvalidData, format!("line {line_no}: {what}"))
+    };
     let mut b = EdgeListBuilder::new();
     let mut line = String::new();
     let mut reader = reader;
+    let mut line_no = 0usize;
     loop {
         line.clear();
         if reader.read_line(&mut line)? == 0 {
             break;
         }
+        line_no += 1;
         let t = line.trim();
         if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
             continue;
         }
         let mut it = t.split_whitespace();
         let (Some(a), Some(bb)) = (it.next(), it.next()) else {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("malformed edge line: {t:?}"),
-            ));
+            return Err(bad(line_no, format!("malformed edge line (need two endpoints): {t:?}")));
         };
         let parse = |s: &str| {
-            s.parse::<u64>().map_err(|e| {
-                io::Error::new(io::ErrorKind::InvalidData, format!("bad vertex id {s:?}: {e}"))
-            })
+            s.parse::<u64>().map_err(|e| bad(line_no, format!("bad vertex id {s:?}: {e}")))
         };
         let u = intern(parse(a)?, &mut remap);
         let v = intern(parse(bb)?, &mut remap);
+        if let Some(w) = it.next() {
+            // Third column: an edge weight. Validate but ignore it.
+            if w.parse::<f64>().is_err() {
+                return Err(bad(line_no, format!("unparseable weight column {w:?}")));
+            }
+            if let Some(extra) = it.next() {
+                return Err(bad(line_no, format!("unexpected trailing token {extra:?}")));
+            }
+        }
         b.push(u, v);
     }
     Ok(b.into_graph(next_id))
@@ -113,6 +144,217 @@ pub fn read_binary(path: impl AsRef<Path>) -> io::Result<Graph> {
     Ok(Graph::from_canonical_edges(n, edges))
 }
 
+const CHUNKED_MAGIC: &[u8; 8] = b"DNECHNK1";
+/// Placeholder edge count written while a chunked file is still streaming;
+/// patched by [`ChunkedGraphWriter::finish`].
+const EDGE_COUNT_UNKNOWN: u64 = u64::MAX;
+
+/// Streaming writer for the chunk-framed binary format.
+///
+/// Layout: `DNECHNK1` magic, `|V|` (u64 LE), `|E|` (u64 LE — `u64::MAX`
+/// until [`Self::finish`] patches it), then zero or more frames of
+/// `count` (u64 LE) followed by `count` canonical `(u, v)` pairs.
+///
+/// Unlike [`write_binary`], the writer never needs the full edge list in
+/// memory: chunks are validated and appended as they are produced, so a
+/// graph can round-trip to disk while only one chunk is buffered — the
+/// point of the format at scales where two in-memory copies don't fit.
+/// Chunks must arrive in canonical order (each strictly ascending and
+/// strictly after the previous chunk's last edge), which is exactly how
+/// [`crate::Graph::edges`] and the parallel merge emit them.
+#[derive(Debug)]
+pub struct ChunkedGraphWriter {
+    w: BufWriter<File>,
+    num_vertices: VertexId,
+    written: u64,
+    last: Option<Edge>,
+}
+
+impl ChunkedGraphWriter {
+    /// Create the file and write the streaming header.
+    pub fn create(path: impl AsRef<Path>, num_vertices: VertexId) -> io::Result<Self> {
+        let mut w = BufWriter::new(File::create(path)?);
+        w.write_all(CHUNKED_MAGIC)?;
+        w.write_all(&num_vertices.to_le_bytes())?;
+        w.write_all(&EDGE_COUNT_UNKNOWN.to_le_bytes())?;
+        Ok(Self { w, num_vertices, written: 0, last: None })
+    }
+
+    /// Append one frame of canonical edges. Empty chunks are skipped.
+    ///
+    /// Fails with `InvalidInput` if the chunk is not strictly sorted
+    /// canonical order continuing the stream, or names an endpoint outside
+    /// `0..num_vertices`.
+    pub fn write_chunk(&mut self, edges: &[Edge]) -> io::Result<()> {
+        if edges.is_empty() {
+            return Ok(());
+        }
+        for &(u, v) in edges {
+            if u >= v || v >= self.num_vertices {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("edge ({u}, {v}) is not canonical for |V| = {}", self.num_vertices),
+                ));
+            }
+            if self.last.is_some_and(|last| last >= (u, v)) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!("edge ({u}, {v}) breaks the stream's canonical order"),
+                ));
+            }
+            self.last = Some((u, v));
+        }
+        self.w.write_all(&(edges.len() as u64).to_le_bytes())?;
+        for &(u, v) in edges {
+            self.w.write_all(&u.to_le_bytes())?;
+            self.w.write_all(&v.to_le_bytes())?;
+        }
+        self.written += edges.len() as u64;
+        Ok(())
+    }
+
+    /// Number of edges written so far.
+    pub fn edges_written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flush, patch the header's edge count, and return it.
+    pub fn finish(self) -> io::Result<u64> {
+        let mut f = self.w.into_inner().map_err(|e| e.into_error())?;
+        f.seek(io::SeekFrom::Start((CHUNKED_MAGIC.len() + 8) as u64))?;
+        f.write_all(&self.written.to_le_bytes())?;
+        f.sync_data()?;
+        Ok(self.written)
+    }
+}
+
+/// Write a graph in the chunk-framed format, `chunk_edges` edges per frame.
+pub fn write_chunked(g: &Graph, path: impl AsRef<Path>, chunk_edges: usize) -> io::Result<()> {
+    let mut w = ChunkedGraphWriter::create(path, g.num_vertices())?;
+    for chunk in g.edges().chunks(chunk_edges.max(1)) {
+        w.write_chunk(chunk)?;
+    }
+    w.finish()?;
+    Ok(())
+}
+
+/// Read a u64 frame header, distinguishing clean end-of-file (no further
+/// frame) from a truncated header.
+fn read_frame_len(r: &mut impl Read) -> io::Result<Option<u64>> {
+    let mut buf = [0u8; 8];
+    let mut filled = 0;
+    while filled < buf.len() {
+        let k = match r.read(&mut buf[filled..]) {
+            // Match read_exact's semantics: a signal-interrupted read is
+            // retried, not treated as corruption.
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            other => other?,
+        };
+        if k == 0 {
+            return if filled == 0 {
+                Ok(None)
+            } else {
+                Err(io::Error::new(io::ErrorKind::UnexpectedEof, "truncated frame header"))
+            };
+        }
+        filled += k;
+    }
+    Ok(Some(u64::from_le_bytes(buf)))
+}
+
+/// Read every frame of a chunked file into one canonical edge vector,
+/// returning it with the declared vertex count. The edge list is appended
+/// frame by frame into a single allocation — at no point do two copies of
+/// the graph coexist.
+fn read_chunked_edges(path: impl AsRef<Path>) -> io::Result<(VertexId, Vec<Edge>)> {
+    let file = File::open(path)?;
+    let file_len = file.metadata()?.len();
+    let mut r = BufReader::new(file);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != CHUNKED_MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "not a DNECHNK1 file"));
+    }
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    let n = u64::from_le_bytes(buf);
+    r.read_exact(&mut buf)?;
+    let declared = u64::from_le_bytes(buf);
+    if declared == EDGE_COUNT_UNKNOWN {
+        // The writer patches the count in `finish`; the sentinel means the
+        // producing process died mid-stream. Refuse rather than silently
+        // return a truncated graph.
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "unfinished chunked file (writer never ran finish; edge count unpatched)",
+        ));
+    }
+    // Reserve from the header, but never beyond what the file could
+    // actually hold — a corrupt count must not provoke a huge allocation.
+    let payload_cap = (file_len.saturating_sub(24) / 16) as usize;
+    if declared as usize > payload_cap {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("header declares {declared} edges but the file can hold {payload_cap}"),
+        ));
+    }
+    let mut edges: Vec<Edge> = Vec::with_capacity(declared as usize);
+    // Frames are decoded through a bounded scratch buffer so a corrupt
+    // frame header cannot provoke an absurd allocation.
+    let mut scratch = vec![0u8; 1 << 16];
+    while let Some(count) = read_frame_len(&mut r)? {
+        let mut remaining = (count as usize)
+            .checked_mul(16)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "frame length overflow"))?;
+        while remaining > 0 {
+            let take = remaining.min(scratch.len());
+            // Whole pairs only: scratch is a multiple of 16 bytes.
+            r.read_exact(&mut scratch[..take])?;
+            for pair in scratch[..take].chunks_exact(16) {
+                let u = u64::from_le_bytes(pair[..8].try_into().unwrap());
+                let v = u64::from_le_bytes(pair[8..].try_into().unwrap());
+                // Validate while decoding so a corrupt payload surfaces as
+                // Err(InvalidData) here instead of a panic in the CSR
+                // constructor's canonical-order assertions downstream.
+                if u >= v || v >= n {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("corrupt frame: ({u}, {v}) is not canonical for |V| = {n}"),
+                    ));
+                }
+                if edges.last().is_some_and(|&last| last >= (u, v)) {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidData,
+                        format!("corrupt frame: ({u}, {v}) breaks the canonical edge order"),
+                    ));
+                }
+                edges.push((u, v));
+            }
+            remaining -= take;
+        }
+    }
+    if declared != edges.len() as u64 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("header declares {declared} edges, frames carry {}", edges.len()),
+        ));
+    }
+    Ok((n, edges))
+}
+
+/// Read a graph written in the chunk-framed format ([`ChunkedGraphWriter`]).
+pub fn read_chunked(path: impl AsRef<Path>) -> io::Result<Graph> {
+    let (n, edges) = read_chunked_edges(path)?;
+    Ok(Graph::from_canonical_edges(n, edges))
+}
+
+/// Like [`read_chunked`] but hands the decoded edge list to the parallel
+/// CSR builder. Byte-identical to [`read_chunked`] for every thread count.
+pub fn read_chunked_parallel(path: impl AsRef<Path>, threads: usize) -> io::Result<Graph> {
+    let (n, edges) = read_chunked_edges(path)?;
+    Ok(Graph::from_canonical_edges_parallel(n, edges, threads))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -160,5 +402,113 @@ mod tests {
     fn text_reader_rejects_short_line() {
         let text = "42\n";
         assert!(read_text_edge_list_from(Cursor::new(text)).is_err());
+    }
+
+    #[test]
+    fn text_reader_ignores_weight_column() {
+        let text = "0 1 0.5\n1 2 3\n";
+        let g = read_text_edge_list_from(Cursor::new(text)).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn text_reader_rejects_bad_weight_and_extra_tokens_with_line_number() {
+        let e = read_text_edge_list_from(Cursor::new("0 1\n1 2 notaweight\n")).unwrap_err();
+        assert!(e.to_string().contains("line 2"), "got: {e}");
+        let e = read_text_edge_list_from(Cursor::new("# header\n0 1 1.0 extra\n")).unwrap_err();
+        assert!(e.to_string().contains("line 2"), "got: {e}");
+        assert!(e.to_string().contains("extra"), "got: {e}");
+    }
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("dne_graph_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn chunked_roundtrip_is_exact_serial_and_parallel() {
+        let g = gen::rmat(&gen::RmatConfig::graph500(10, 8, 5));
+        let p = tmp("g.chunked");
+        write_chunked(&g, &p, 1000).unwrap();
+        assert_eq!(g, read_chunked(&p).unwrap());
+        assert_eq!(g, read_chunked_parallel(&p, 4).unwrap());
+    }
+
+    #[test]
+    fn chunked_writer_streams_and_patches_header() {
+        let g = gen::rmat(&gen::RmatConfig::graph500(8, 4, 9));
+        let p = tmp("g_stream.chunked");
+        let mut w = ChunkedGraphWriter::create(&p, g.num_vertices()).unwrap();
+        for chunk in g.edges().chunks(100) {
+            w.write_chunk(chunk).unwrap();
+        }
+        assert_eq!(w.edges_written(), g.num_edges());
+        assert_eq!(w.finish().unwrap(), g.num_edges());
+        assert_eq!(g, read_chunked(&p).unwrap());
+    }
+
+    #[test]
+    fn chunked_writer_rejects_out_of_order_and_non_canonical() {
+        let p = tmp("g_bad.chunked");
+        let mut w = ChunkedGraphWriter::create(&p, 10).unwrap();
+        w.write_chunk(&[(0, 1), (1, 2)]).unwrap();
+        assert!(w.write_chunk(&[(0, 2)]).is_err(), "out of order across chunks");
+        let mut w = ChunkedGraphWriter::create(&p, 10).unwrap();
+        assert!(w.write_chunk(&[(2, 1)]).is_err(), "non-canonical pair");
+        let mut w = ChunkedGraphWriter::create(&p, 2).unwrap();
+        assert!(w.write_chunk(&[(1, 5)]).is_err(), "endpoint out of range");
+    }
+
+    #[test]
+    fn chunked_reader_rejects_unfinished_file() {
+        let p = tmp("unfinished.chunked");
+        let g = gen::rmat(&gen::RmatConfig::graph500(7, 4, 3));
+        let mut w = ChunkedGraphWriter::create(&p, g.num_vertices()).unwrap();
+        w.write_chunk(g.edges()).unwrap();
+        drop(w); // simulate a crash before finish() patches the header
+        let e = read_chunked(&p).unwrap_err();
+        assert!(e.to_string().contains("unfinished"), "got: {e}");
+    }
+
+    #[test]
+    fn chunked_reader_rejects_absurd_declared_count() {
+        let p = tmp("liar.chunked");
+        let g = gen::rmat(&gen::RmatConfig::graph500(7, 4, 4));
+        write_chunked(&g, &p, 64).unwrap();
+        let mut bytes = std::fs::read(&p).unwrap();
+        bytes[16..24].copy_from_slice(&(1u64 << 62).to_le_bytes());
+        std::fs::write(&p, &bytes).unwrap();
+        let e = read_chunked(&p).unwrap_err();
+        assert!(e.to_string().contains("can hold"), "got: {e}");
+    }
+
+    #[test]
+    fn chunked_reader_returns_err_on_corrupt_payload() {
+        let p = tmp("flipped.chunked");
+        let g = gen::rmat(&gen::RmatConfig::graph500(7, 4, 6));
+        write_chunked(&g, &p, 64).unwrap();
+        let mut bytes = std::fs::read(&p).unwrap();
+        // Flip a byte inside the first frame's payload (header is 24 bytes,
+        // frame length 8 more) — must surface as Err, never a panic.
+        let target = 24 + 8 + 3;
+        bytes[target] ^= 0xFF;
+        std::fs::write(&p, &bytes).unwrap();
+        let e = read_chunked(&p).unwrap_err();
+        assert!(e.to_string().contains("corrupt frame"), "got: {e}");
+        assert!(read_chunked_parallel(&p, 4).is_err());
+    }
+
+    #[test]
+    fn chunked_reader_rejects_wrong_magic_and_truncation() {
+        let p = tmp("not_chunked.bin");
+        let g = gen::rmat(&gen::RmatConfig::graph500(6, 4, 1));
+        write_binary(&g, &p).unwrap();
+        assert!(read_chunked(&p).is_err());
+        let p = tmp("truncated.chunked");
+        write_chunked(&g, &p, 50).unwrap();
+        let full = std::fs::read(&p).unwrap();
+        std::fs::write(&p, &full[..full.len() - 7]).unwrap();
+        assert!(read_chunked(&p).is_err());
     }
 }

@@ -10,13 +10,20 @@
 //! * [`EdgeListBuilder`] — canonicalizing edge-list builder (drops self
 //!   loops, deduplicates parallel edges, sorts) used by every generator and
 //!   by the IO layer.
-//! * [`gen`] — synthetic generators: Graph500-style RMAT ([`gen::rmat`]),
+//! * [`gen`] — synthetic generators: Graph500-style RMAT ([`gen::rmat()`]),
 //!   the ring+complete construction from Theorem 2
-//!   ([`gen::ring_complete`]), 2D-lattice road networks ([`gen::road`]),
+//!   ([`gen::ring_complete()`]), 2D-lattice road networks ([`gen::road`]),
 //!   Erdős–Rényi, Chung–Lu power-law, and small classic graphs for tests.
 //! * [`hash`] — fast non-cryptographic hashing (splitmix64-based) used for
 //!   1D/2D hash partitioning and for internal hash maps.
-//! * [`io`] — plain-text and binary edge-list readers/writers.
+//! * [`io`] — plain-text and binary edge-list readers/writers, including a
+//!   chunk-framed streaming binary format for graphs too large to buffer
+//!   twice.
+//! * [`parallel`] — the parallel ingestion machinery behind
+//!   [`EdgeListBuilder::build_parallel`],
+//!   [`Graph::from_canonical_edges_parallel`] and the `gen::*_parallel`
+//!   generators; every parallel path is byte-identical to its sequential
+//!   counterpart for any thread count.
 //! * [`degree`] — degree-distribution statistics used by the benchmark
 //!   harness to validate that dataset stand-ins preserve skew.
 //!
@@ -43,12 +50,15 @@
 //! assert_eq!(r.num_vertices(), 1 << 8);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod degree;
 pub mod edge_list;
 pub mod gen;
 pub mod graph;
 pub mod hash;
 pub mod io;
+pub mod parallel;
 pub mod transform;
 pub mod types;
 

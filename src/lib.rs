@@ -35,7 +35,8 @@ pub use dne_runtime as runtime;
 /// Convenient glob-import surface for examples and downstream quick starts.
 pub mod prelude {
     pub use dne_core::{DistributedNe, NeConfig};
-    pub use dne_graph::gen::{rmat, road_grid, RmatConfig};
+    pub use dne_graph::gen::{rmat, rmat_parallel, road_grid, RmatConfig};
+    pub use dne_graph::parallel::default_ingest_threads;
     pub use dne_graph::{EdgeListBuilder, Graph, VertexId};
     pub use dne_partition::{EdgeAssignment, EdgePartitioner, PartitionQuality};
 }
