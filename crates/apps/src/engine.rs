@@ -5,7 +5,7 @@ use std::time::Duration;
 use dne_graph::hash::mix2;
 use dne_graph::{EdgeId, Graph, VertexId};
 use dne_partition::{EdgeAssignment, PartitionId};
-use dne_runtime::Cluster;
+use dne_runtime::{Cluster, TransportKind};
 use parking_lot::Mutex;
 
 /// How partial accumulators combine (the `⊕` of the GAS gather phase).
@@ -75,6 +75,9 @@ pub struct Engine<'g> {
     masters: Vec<PartitionId>,
     /// Edge ids grouped by owning partition.
     edges_by_part: Vec<Vec<EdgeId>>,
+    /// Transport backend of the simulated cluster the programs run on;
+    /// `None` resolves `DNE_TRANSPORT` at run time.
+    transport: Option<TransportKind>,
 }
 
 impl<'g> Engine<'g> {
@@ -108,7 +111,21 @@ impl<'g> Engine<'g> {
                 }
             })
             .collect();
-        Self { g, assignment, replicas, masters, edges_by_part: assignment.edges_by_partition() }
+        Self {
+            g,
+            assignment,
+            replicas,
+            masters,
+            edges_by_part: assignment.edges_by_partition(),
+            transport: None,
+        }
+    }
+
+    /// Select the transport backend explicitly (overrides `DNE_TRANSPORT`;
+    /// application results and comm accounting are identical under both).
+    pub fn with_transport(mut self, transport: TransportKind) -> Self {
+        self.transport = Some(transport);
+        self
     }
 
     /// Replication factor as the engine sees it (sanity hook for tests).
@@ -122,132 +139,134 @@ impl<'g> Engine<'g> {
         let k = self.assignment.num_partitions() as usize;
         let g = self.g;
         let busy_times: Vec<Mutex<Duration>> = (0..k).map(|_| Mutex::new(Duration::ZERO)).collect();
-        let outcome = Cluster::new(k).run::<AppMsg, (Vec<(VertexId, f64)>, u64), _>(|ctx| {
-            let rank = ctx.rank();
-            let t_busy = std::time::Instant::now;
-            let mut busy = Duration::ZERO;
-            // ---- Local structures (loading phase).
-            let my_edges = &self.edges_by_part[rank];
-            let mut verts: Vec<VertexId> = Vec::with_capacity(my_edges.len() * 2);
-            for &e in my_edges {
-                let (u, v) = g.edge(e);
-                verts.push(u);
-                verts.push(v);
-            }
-            verts.sort_unstable();
-            verts.dedup();
-            let local_of: dne_graph::hash::FastMap<VertexId, u32> =
-                verts.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect();
-            let n_local = verts.len();
-            let mut value: Vec<f64> =
-                verts.iter().map(|&v| (prog.init)(v, g.degree(v), prog.param)).collect();
-            let deg: Vec<u64> = verts.iter().map(|&v| g.degree(v)).collect();
-            let mut changed: Vec<bool> = vec![true; n_local]; // superstep 0: all fresh
-            let mut acc: Vec<Option<f64>> = vec![None; n_local];
-            let combine = |a: Option<f64>, x: f64| -> f64 {
-                match (prog.combine, a) {
-                    (Combine::Min, Some(v)) => v.min(x),
-                    (Combine::Sum, Some(v)) => v + x,
-                    (_, None) => x,
-                }
-            };
-            let mut supersteps = 0u64;
-            loop {
-                supersteps += 1;
-                let t0 = t_busy();
-                // ---- Gather along local edges.
-                acc.iter_mut().for_each(|a| *a = None);
+        let transport = self.transport.unwrap_or_else(TransportKind::from_env);
+        let outcome = Cluster::with_transport(k, transport)
+            .run::<AppMsg, (Vec<(VertexId, f64)>, u64), _>(|ctx| {
+                let rank = ctx.rank();
+                let t_busy = std::time::Instant::now;
+                let mut busy = Duration::ZERO;
+                // ---- Local structures (loading phase).
+                let my_edges = &self.edges_by_part[rank];
+                let mut verts: Vec<VertexId> = Vec::with_capacity(my_edges.len() * 2);
                 for &e in my_edges {
                     let (u, v) = g.edge(e);
-                    let (lu, lv) = (local_of[&u] as usize, local_of[&v] as usize);
-                    if !prog.frontier_only || changed[lu] {
-                        acc[lv] = Some(combine(acc[lv], (prog.edge_fn)(value[lu], deg[lu])));
-                    }
-                    if !prog.frontier_only || changed[lv] {
-                        acc[lu] = Some(combine(acc[lu], (prog.edge_fn)(value[lv], deg[lv])));
-                    }
+                    verts.push(u);
+                    verts.push(v);
                 }
-                // ---- Mirror → master partials.
-                let mut partials: Vec<AppMsg> = vec![Vec::new(); k];
-                for lv in 0..n_local {
-                    if let Some(a) = acc[lv] {
-                        let v = verts[lv];
-                        let master = self.masters[v as usize] as usize;
-                        if master != rank {
-                            partials[master].push((v, a));
-                            acc[lv] = None; // master-side combining only
+                verts.sort_unstable();
+                verts.dedup();
+                let local_of: dne_graph::hash::FastMap<VertexId, u32> =
+                    verts.iter().enumerate().map(|(i, &v)| (v, i as u32)).collect();
+                let n_local = verts.len();
+                let mut value: Vec<f64> =
+                    verts.iter().map(|&v| (prog.init)(v, g.degree(v), prog.param)).collect();
+                let deg: Vec<u64> = verts.iter().map(|&v| g.degree(v)).collect();
+                let mut changed: Vec<bool> = vec![true; n_local]; // superstep 0: all fresh
+                let mut acc: Vec<Option<f64>> = vec![None; n_local];
+                let combine = |a: Option<f64>, x: f64| -> f64 {
+                    match (prog.combine, a) {
+                        (Combine::Min, Some(v)) => v.min(x),
+                        (Combine::Sum, Some(v)) => v + x,
+                        (_, None) => x,
+                    }
+                };
+                let mut supersteps = 0u64;
+                loop {
+                    supersteps += 1;
+                    let t0 = t_busy();
+                    // ---- Gather along local edges.
+                    acc.iter_mut().for_each(|a| *a = None);
+                    for &e in my_edges {
+                        let (u, v) = g.edge(e);
+                        let (lu, lv) = (local_of[&u] as usize, local_of[&v] as usize);
+                        if !prog.frontier_only || changed[lu] {
+                            acc[lv] = Some(combine(acc[lv], (prog.edge_fn)(value[lu], deg[lu])));
+                        }
+                        if !prog.frontier_only || changed[lv] {
+                            acc[lu] = Some(combine(acc[lu], (prog.edge_fn)(value[lv], deg[lv])));
                         }
                     }
-                }
-                busy += t0.elapsed();
-                let incoming = ctx.exchange(|dst| std::mem::take(&mut partials[dst]));
-                let t1 = t_busy();
-                for msg in incoming {
-                    for (v, a) in msg {
-                        let lv = local_of[&v] as usize;
-                        acc[lv] = Some(combine(acc[lv], a));
-                    }
-                }
-                // ---- Apply at masters; collect updates for mirrors.
-                let mut updates: Vec<AppMsg> = vec![Vec::new(); k];
-                let mut any_changed = false;
-                changed.iter_mut().for_each(|c| *c = false);
-                for lv in 0..n_local {
-                    let v = verts[lv];
-                    if self.masters[v as usize] as usize != rank {
-                        continue;
-                    }
-                    let fresh = (prog.apply)(value[lv], acc[lv]);
-                    let moved = if prog.fixed_supersteps.is_some() {
-                        true // PageRank pushes every superstep
-                    } else {
-                        fresh != value[lv]
-                    };
-                    if fresh != value[lv] {
-                        any_changed = true;
-                        changed[lv] = true;
-                    }
-                    value[lv] = fresh;
-                    if moved {
-                        for &rp in &self.replicas[v as usize] {
-                            if rp as usize != rank {
-                                updates[rp as usize].push((v, fresh));
+                    // ---- Mirror → master partials.
+                    let mut partials: Vec<AppMsg> = vec![Vec::new(); k];
+                    for lv in 0..n_local {
+                        if let Some(a) = acc[lv] {
+                            let v = verts[lv];
+                            let master = self.masters[v as usize] as usize;
+                            if master != rank {
+                                partials[master].push((v, a));
+                                acc[lv] = None; // master-side combining only
                             }
                         }
                     }
-                }
-                busy += t1.elapsed();
-                let incoming = ctx.exchange(|dst| std::mem::take(&mut updates[dst]));
-                let t2 = t_busy();
-                for msg in incoming {
-                    for (v, x) in msg {
-                        let lv = local_of[&v] as usize;
-                        if value[lv] != x {
+                    busy += t0.elapsed();
+                    let incoming = ctx.exchange(|dst| std::mem::take(&mut partials[dst]));
+                    let t1 = t_busy();
+                    for msg in incoming {
+                        for (v, a) in msg {
+                            let lv = local_of[&v] as usize;
+                            acc[lv] = Some(combine(acc[lv], a));
+                        }
+                    }
+                    // ---- Apply at masters; collect updates for mirrors.
+                    let mut updates: Vec<AppMsg> = vec![Vec::new(); k];
+                    let mut any_changed = false;
+                    changed.iter_mut().for_each(|c| *c = false);
+                    for lv in 0..n_local {
+                        let v = verts[lv];
+                        if self.masters[v as usize] as usize != rank {
+                            continue;
+                        }
+                        let fresh = (prog.apply)(value[lv], acc[lv]);
+                        let moved = if prog.fixed_supersteps.is_some() {
+                            true // PageRank pushes every superstep
+                        } else {
+                            fresh != value[lv]
+                        };
+                        if fresh != value[lv] {
+                            any_changed = true;
                             changed[lv] = true;
                         }
-                        value[lv] = x;
+                        value[lv] = fresh;
+                        if moved {
+                            for &rp in &self.replicas[v as usize] {
+                                if rp as usize != rank {
+                                    updates[rp as usize].push((v, fresh));
+                                }
+                            }
+                        }
                     }
+                    busy += t1.elapsed();
+                    let incoming = ctx.exchange(|dst| std::mem::take(&mut updates[dst]));
+                    let t2 = t_busy();
+                    for msg in incoming {
+                        for (v, x) in msg {
+                            let lv = local_of[&v] as usize;
+                            if value[lv] != x {
+                                changed[lv] = true;
+                            }
+                            value[lv] = x;
+                        }
+                    }
+                    busy += t2.elapsed();
+                    // ---- Convergence.
+                    let done = match prog.fixed_supersteps {
+                        Some(n) => supersteps >= n,
+                        None => !ctx.all_reduce_any(any_changed),
+                    };
+                    if done {
+                        break;
+                    }
+                    assert!(supersteps < 100_000, "vertex program failed to converge");
                 }
-                busy += t2.elapsed();
-                // ---- Convergence.
-                let done = match prog.fixed_supersteps {
-                    Some(n) => supersteps >= n,
-                    None => !ctx.all_reduce_any(any_changed),
-                };
-                if done {
-                    break;
-                }
-                assert!(supersteps < 100_000, "vertex program failed to converge");
-            }
-            *busy_times[rank].lock() = busy;
-            // Return mastered values plus the superstep count (identical on
-            // every machine thanks to the collective convergence check).
-            let mastered = (0..n_local)
-                .filter(|&lv| self.masters[verts[lv] as usize] as usize == rank)
-                .map(|lv| (verts[lv], value[lv]))
-                .collect();
-            (mastered, supersteps)
-        });
+                *busy_times[rank].lock() = busy;
+                // Return mastered values plus the superstep count (identical on
+                // every machine thanks to the collective convergence check).
+                let mastered = (0..n_local)
+                    .filter(|&lv| self.masters[verts[lv] as usize] as usize == rank)
+                    .map(|lv| (verts[lv], value[lv]))
+                    .collect();
+                (mastered, supersteps)
+            });
         // Assemble global values (isolated vertices keep their init value).
         let mut values: Vec<f64> =
             (0..g.num_vertices()).map(|v| (prog.init)(v, 0, prog.param)).collect();

@@ -1,3 +1,4 @@
+#![deny(missing_docs)]
 //! # dne-apps — distributed graph applications over edge partitions
 //!
 //! Reproduces the paper's §7.6 evaluation: the effect of partitioning

@@ -1,0 +1,71 @@
+//! Criterion micro-benchmarks of the transport layer: what does really
+//! serializing every envelope (bytes backend) cost over pointer-passing
+//! (loopback), and how fast is the wire codec itself on the hot payload
+//! shapes of Distributed NE?
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use dne_runtime::{Cluster, TransportKind, WireDecode, WireEncode};
+use std::hint::black_box;
+
+/// Lock-step all-to-all of `Vec<u64>` payloads — the dominant traffic
+/// pattern of every partitioner iteration — on each backend.
+fn bench_exchange_backends(c: &mut Criterion) {
+    for (label, payload_len) in [("small_8", 8usize), ("bulk_4096", 4096)] {
+        let mut group = c.benchmark_group(format!("exchange_20x_{label}"));
+        group.sample_size(10);
+        group.throughput(Throughput::Bytes((20 * 4 * 4 * payload_len * 8) as u64));
+        for kind in [TransportKind::Loopback, TransportKind::Bytes] {
+            group.bench_function(BenchmarkId::from_parameter(kind), |b| {
+                b.iter(|| {
+                    Cluster::with_transport(4, kind).run::<Vec<u64>, _, _>(|ctx| {
+                        let payload: Vec<u64> = (0..payload_len as u64).collect();
+                        for _ in 0..20 {
+                            let got = ctx.exchange(|_dst| payload.clone());
+                            black_box(got);
+                        }
+                    })
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+/// Collectives are one u64 per link on both backends; the bytes backend
+/// pays an encode/decode per word.
+fn bench_collectives_backends(c: &mut Criterion) {
+    let mut group = c.benchmark_group("all_reduce_100x_p8");
+    group.sample_size(10);
+    for kind in [TransportKind::Loopback, TransportKind::Bytes] {
+        group.bench_function(BenchmarkId::from_parameter(kind), |b| {
+            b.iter(|| {
+                Cluster::with_transport(8, kind).run::<u64, _, _>(|ctx| {
+                    let mut acc = 0u64;
+                    for i in 0..100 {
+                        acc = acc.wrapping_add(ctx.all_reduce_sum_u64(i));
+                    }
+                    black_box(acc)
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The raw codec, isolated from threading: encode and decode throughput of
+/// the bulk `Vec<u64>` fast path.
+fn bench_codec(c: &mut Criterion) {
+    let payload: Vec<u64> = (0..65_536u64).collect();
+    let encoded = payload.to_wire();
+    let mut group = c.benchmark_group("codec_512KiB");
+    group.sample_size(20);
+    group.throughput(Throughput::Bytes(encoded.len() as u64));
+    group.bench_function("encode", |b| b.iter(|| black_box(payload.to_wire())));
+    group.bench_function("decode", |b| {
+        b.iter(|| black_box(Vec::<u64>::from_wire(&encoded).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_exchange_backends, bench_collectives_backends, bench_codec);
+criterion_main!(benches);

@@ -2,12 +2,24 @@
 //! figure binary in sequence. TSVs land in `bench_results/`.
 //!
 //! Usage: `cargo run -p dne-bench --release --bin run_all [full]`
+//!
+//! The `DNE_TRANSPORT` environment variable (`loopback` | `bytes`) selects
+//! the simulated cluster's transport backend for the whole suite; it is
+//! inherited by every child binary. Partitioning results are identical
+//! under both — `bytes` additionally round-trips every message through the
+//! real wire codec and reports exact (rather than estimated) comm volumes.
 
 use std::process::Command;
+
+use dne_runtime::TransportKind;
 
 fn main() {
     let full = std::env::args().any(|a| a == "full");
     let mode = if full { "full" } else { "quick" };
+    // Validate DNE_TRANSPORT up front so a typo fails before, not after,
+    // an hours-long sweep; children inherit the environment unchanged.
+    let transport = TransportKind::from_env();
+    println!("transport: {transport}");
     let bins = [
         "table1_bounds",
         "fig6_lambda",

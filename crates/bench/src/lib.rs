@@ -1,3 +1,4 @@
+#![deny(missing_docs)]
 //! # dne-bench — benchmark harness for the Distributed NE reproduction
 //!
 //! One runnable binary per table/figure of the paper's evaluation (§7):

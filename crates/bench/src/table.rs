@@ -71,13 +71,16 @@ pub fn secs(d: std::time::Duration) -> String {
     format!("{:.3}", d.as_secs_f64())
 }
 
-/// Parse the common `quick`/`full` mode argument (default quick).
+/// Parse the common `quick`/`full` mode argument (default quick) and
+/// report the run configuration, including the transport backend selected
+/// via `DNE_TRANSPORT` (every simulated cluster in the binary honors it).
 pub fn parse_mode() -> bool {
     let quick = !std::env::args().any(|a| a == "full");
+    let transport = dne_runtime::TransportKind::from_env();
     if quick {
-        eprintln!("[mode: quick — pass `full` for the paper-scale sweep]");
+        eprintln!("[mode: quick — pass `full` for the paper-scale sweep | transport: {transport}]");
     } else {
-        eprintln!("[mode: full — this can take a while]");
+        eprintln!("[mode: full — this can take a while | transport: {transport}]");
     }
     quick
 }

@@ -1,5 +1,7 @@
 //! Configuration of a Distributed NE run.
 
+use dne_runtime::TransportKind;
+
 /// Tunable parameters of Distributed NE. Defaults follow the paper's
 /// experimental setting (§7.1): imbalance factor `α = 1.1`, expansion factor
 /// `λ = 0.1`.
@@ -25,11 +27,25 @@ pub struct NeConfig {
     /// partition). The paper leaves this corner unspecified; see DESIGN.md
     /// §6.5.
     pub stall_limit: u32,
+    /// Transport backend of the simulated cluster: `Loopback` moves
+    /// messages by pointer with estimated byte accounting, `Bytes` really
+    /// serializes every envelope and charges exact bytes. Partitioning
+    /// results are identical under both. `None` (the default) resolves the
+    /// `DNE_TRANSPORT` environment variable at partition time (loopback
+    /// when unset), so constructing a config never touches the environment.
+    pub transport: Option<TransportKind>,
 }
 
 impl Default for NeConfig {
     fn default() -> Self {
-        Self { alpha: 1.1, lambda: 0.1, seed: 0, track_memory: true, stall_limit: 3 }
+        Self {
+            alpha: 1.1,
+            lambda: 0.1,
+            seed: 0,
+            track_memory: true,
+            stall_limit: 3,
+            transport: None,
+        }
     }
 }
 
@@ -59,6 +75,18 @@ impl NeConfig {
         self.track_memory = false;
         self
     }
+
+    /// Select the transport backend explicitly (overrides `DNE_TRANSPORT`).
+    pub fn with_transport(mut self, transport: TransportKind) -> Self {
+        self.transport = Some(transport);
+        self
+    }
+
+    /// The backend a run will use: the explicit choice if one was made,
+    /// otherwise whatever `DNE_TRANSPORT` says right now.
+    pub fn resolved_transport(&self) -> TransportKind {
+        self.transport.unwrap_or_else(TransportKind::from_env)
+    }
 }
 
 #[cfg(test)]
@@ -86,9 +114,22 @@ mod tests {
 
     #[test]
     fn builders_compose() {
-        let c = NeConfig::default().with_seed(9).with_alpha(1.2).with_lambda(1.0);
+        let c = NeConfig::default()
+            .with_seed(9)
+            .with_alpha(1.2)
+            .with_lambda(1.0)
+            .with_transport(TransportKind::Bytes);
         assert_eq!(c.seed, 9);
         assert_eq!(c.alpha, 1.2);
         assert_eq!(c.lambda, 1.0);
+        assert_eq!(c.transport, Some(TransportKind::Bytes));
+        assert_eq!(c.resolved_transport(), TransportKind::Bytes);
+    }
+
+    #[test]
+    fn default_does_not_read_the_environment() {
+        // `Default` must be pure: the env var is only consulted when a run
+        // resolves the backend, never at construction.
+        assert_eq!(NeConfig::default().transport, None);
     }
 }

@@ -46,5 +46,6 @@ pub mod stats;
 pub mod theory;
 
 pub use config::NeConfig;
+pub use messages::NeMsg;
 pub use partitioner::DistributedNe;
 pub use stats::NeStats;

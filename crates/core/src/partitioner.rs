@@ -74,7 +74,8 @@ impl DistributedNe {
         }
         let cells: Vec<Mutex<Option<Vec<EdgeId>>>> =
             buckets.into_iter().map(|b| Mutex::new(Some(b))).collect();
-        let outcome = Cluster::new(k as usize).run::<NeMsg, MachineResult, _>(|ctx| {
+        let outcome = Cluster::with_transport(k as usize, self.config.resolved_transport())
+            .run::<NeMsg, MachineResult, _>(|ctx| {
             let my_edges =
                 cells[ctx.rank()].lock().take().expect("each rank takes its bucket once");
             self.run_machine(ctx, g, &grid, my_edges, k)

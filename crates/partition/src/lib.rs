@@ -1,3 +1,4 @@
+#![deny(missing_docs)]
 //! # dne-partition — partitioning framework and baseline partitioners
 //!
 //! Defines the workspace-wide partitioning abstractions and implements every

@@ -1,5 +1,5 @@
-//! The simulated cluster: spawn P "machines", wire them together, run a
-//! per-rank closure, join the results.
+//! The simulated cluster: spawn P "machines", wire them together over the
+//! selected transport backend, run a per-rank closure, join the results.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -8,17 +8,18 @@ use crate::collectives::Collectives;
 use crate::comm::CommEndpoint;
 use crate::memory::{MemoryReport, MemoryTracker};
 use crate::stats::CommStats;
-use crate::wire::WireSize;
+use crate::transport::TransportKind;
+use crate::wire::{WireDecode, WireEncode};
 
 /// Handle given to each simulated machine: its rank, the interconnect, the
 /// collectives, and the accounting hooks.
 pub struct Ctx<M> {
     comm: CommEndpoint<M>,
-    coll: Arc<Collectives>,
+    coll: Collectives,
     mem: Arc<MemoryTracker>,
 }
 
-impl<M: Send + WireSize> Ctx<M> {
+impl<M: Send + WireEncode + WireDecode + 'static> Ctx<M> {
     /// This machine's rank in `0..nprocs`.
     #[inline]
     pub fn rank(&self) -> usize {
@@ -57,38 +58,38 @@ impl<M: Send + WireSize> Ctx<M> {
 
     /// MPI-style barrier across all machines.
     #[inline]
-    pub fn barrier(&self) {
-        self.coll.barrier(self.rank());
+    pub fn barrier(&mut self) {
+        self.coll.barrier();
     }
 
     /// All-gather one `u64` per machine.
     #[inline]
-    pub fn all_gather_u64(&self, value: u64) -> Vec<u64> {
-        self.coll.all_gather_u64(self.rank(), value)
+    pub fn all_gather_u64(&mut self, value: u64) -> Vec<u64> {
+        self.coll.all_gather_u64(value)
     }
 
     /// Sum-reduce a `u64` across machines (paper's `AllGatherSum`).
     #[inline]
-    pub fn all_reduce_sum_u64(&self, value: u64) -> u64 {
-        self.coll.all_reduce_sum_u64(self.rank(), value)
+    pub fn all_reduce_sum_u64(&mut self, value: u64) -> u64 {
+        self.coll.all_reduce_sum_u64(value)
     }
 
     /// Max-reduce a `u64` across machines.
     #[inline]
-    pub fn all_reduce_max_u64(&self, value: u64) -> u64 {
-        self.coll.all_reduce_max_u64(self.rank(), value)
+    pub fn all_reduce_max_u64(&mut self, value: u64) -> u64 {
+        self.coll.all_reduce_max_u64(value)
     }
 
     /// Sum-reduce an `f64` across machines.
     #[inline]
-    pub fn all_reduce_sum_f64(&self, value: f64) -> f64 {
-        self.coll.all_reduce_sum_f64(self.rank(), value)
+    pub fn all_reduce_sum_f64(&mut self, value: f64) -> f64 {
+        self.coll.all_reduce_sum_f64(value)
     }
 
     /// OR-reduce a `bool` across machines.
     #[inline]
-    pub fn all_reduce_any(&self, value: bool) -> bool {
-        self.coll.all_reduce_any(self.rank(), value)
+    pub fn all_reduce_any(&mut self, value: bool) -> bool {
+        self.coll.all_reduce_any(value)
     }
 
     /// Report this machine's current live heap bytes (mem-score snapshot).
@@ -115,18 +116,31 @@ pub struct ClusterOutcome<R> {
 #[derive(Debug, Clone, Copy)]
 pub struct Cluster {
     nprocs: usize,
+    transport: TransportKind,
 }
 
 impl Cluster {
-    /// A cluster of `nprocs` simulated machines (`nprocs >= 1`).
+    /// A cluster of `nprocs` simulated machines (`nprocs >= 1`) on the
+    /// transport selected by the `DNE_TRANSPORT` environment variable
+    /// (loopback when unset — see [`TransportKind::from_env`]).
     pub fn new(nprocs: usize) -> Self {
+        Self::with_transport(nprocs, TransportKind::from_env())
+    }
+
+    /// A cluster of `nprocs` simulated machines on an explicit backend.
+    pub fn with_transport(nprocs: usize, transport: TransportKind) -> Self {
         assert!(nprocs >= 1, "cluster needs at least one machine");
-        Self { nprocs }
+        Self { nprocs, transport }
     }
 
     /// Number of machines.
     pub fn nprocs(&self) -> usize {
         self.nprocs
+    }
+
+    /// The transport backend this cluster runs on.
+    pub fn transport(&self) -> TransportKind {
+        self.transport
     }
 
     /// Run `f` on every machine in parallel and join the results.
@@ -140,19 +154,18 @@ impl Cluster {
     /// Propagates a panic from any machine.
     pub fn run<M, R, F>(&self, f: F) -> ClusterOutcome<R>
     where
-        M: Send + WireSize,
+        M: Send + WireEncode + WireDecode + 'static,
         R: Send,
         F: Fn(&mut Ctx<M>) -> R + Sync,
     {
         let stats = CommStats::new(self.nprocs);
-        let coll = Collectives::new(self.nprocs, Arc::clone(&stats));
         let mem = MemoryTracker::new(self.nprocs);
-        let endpoints = CommEndpoint::<M>::fabric(self.nprocs, Arc::clone(&stats));
+        let endpoints = CommEndpoint::<M>::fabric(self.transport, self.nprocs, Arc::clone(&stats));
+        let collectives = Collectives::fabric(self.transport, self.nprocs, Arc::clone(&stats));
         let start = Instant::now();
         let results: Vec<R> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(self.nprocs);
-            for comm in endpoints {
-                let coll = Arc::clone(&coll);
+            for (comm, coll) in endpoints.into_iter().zip(collectives) {
                 let mem = Arc::clone(&mem);
                 let f = &f;
                 handles.push(scope.spawn(move || {
@@ -174,6 +187,13 @@ impl Cluster {
 mod tests {
     use super::*;
 
+    /// Run the same cluster program on both backends.
+    fn on_both(nprocs: usize, f: impl Fn(&mut Ctx<u64>) + Sync) {
+        for kind in [TransportKind::Loopback, TransportKind::Bytes] {
+            Cluster::with_transport(nprocs, kind).run::<u64, _, _>(&f);
+        }
+    }
+
     #[test]
     fn run_returns_rank_indexed_results() {
         let out = Cluster::new(4).run::<u64, _, _>(|ctx| ctx.rank() * 2);
@@ -182,21 +202,19 @@ mod tests {
 
     #[test]
     fn exchange_is_all_to_all() {
-        let out = Cluster::new(3).run::<u64, _, _>(|ctx| {
+        on_both(3, |ctx| {
             let rank = ctx.rank();
             // Everyone sends (own rank * 100 + dst) to each dst.
             let got = ctx.exchange(|dst| (rank * 100 + dst) as u64);
             // From src we must get src*100 + our rank.
             let want: Vec<u64> = (0..3).map(|src| (src * 100 + rank) as u64).collect();
             assert_eq!(got, want);
-            got.len()
         });
-        assert_eq!(out.results, vec![3, 3, 3]);
     }
 
     #[test]
     fn repeated_exchanges_stay_aligned() {
-        Cluster::new(4).run::<u64, _, _>(|ctx| {
+        on_both(4, |ctx| {
             for round in 0..100u64 {
                 let got = ctx.exchange(|_| round);
                 assert!(got.iter().all(|&r| r == round));
@@ -217,19 +235,22 @@ mod tests {
 
     #[test]
     fn memory_and_comm_accounting_flow_through() {
-        let out = Cluster::new(2).run::<u64, _, _>(|ctx| {
-            ctx.report_memory(1000 * (ctx.rank() + 1));
-            ctx.barrier();
-            if ctx.rank() == 0 {
-                ctx.send(1, 7);
-            } else {
-                let (src, v) = ctx.recv();
-                assert_eq!((src, v), (0, 7));
-            }
-        });
-        assert_eq!(out.memory.peak_total_bytes, 3000);
-        // One point-to-point u64 (8 bytes) plus two barrier charges (8 each).
-        assert_eq!(out.comm.total_bytes(), 8 + 16);
+        for kind in [TransportKind::Loopback, TransportKind::Bytes] {
+            let out = Cluster::with_transport(2, kind).run::<u64, _, _>(|ctx| {
+                ctx.report_memory(1000 * (ctx.rank() + 1));
+                ctx.barrier();
+                if ctx.rank() == 0 {
+                    ctx.send(1, 7);
+                } else {
+                    let (src, v) = ctx.recv();
+                    assert_eq!((src, v), (0, 7));
+                }
+            });
+            assert_eq!(out.memory.peak_total_bytes, 3000);
+            // One point-to-point u64 (8 bytes) plus two barrier charges
+            // (8·(P−1) = 8 each) — identical on both backends.
+            assert_eq!(out.comm.total_bytes(), 8 + 16, "{kind}");
+        }
     }
 
     #[test]
@@ -240,6 +261,31 @@ mod tests {
             ctx.all_reduce_sum_u64(5)
         });
         assert_eq!(out.results, vec![5]);
+    }
+
+    #[test]
+    fn byte_accounting_agrees_across_backends() {
+        // The codec's estimate==actual invariant, observed end-to-end: the
+        // same program must charge the same bytes on both transports.
+        let totals: Vec<u64> = [TransportKind::Loopback, TransportKind::Bytes]
+            .into_iter()
+            .map(|kind| {
+                let out = Cluster::with_transport(3, kind).run::<Vec<(u64, f64)>, _, _>(|ctx| {
+                    let rank = ctx.rank() as u64;
+                    for round in 0..5 {
+                        let got = ctx.exchange(|_dst| {
+                            (0..round + rank).map(|i| (i, i as f64 * 0.5)).collect()
+                        });
+                        assert_eq!(got.len(), 3);
+                        ctx.barrier();
+                    }
+                    ctx.all_reduce_sum_u64(1)
+                });
+                out.comm.total_bytes()
+            })
+            .collect();
+        assert!(totals[0] > 0);
+        assert_eq!(totals[0], totals[1], "loopback estimate must equal bytes actual");
     }
 
     #[test]

@@ -1,108 +1,87 @@
-//! MPI-style collectives over shared memory: barrier, all-gather,
-//! all-reduce.
+//! MPI-style collectives: barrier, all-gather, all-reduce.
 //!
 //! Algorithm 1 of the paper uses `Barrier()` (line 9) and
 //! `AllGatherSum(|Ep|)` (line 14) every iteration; the application engine
-//! uses all-reduce for convergence/frontier checks. The implementation is a
-//! generation-counted rendezvous: the last process to arrive publishes the
-//! round's result and bumps the generation; everyone else waits on a condvar
-//! for the bump. A process can re-enter the next collective before slow
-//! peers have *read* the previous result because the publish buffer is only
-//! rewritten at the *last arrival* of the next round, which cannot happen
-//! until every peer has left the current one.
+//! uses all-reduce for convergence/frontier checks. Collectives are built
+//! as *real traffic* over the same [`Transport`](crate::transport::Transport)
+//! fabric as point-to-point messages: a flat all-gather in which every rank
+//! sends its one-word contribution to every peer and collects one word from
+//! each (the self-send is free and keeps indexing uniform). On the bytes
+//! backend those words are genuinely serialized and decoded like any other
+//! envelope.
+//!
+//! Round alignment comes from the same argument as
+//! [`crate::Ctx::exchange`]: per-link FIFO order plus one-message-per-rank
+//! collection keeps back-to-back collectives race-free even when peers run
+//! ahead.
 //!
 //! Byte accounting: each collective charges `8·(P−1)` bytes to every
-//! participant (the cost of a flat all-gather of one word), approximating
-//! what an MPI implementation would move.
+//! participant — on the loopback backend as `P−1` estimated 8-byte sends,
+//! on the bytes backend as `P−1` actually-encoded 8-byte frames. The total
+//! matches what a flat MPI all-gather of one word would move.
 
 use std::sync::Arc;
 
-use parking_lot::{Condvar, Mutex};
-
+use crate::comm::CommEndpoint;
 use crate::stats::CommStats;
+use crate::transport::TransportKind;
 
-struct RoundState {
-    arrived: usize,
-    generation: u64,
-    /// Scratch slots written by arriving processes.
-    slots: Vec<u64>,
-    /// Published result of the completed round.
-    published: Vec<u64>,
-}
-
-/// Shared collective-communication context for one cluster run.
+/// Per-rank collective-communication endpoint for one cluster run.
 pub struct Collectives {
-    state: Mutex<RoundState>,
-    cv: Condvar,
-    nprocs: usize,
-    stats: Arc<CommStats>,
+    comm: CommEndpoint<u64>,
 }
 
 impl Collectives {
-    /// Collectives for `nprocs` participants.
-    pub fn new(nprocs: usize, stats: Arc<CommStats>) -> Arc<Self> {
-        Arc::new(Self {
-            state: Mutex::new(RoundState {
-                arrived: 0,
-                generation: 0,
-                slots: vec![0; nprocs],
-                published: vec![0; nprocs],
-            }),
-            cv: Condvar::new(),
-            nprocs,
-            stats,
-        })
+    /// Build the `n` connected collective endpoints of a run at once,
+    /// sharing the run's byte accounting.
+    pub fn fabric(kind: TransportKind, n: usize, stats: Arc<CommStats>) -> Vec<Collectives> {
+        CommEndpoint::fabric(kind, n, stats).into_iter().map(|comm| Collectives { comm }).collect()
     }
 
-    /// Rendezvous: deposit `value` for `rank`, wait for everyone, return the
-    /// full vector of deposited values indexed by rank.
-    pub fn all_gather_u64(&self, rank: usize, value: u64) -> Vec<u64> {
-        if self.nprocs > 1 {
-            self.stats.record_send(rank, 8 * (self.nprocs - 1));
+    /// This endpoint's rank.
+    #[inline]
+    pub fn rank(&self) -> usize {
+        self.comm.rank()
+    }
+
+    /// Number of participants.
+    #[inline]
+    pub fn nprocs(&self) -> usize {
+        self.comm.nprocs()
+    }
+
+    /// Flat all-gather: contribute `value`, receive the full vector of
+    /// contributions indexed by rank.
+    pub fn all_gather_u64(&mut self, value: u64) -> Vec<u64> {
+        for dst in 0..self.nprocs() {
+            self.comm.send(dst, value);
         }
-        let mut st = self.state.lock();
-        st.slots[rank] = value;
-        st.arrived += 1;
-        if st.arrived == self.nprocs {
-            st.arrived = 0;
-            let slots = std::mem::take(&mut st.slots);
-            st.published = slots.clone();
-            st.slots = slots; // reuse the allocation for the next round
-            st.generation += 1;
-            self.cv.notify_all();
-            st.published.clone()
-        } else {
-            let gen = st.generation;
-            while st.generation == gen {
-                self.cv.wait(&mut st);
-            }
-            st.published.clone()
-        }
+        self.comm.recv_one_from_each()
     }
 
-    /// Barrier: all processes wait until everyone has arrived.
-    pub fn barrier(&self, rank: usize) {
-        self.all_gather_u64(rank, 0);
+    /// Barrier: returns once every participant has arrived.
+    pub fn barrier(&mut self) {
+        self.all_gather_u64(0);
     }
 
-    /// Sum-reduce a `u64` across all processes.
-    pub fn all_reduce_sum_u64(&self, rank: usize, value: u64) -> u64 {
-        self.all_gather_u64(rank, value).iter().sum()
+    /// Sum-reduce a `u64` across all participants.
+    pub fn all_reduce_sum_u64(&mut self, value: u64) -> u64 {
+        self.all_gather_u64(value).iter().sum()
     }
 
-    /// Max-reduce a `u64` across all processes.
-    pub fn all_reduce_max_u64(&self, rank: usize, value: u64) -> u64 {
-        self.all_gather_u64(rank, value).into_iter().max().unwrap_or(0)
+    /// Max-reduce a `u64` across all participants.
+    pub fn all_reduce_max_u64(&mut self, value: u64) -> u64 {
+        self.all_gather_u64(value).into_iter().max().unwrap_or(0)
     }
 
     /// Sum-reduce an `f64` (transported via bit pattern, summed at reader).
-    pub fn all_reduce_sum_f64(&self, rank: usize, value: f64) -> f64 {
-        self.all_gather_u64(rank, value.to_bits()).iter().map(|&b| f64::from_bits(b)).sum()
+    pub fn all_reduce_sum_f64(&mut self, value: f64) -> f64 {
+        self.all_gather_u64(value.to_bits()).iter().map(|&b| f64::from_bits(b)).sum()
     }
 
-    /// Logical OR across processes (any process true ⇒ all see true).
-    pub fn all_reduce_any(&self, rank: usize, value: bool) -> bool {
-        self.all_reduce_sum_u64(rank, value as u64) > 0
+    /// Logical OR across participants (any participant true ⇒ all see true).
+    pub fn all_reduce_any(&mut self, value: bool) -> bool {
+        self.all_reduce_sum_u64(value as u64) > 0
     }
 }
 
@@ -110,31 +89,35 @@ impl Collectives {
 mod tests {
     use super::*;
 
-    fn run_on(n: usize, f: impl Fn(usize, &Collectives) + Sync) {
+    fn run_on(kind: TransportKind, n: usize, f: impl Fn(usize, &mut Collectives) + Sync) {
         let stats = CommStats::new(n);
-        let coll = Collectives::new(n, stats);
+        let fabric = Collectives::fabric(kind, n, stats);
         std::thread::scope(|s| {
-            for r in 0..n {
-                let coll = &coll;
+            for mut coll in fabric {
                 let f = &f;
-                s.spawn(move || f(r, coll));
+                s.spawn(move || f(coll.rank(), &mut coll));
             }
         });
     }
 
+    fn both(n: usize, f: impl Fn(usize, &mut Collectives) + Sync) {
+        run_on(TransportKind::Loopback, n, &f);
+        run_on(TransportKind::Bytes, n, &f);
+    }
+
     #[test]
     fn all_gather_returns_rank_indexed_values() {
-        run_on(4, |rank, coll| {
-            let got = coll.all_gather_u64(rank, (rank * 10) as u64);
+        both(4, |rank, coll| {
+            let got = coll.all_gather_u64((rank * 10) as u64);
             assert_eq!(got, vec![0, 10, 20, 30]);
         });
     }
 
     #[test]
     fn repeated_rounds_do_not_mix() {
-        run_on(3, |rank, coll| {
+        both(3, |rank, coll| {
             for round in 0..50u64 {
-                let got = coll.all_gather_u64(rank, round * 100 + rank as u64);
+                let got = coll.all_gather_u64(round * 100 + rank as u64);
                 assert_eq!(got, vec![round * 100, round * 100 + 1, round * 100 + 2]);
             }
         });
@@ -142,35 +125,47 @@ mod tests {
 
     #[test]
     fn reductions() {
-        run_on(4, |rank, coll| {
-            assert_eq!(coll.all_reduce_sum_u64(rank, 2), 8);
-            assert_eq!(coll.all_reduce_max_u64(rank, rank as u64), 3);
-            let s = coll.all_reduce_sum_f64(rank, 0.5);
+        both(4, |rank, coll| {
+            assert_eq!(coll.all_reduce_sum_u64(2), 8);
+            assert_eq!(coll.all_reduce_max_u64(rank as u64), 3);
+            let s = coll.all_reduce_sum_f64(0.5);
             assert!((s - 2.0).abs() < 1e-12);
-            assert!(coll.all_reduce_any(rank, rank == 2));
-            assert!(!coll.all_reduce_any(rank, false));
+            assert!(coll.all_reduce_any(rank == 2));
+            assert!(!coll.all_reduce_any(false));
         });
     }
 
     #[test]
     fn single_process_collectives_are_identity() {
-        run_on(1, |rank, coll| {
-            assert_eq!(coll.all_gather_u64(rank, 9), vec![9]);
-            assert_eq!(coll.all_reduce_sum_u64(rank, 9), 9);
-            coll.barrier(rank);
+        both(1, |_rank, coll| {
+            assert_eq!(coll.all_gather_u64(9), vec![9]);
+            assert_eq!(coll.all_reduce_sum_u64(9), 9);
+            coll.barrier();
         });
     }
 
     #[test]
     fn collectives_charge_bytes() {
-        let stats = CommStats::new(2);
-        let coll = Collectives::new(2, stats.clone());
-        std::thread::scope(|s| {
-            for r in 0..2 {
-                let coll = &coll;
-                s.spawn(move || coll.barrier(r));
-            }
-        });
-        assert_eq!(stats.total_bytes(), 2 * 8);
+        for kind in [TransportKind::Loopback, TransportKind::Bytes] {
+            let stats = CommStats::new(2);
+            let fabric = Collectives::fabric(kind, 2, stats.clone());
+            std::thread::scope(|s| {
+                for mut coll in fabric {
+                    s.spawn(move || coll.barrier());
+                }
+            });
+            // Each participant charges 8·(P−1) = 8 bytes.
+            assert_eq!(stats.total_bytes(), 2 * 8, "{kind}");
+        }
+    }
+
+    #[test]
+    fn single_process_collectives_are_free() {
+        let stats = CommStats::new(1);
+        let fabric = Collectives::fabric(TransportKind::Bytes, 1, stats.clone());
+        let mut coll = fabric.into_iter().next().unwrap();
+        coll.barrier();
+        assert_eq!(coll.all_gather_u64(3), vec![3]);
+        assert_eq!(stats.total_bytes(), 0, "nprocs = 1 moves nothing over the wire");
     }
 }

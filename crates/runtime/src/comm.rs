@@ -1,50 +1,41 @@
-//! Point-to-point FIFO channels between simulated machines.
+//! Point-to-point FIFO messaging between simulated machines.
 //!
-//! Each process owns one unbounded MPMC receiver; every peer holds a cloned
-//! sender to it. Messages carry their source rank so the lock-step
-//! [`crate::Ctx::exchange`] primitive can index replies by sender. Per-link
-//! FIFO order is guaranteed by crossbeam channels (per-producer FIFO), which
-//! is exactly the MPI non-overtaking guarantee the algorithms rely on.
+//! [`CommEndpoint`] is the runtime's per-process messaging handle: it owns
+//! one endpoint of a [`Transport`] fabric (loopback or bytes — see
+//! [`crate::transport`]), charges every non-self send to [`CommStats`], and
+//! layers the round-alignment buffering that the lock-step
+//! [`crate::Ctx::exchange`] primitive needs. Per-link FIFO order is
+//! guaranteed by both backends (crossbeam channels are per-producer FIFO),
+//! which is exactly the MPI non-overtaking guarantee the algorithms rely
+//! on.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-
 use crate::stats::CommStats;
-use crate::wire::WireSize;
-
-/// An envelope in flight: `(source rank, payload)`.
-pub(crate) type Envelope<M> = (usize, M);
+use crate::transport::{Transport, TransportKind};
+use crate::wire::{WireDecode, WireEncode};
 
 /// The per-process endpoint of the simulated interconnect.
 pub struct CommEndpoint<M> {
-    rank: usize,
-    senders: Vec<Sender<Envelope<M>>>,
-    receiver: Receiver<Envelope<M>>,
+    link: Box<dyn Transport<M>>,
     /// Messages that arrived early (next round) while we were still
     /// collecting the current round — see `exchange` in `cluster.rs`.
     pending: Vec<VecDeque<M>>,
     stats: Arc<CommStats>,
 }
 
-impl<M: Send + WireSize> CommEndpoint<M> {
-    /// Build all `n` connected endpoints at once.
-    pub(crate) fn fabric(n: usize, stats: Arc<CommStats>) -> Vec<CommEndpoint<M>> {
-        let mut senders = Vec::with_capacity(n);
-        let mut receivers = Vec::with_capacity(n);
-        for _ in 0..n {
-            let (tx, rx) = unbounded();
-            senders.push(tx);
-            receivers.push(rx);
-        }
-        receivers
+impl<M: Send + WireEncode + WireDecode + 'static> CommEndpoint<M> {
+    /// Build all `n` connected endpoints of the chosen backend at once.
+    pub(crate) fn fabric(
+        kind: TransportKind,
+        n: usize,
+        stats: Arc<CommStats>,
+    ) -> Vec<CommEndpoint<M>> {
+        kind.fabric(n)
             .into_iter()
-            .enumerate()
-            .map(|(rank, receiver)| CommEndpoint {
-                rank,
-                senders: senders.clone(),
-                receiver,
+            .map(|link| CommEndpoint {
+                link,
                 pending: (0..n).map(|_| VecDeque::new()).collect(),
                 stats: Arc::clone(&stats),
             })
@@ -54,28 +45,29 @@ impl<M: Send + WireSize> CommEndpoint<M> {
     /// This endpoint's rank.
     #[inline]
     pub fn rank(&self) -> usize {
-        self.rank
+        self.link.rank()
     }
 
     /// Number of processes in the fabric.
     #[inline]
     pub fn nprocs(&self) -> usize {
-        self.senders.len()
+        self.link.nprocs()
     }
 
-    /// Send `msg` to `dst`, charging its wire size to this rank.
+    /// Send `msg` to `dst`, charging its wire bytes to this rank.
     /// Self-sends are free (no wire crossing) but still delivered, so
-    /// algorithms can treat all ranks uniformly.
+    /// algorithms can treat all ranks uniformly. This is the *only* place
+    /// that decides chargeability — transports just report sizes.
     pub fn send(&self, dst: usize, msg: M) {
-        if dst != self.rank {
-            self.stats.record_send(self.rank, msg.wire_bytes());
+        let wire = self.link.send(dst, msg);
+        if dst != self.rank() {
+            self.stats.record_send(self.rank(), wire);
         }
-        self.senders[dst].send((self.rank, msg)).expect("receiver endpoint dropped");
     }
 
     /// Blocking receive of the next message from any source.
     pub fn recv(&self) -> (usize, M) {
-        self.receiver.recv().expect("all sender endpoints dropped")
+        self.link.recv()
     }
 
     /// Receive exactly one message from *every* rank (including self),
@@ -113,56 +105,128 @@ impl<M: Send + WireSize> CommEndpoint<M> {
 mod tests {
     use super::*;
 
+    fn fabric_of(kind: TransportKind, n: usize) -> (Vec<CommEndpoint<u64>>, Arc<CommStats>) {
+        let stats = CommStats::new(n);
+        (CommEndpoint::fabric(kind, n, stats.clone()), stats)
+    }
+
     #[test]
     fn fabric_delivers_point_to_point() {
-        let stats = CommStats::new(2);
-        let mut eps = CommEndpoint::<u64>::fabric(2, stats.clone());
-        let b = eps.pop().unwrap();
-        let a = eps.pop().unwrap();
-        a.send(1, 42);
-        let (src, v) = b.recv();
-        assert_eq!((src, v), (0, 42));
-        assert_eq!(stats.total_bytes(), 8);
+        for kind in [TransportKind::Loopback, TransportKind::Bytes] {
+            let (mut eps, stats) = fabric_of(kind, 2);
+            let b = eps.pop().unwrap();
+            let a = eps.pop().unwrap();
+            a.send(1, 42);
+            let (src, v) = b.recv();
+            assert_eq!((src, v), (0, 42));
+            assert_eq!(stats.total_bytes(), 8, "{kind}: one u64 is 8 wire bytes");
+        }
     }
 
     #[test]
     fn self_send_is_free_but_delivered() {
-        let stats = CommStats::new(1);
-        let mut eps = CommEndpoint::<u64>::fabric(1, stats.clone());
-        let a = eps.pop().unwrap();
-        a.send(0, 7);
-        assert_eq!(a.recv(), (0, 7));
-        assert_eq!(stats.total_bytes(), 0);
+        for kind in [TransportKind::Loopback, TransportKind::Bytes] {
+            let (mut eps, stats) = fabric_of(kind, 1);
+            let a = eps.pop().unwrap();
+            a.send(0, 7);
+            assert_eq!(a.recv(), (0, 7));
+            assert_eq!(stats.total_bytes(), 0, "{kind}: self-sends are free");
+        }
     }
 
     #[test]
     fn recv_one_from_each_buffers_early_rounds() {
-        let stats = CommStats::new(2);
-        let mut eps = CommEndpoint::<u64>::fabric(2, stats);
-        let b = eps.pop().unwrap();
-        let mut a = eps.pop().unwrap();
-        // Rank 1 races two rounds ahead before rank 0 collects round 1.
-        b.send(0, 10); // round 1
-        b.send(0, 20); // round 2 (early)
-        a.send(0, 1); // rank 0's self message, round 1
-        let round1 = a.recv_one_from_each();
-        assert_eq!(round1, vec![1, 10]);
-        a.send(0, 2); // self, round 2
-        let round2 = a.recv_one_from_each();
-        assert_eq!(round2, vec![2, 20]);
+        for kind in [TransportKind::Loopback, TransportKind::Bytes] {
+            let (mut eps, _) = fabric_of(kind, 2);
+            let b = eps.pop().unwrap();
+            let mut a = eps.pop().unwrap();
+            // Rank 1 races two rounds ahead before rank 0 collects round 1.
+            b.send(0, 10); // round 1
+            b.send(0, 20); // round 2 (early)
+            a.send(0, 1); // rank 0's self message, round 1
+            let round1 = a.recv_one_from_each();
+            assert_eq!(round1, vec![1, 10]);
+            a.send(0, 2); // self, round 2
+            let round2 = a.recv_one_from_each();
+            assert_eq!(round2, vec![2, 20]);
+        }
     }
 
     #[test]
     fn per_link_fifo_order() {
+        for kind in [TransportKind::Loopback, TransportKind::Bytes] {
+            let (mut eps, _) = fabric_of(kind, 2);
+            let b = eps.pop().unwrap();
+            let a = eps.pop().unwrap();
+            for i in 0..100 {
+                a.send(1, i);
+            }
+            for i in 0..100 {
+                assert_eq!(b.recv(), (0, i), "{kind}: FIFO per link");
+            }
+        }
+    }
+
+    #[test]
+    fn bytes_backend_charges_exactly_the_encoded_frame_bytes() {
+        use crate::wire::{WireEncode, WireSize};
+        // Independently re-encode every non-self message and compare the
+        // accumulated payload lengths against what CommStats recorded.
         let stats = CommStats::new(2);
-        let mut eps = CommEndpoint::<u64>::fabric(2, stats);
+        let mut eps = CommEndpoint::<Vec<u64>>::fabric(TransportKind::Bytes, 2, stats.clone());
         let b = eps.pop().unwrap();
         let a = eps.pop().unwrap();
-        for i in 0..100 {
-            a.send(1, i);
+        let mut expected = 0u64;
+        for len in [0usize, 1, 3, 100, 1000] {
+            let msg: Vec<u64> = (0..len as u64).collect();
+            expected += msg.to_wire().len() as u64;
+            assert_eq!(msg.to_wire().len(), msg.wire_bytes());
+            a.send(1, msg.clone());
+            a.send(0, msg); // self-send: encoded but never charged
         }
-        for i in 0..100 {
-            assert_eq!(b.recv(), (0, i));
+        for _ in 0..5 {
+            let _ = b.recv();
+            let _ = a.recv();
         }
+        assert_eq!(stats.total_bytes(), expected, "comm_bytes must equal encoded frame bytes");
+    }
+
+    #[test]
+    fn interleaved_sends_from_many_sources_keep_per_link_order() {
+        // Two producers interleave their streams into one consumer; each
+        // link's own order must survive arbitrary interleaving.
+        let stats = CommStats::new(3);
+        let eps = CommEndpoint::<u64>::fabric(TransportKind::Bytes, 3, stats);
+        let mut it = eps.into_iter();
+        let c = it.next().unwrap(); // rank 0 consumes
+        let a = it.next().unwrap(); // rank 1 produces odd tags
+        let b = it.next().unwrap(); // rank 2 produces even tags
+        std::thread::scope(|s| {
+            s.spawn(move || {
+                for i in 0..200u64 {
+                    a.send(0, i * 2 + 1);
+                }
+            });
+            s.spawn(move || {
+                for i in 0..200u64 {
+                    b.send(0, i * 2);
+                }
+            });
+            let mut next = [0u64, 1]; // next expected even / odd value
+            for _ in 0..400 {
+                let (src, v) = c.recv();
+                match src {
+                    1 => {
+                        assert_eq!(v, next[1], "link 1→0 must stay FIFO");
+                        next[1] += 2;
+                    }
+                    2 => {
+                        assert_eq!(v, next[0], "link 2→0 must stay FIFO");
+                        next[0] += 2;
+                    }
+                    other => panic!("unexpected source {other}"),
+                }
+            }
+        });
     }
 }

@@ -1,3 +1,4 @@
+#![deny(missing_docs)]
 //! # distributed-ne — umbrella crate
 //!
 //! Re-exports the whole Distributed NE workspace behind one dependency, and

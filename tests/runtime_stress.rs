@@ -2,17 +2,23 @@
 //! exchange and the collectives must stay aligned under adversarial
 //! round patterns — the foundation of Distributed NE's determinism.
 
-use distributed_ne::runtime::Cluster;
+use distributed_ne::runtime::{Cluster, TransportKind};
 use proptest::prelude::*;
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
+    #![proptest_config(ProptestConfig::with_cases(8))]
 
     /// Arbitrary interleavings of exchanges and collectives stay aligned:
-    /// every machine observes identical round payloads.
+    /// every machine observes identical round payloads — on both transport
+    /// backends, every case.
     #[test]
-    fn mixed_rounds_stay_aligned(nprocs in 2usize..6, rounds in 1u64..40, seed in 0u64..1000) {
-        let out = Cluster::new(nprocs).run::<u64, _, _>(|ctx| {
+    fn mixed_rounds_stay_aligned(
+        nprocs in 2usize..6,
+        rounds in 1u64..40,
+        seed in 0u64..1000,
+    ) {
+        for kind in [TransportKind::Loopback, TransportKind::Bytes] {
+        let out = Cluster::with_transport(nprocs, kind).run::<u64, _, _>(|ctx| {
             let mut checksum = 0u64;
             for r in 0..rounds {
                 // Pseudo-random choice of primitive per round, identical on
@@ -45,12 +51,16 @@ proptest! {
         // up to the rank-dependent exchange term, so just assert they all
         // finished (the asserts inside are the real checks).
         prop_assert_eq!(out.results.len(), nprocs);
+        }
     }
 
-    /// Byte accounting is exact for deterministic traffic.
+    /// Byte accounting is exact for deterministic traffic, and identical
+    /// on the estimating (loopback) and serializing (bytes) backends —
+    /// both exercised every case.
     #[test]
     fn comm_accounting_is_exact(nprocs in 2usize..5, msgs in 1u64..30) {
-        let out = Cluster::new(nprocs).run::<u64, _, _>(|ctx| {
+        for kind in [TransportKind::Loopback, TransportKind::Bytes] {
+        let out = Cluster::with_transport(nprocs, kind).run::<u64, _, _>(|ctx| {
             // Every machine sends `msgs` u64s to its right neighbor.
             let right = (ctx.rank() + 1) % ctx.nprocs();
             for i in 0..msgs {
@@ -66,6 +76,7 @@ proptest! {
         let p2p = nprocs as u64 * msgs * 8;
         let barrier = (nprocs * (nprocs - 1) * 8) as u64;
         prop_assert_eq!(out.comm.total_bytes(), p2p + barrier);
+        }
     }
 }
 
