@@ -1,7 +1,8 @@
 //! Criterion micro-benchmarks of the transport layer: what does really
-//! serializing every envelope (bytes backend) cost over pointer-passing
-//! (loopback), and how fast is the wire codec itself on the hot payload
-//! shapes of Distributed NE?
+//! serializing every envelope (bytes backend) or shipping it over real
+//! localhost sockets (tcp backend) cost over pointer-passing (loopback),
+//! and how fast is the wire codec itself on the hot payload shapes of
+//! Distributed NE?
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use dne_runtime::{Cluster, TransportKind, WireDecode, WireEncode};
@@ -14,7 +15,7 @@ fn bench_exchange_backends(c: &mut Criterion) {
         let mut group = c.benchmark_group(format!("exchange_20x_{label}"));
         group.sample_size(10);
         group.throughput(Throughput::Bytes((20 * 4 * 4 * payload_len * 8) as u64));
-        for kind in [TransportKind::Loopback, TransportKind::Bytes] {
+        for kind in TransportKind::ALL {
             group.bench_function(BenchmarkId::from_parameter(kind), |b| {
                 b.iter(|| {
                     Cluster::with_transport(4, kind).run::<Vec<u64>, _, _>(|ctx| {
@@ -31,12 +32,12 @@ fn bench_exchange_backends(c: &mut Criterion) {
     }
 }
 
-/// Collectives are one u64 per link on both backends; the bytes backend
-/// pays an encode/decode per word.
+/// Collectives are one u64 per link on every backend; the serializing
+/// backends pay an encode/decode per word, tcp adds the socket round.
 fn bench_collectives_backends(c: &mut Criterion) {
     let mut group = c.benchmark_group("all_reduce_100x_p8");
     group.sample_size(10);
-    for kind in [TransportKind::Loopback, TransportKind::Bytes] {
+    for kind in TransportKind::ALL {
         group.bench_function(BenchmarkId::from_parameter(kind), |b| {
             b.iter(|| {
                 Cluster::with_transport(8, kind).run::<u64, _, _>(|ctx| {

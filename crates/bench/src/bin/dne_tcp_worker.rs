@@ -1,0 +1,466 @@
+//! `dne-tcp-worker` — run Distributed NE across *real OS processes* over
+//! the TCP transport, and prove the result identical to the in-process
+//! backends.
+//!
+//! Every process builds the same RMAT graph deterministically from the
+//! generator spec, connects a `TcpProcessCluster` session (rank 0 hosts
+//! the rendezvous, the others dial it), runs its rank via
+//! `DistributedNe::run_rank`, then aggregates the non-timing metrics with
+//! post-run collectives (charged *after* the accounting snapshot, so the
+//! reported `COMM_*` columns cover exactly the algorithm's traffic).
+//!
+//! Modes:
+//!
+//! ```text
+//! dne-tcp-worker [quick|full]                    # compare (default; used by run_all)
+//! dne-tcp-worker compare [quick|full]            # loopback vs bytes vs multi-process tcp
+//! dne-tcp-worker launch <nprocs> <scale> <degree> <seed>
+//! dne-tcp-worker reference <transport> <nprocs> <scale> <degree> <seed>
+//! dne-tcp-worker worker <rank> <nprocs> <addr> <scale> <degree> <seed>
+//! ```
+//!
+//! `compare` runs the loopback and bytes references in-process, launches
+//! a real `<nprocs>`-process TCP partition of the same graph, prints all
+//! three rows, writes `bench_results/tcp_compare.tsv`, and exits non-zero
+//! unless every non-timing column (iterations, comm bytes/messages, RF,
+//! EB, assignment fingerprint) is identical.
+//!
+//! A manual 4-process run on localhost (any fixed port works):
+//!
+//! ```text
+//! dne-tcp-worker worker 0 4 127.0.0.1:7571 9 8 42   # prints DNE_TCP_ADDR, then the row
+//! dne-tcp-worker worker 1 4 127.0.0.1:7571 9 8 42   # three more shells / machines
+//! dne-tcp-worker worker 2 4 127.0.0.1:7571 9 8 42
+//! dne-tcp-worker worker 3 4 127.0.0.1:7571 9 8 42
+//! ```
+
+use std::io::{BufRead, BufReader, Write};
+use std::process::{Command, Stdio};
+use std::time::Instant;
+
+use dne_bench::table::Table;
+use dne_core::{DistributedNe, NeConfig, NeMsg};
+use dne_graph::hash::mix2;
+use dne_graph::{gen, EdgeId, Graph};
+use dne_runtime::{TcpProcessCluster, TransportKind};
+
+/// Stdout marker carrying rank 0's bound rendezvous address.
+const ADDR_TAG: &str = "DNE_TCP_ADDR";
+
+/// Stdout marker carrying the finished run's TSV row.
+const ROW_TAG: &str = "DNE_TCP_ROW";
+
+/// Graph + run parameters shared by every mode.
+#[derive(Clone, Copy)]
+struct Spec {
+    nprocs: usize,
+    scale: u32,
+    degree: u32,
+    seed: u64,
+}
+
+impl Spec {
+    fn quick() -> Self {
+        Spec { nprocs: 4, scale: 8, degree: 4, seed: 42 }
+    }
+
+    fn full() -> Self {
+        Spec { nprocs: 8, scale: 10, degree: 8, seed: 42 }
+    }
+
+    fn graph(&self) -> Graph {
+        gen::rmat(&gen::RmatConfig::graph500(self.scale, self.degree as u64, self.seed))
+    }
+
+    fn partitioner(&self) -> DistributedNe {
+        DistributedNe::new(NeConfig::default().with_seed(self.seed))
+    }
+}
+
+/// One result row. Every column except `transport` is non-timing and must
+/// be identical across backends; wall-clock goes to stderr only.
+struct Row {
+    transport: String,
+    spec: Spec,
+    iterations: u64,
+    comm_bytes: u64,
+    comm_msgs: u64,
+    rf: f64,
+    eb: f64,
+    fingerprint: u64,
+}
+
+const HEADER: [&str; 11] = [
+    "TRANSPORT",
+    "NPROCS",
+    "SCALE",
+    "DEGREE",
+    "SEED",
+    "ITER",
+    "COMM_BYTES",
+    "COMM_MSGS",
+    "RF",
+    "EB",
+    "FPRINT",
+];
+
+impl Row {
+    fn cells(&self) -> Vec<String> {
+        vec![
+            self.transport.clone(),
+            self.spec.nprocs.to_string(),
+            self.spec.scale.to_string(),
+            self.spec.degree.to_string(),
+            self.spec.seed.to_string(),
+            self.iterations.to_string(),
+            self.comm_bytes.to_string(),
+            self.comm_msgs.to_string(),
+            format!("{:.6}", self.rf),
+            format!("{:.6}", self.eb),
+            format!("{:016x}", self.fingerprint),
+        ]
+    }
+
+    /// The equality key: every column except the transport name.
+    fn non_timing_key(&self) -> Vec<String> {
+        self.cells()[1..].to_vec()
+    }
+
+    fn parse(line: &str) -> Option<Row> {
+        let mut it = line.split('\t');
+        let transport = it.next()?.to_string();
+        let next_u64 = |it: &mut std::str::Split<'_, char>| it.next()?.parse::<u64>().ok();
+        let nprocs = next_u64(&mut it)? as usize;
+        let scale = next_u64(&mut it)? as u32;
+        let degree = next_u64(&mut it)? as u32;
+        let seed = next_u64(&mut it)?;
+        let iterations = next_u64(&mut it)?;
+        let comm_bytes = next_u64(&mut it)?;
+        let comm_msgs = next_u64(&mut it)?;
+        let rf = it.next()?.parse::<f64>().ok()?;
+        let eb = it.next()?.parse::<f64>().ok()?;
+        let fingerprint = u64::from_str_radix(it.next()?, 16).ok()?;
+        Some(Row {
+            transport,
+            spec: Spec { nprocs, scale, degree, seed },
+            iterations,
+            comm_bytes,
+            comm_msgs,
+            rf,
+            eb,
+            fingerprint,
+        })
+    }
+}
+
+/// Hash of one partition's (sorted) edge-id set.
+fn partition_fingerprint(edges: &mut [EdgeId]) -> u64 {
+    edges.sort_unstable();
+    edges.iter().fold(0x444E_4531u64, |h, &e| mix2(h, e))
+}
+
+/// Distinct endpoint count of an edge set — the partition's `|V(Ep)|`.
+fn distinct_endpoints(g: &Graph, edges: &[EdgeId]) -> u64 {
+    let mut verts: Vec<u64> = Vec::with_capacity(edges.len() * 2);
+    for &e in edges {
+        let (u, v) = g.edge(e);
+        verts.push(u);
+        verts.push(v);
+    }
+    verts.sort_unstable();
+    verts.dedup();
+    verts.len() as u64
+}
+
+/// Raw per-run quantities gathered identically by the reference path
+/// (from the full assignment) and the worker path (via post-run
+/// collectives).
+struct Metrics {
+    iterations: u64,
+    comm_bytes: u64,
+    comm_msgs: u64,
+    /// Per-partition edge counts, indexed by rank.
+    sizes: Vec<u64>,
+    /// Total `Σ_p |V(Ep)|` across partitions.
+    replicas: u64,
+    /// Per-partition edge-set hashes, indexed by rank.
+    fingerprints: Vec<u64>,
+}
+
+/// Fold the gathered quantities into the row. All arithmetic here is
+/// shared by the reference and worker paths, so the two compute
+/// byte-identical strings.
+fn assemble_row(transport: String, spec: Spec, g: &Graph, metrics: Metrics) -> Row {
+    let m = g.num_edges();
+    let k = spec.nprocs as u64;
+    let max_size = metrics.sizes.iter().copied().max().unwrap_or(0);
+    let fingerprint = metrics.fingerprints.iter().fold(0x4D45_5348u64, |h, &f| mix2(h, f));
+    Row {
+        transport,
+        spec,
+        iterations: metrics.iterations,
+        comm_bytes: metrics.comm_bytes,
+        comm_msgs: metrics.comm_msgs,
+        rf: metrics.replicas as f64 / g.num_vertices() as f64,
+        eb: max_size as f64 * k as f64 / m as f64,
+        fingerprint,
+    }
+}
+
+/// In-process reference run on an explicit backend.
+fn reference_row(kind: TransportKind, spec: Spec) -> Row {
+    let g = spec.graph();
+    let ne = DistributedNe::new(NeConfig::default().with_seed(spec.seed).with_transport(kind));
+    let (assignment, stats) = ne.partition_with_stats(&g, spec.nprocs as u32);
+    let mut sizes = Vec::with_capacity(spec.nprocs);
+    let mut fingerprints = Vec::with_capacity(spec.nprocs);
+    let mut replicas = 0;
+    for mut edges in assignment.edges_by_partition() {
+        sizes.push(edges.len() as u64);
+        replicas += distinct_endpoints(&g, &edges);
+        fingerprints.push(partition_fingerprint(&mut edges));
+    }
+    eprintln!("[reference {kind}: ET {:.3}s]", stats.elapsed.as_secs_f64());
+    let metrics = Metrics {
+        iterations: stats.iterations,
+        comm_bytes: stats.comm_bytes,
+        comm_msgs: stats.comm_msgs,
+        sizes,
+        replicas,
+        fingerprints,
+    };
+    assemble_row(kind.to_string(), spec, &g, metrics)
+}
+
+/// One rank of the real multi-process run. Rank 0 prints the rendezvous
+/// address, then (once every rank finished) the result row.
+fn worker(rank: usize, nprocs: usize, addr: &str, spec: Spec) -> Result<(), String> {
+    let g = spec.graph();
+    let cluster = if rank == 0 {
+        let host = TcpProcessCluster::host(nprocs, addr).map_err(|e| e.to_string())?;
+        println!("{ADDR_TAG} {}", host.addr());
+        std::io::stdout().flush().ok();
+        host
+    } else {
+        TcpProcessCluster::join(rank, nprocs, addr).map_err(|e| e.to_string())?
+    };
+    let mut session = cluster.connect::<NeMsg>().map_err(|e| e.to_string())?;
+    let started = Instant::now();
+    let mut run = spec
+        .partitioner()
+        .run_rank(&mut session.ctx, &g, nprocs as u32)
+        .map_err(|e| format!("rank {rank}: transport failure during Distributed NE: {e}"))?;
+    let elapsed = started.elapsed();
+    // Snapshot the algorithm's accounting *before* the metric collectives
+    // below add their own traffic.
+    let my_bytes = session.comm.bytes_sent_by(rank);
+    let my_msgs = session.comm.msgs_sent_by(rank);
+    let ctx = &mut session.ctx;
+    let gather = |e: dne_runtime::TransportError| format!("rank {rank}: metric gather failed: {e}");
+    let metrics = Metrics {
+        iterations: ctx.try_all_reduce_max_u64(run.iterations).map_err(gather)?,
+        comm_bytes: ctx.try_all_reduce_sum_u64(my_bytes).map_err(gather)?,
+        comm_msgs: ctx.try_all_reduce_sum_u64(my_msgs).map_err(gather)?,
+        sizes: ctx.try_all_gather_u64(run.edges.len() as u64).map_err(gather)?,
+        replicas: ctx.try_all_reduce_sum_u64(distinct_endpoints(&g, &run.edges)).map_err(gather)?,
+        fingerprints: ctx
+            .try_all_gather_u64(partition_fingerprint(&mut run.edges))
+            .map_err(gather)?,
+    };
+    eprintln!("[worker rank {rank}/{nprocs}: ET {:.3}s]", elapsed.as_secs_f64());
+    if rank == 0 {
+        let row = assemble_row("tcp".into(), spec, &g, metrics);
+        println!("{ROW_TAG}\t{}", row.cells().join("\t"));
+        std::io::stdout().flush().ok();
+    }
+    Ok(())
+}
+
+/// Spawn `nprocs` worker processes of this same binary and collect rank
+/// 0's result row.
+fn launch_row(spec: Spec) -> Result<Row, String> {
+    let exe = std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
+    let spec_args = [spec.scale.to_string(), spec.degree.to_string(), spec.seed.to_string()];
+    let mut rank0 = Command::new(&exe)
+        .args(["worker", "0", &spec.nprocs.to_string(), "127.0.0.1:0"])
+        .args(&spec_args)
+        .stdout(Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("spawning rank 0: {e}"))?;
+    let mut lines = BufReader::new(rank0.stdout.take().expect("piped stdout")).lines();
+    // Every spawned worker lives in this reaper: any early error return
+    // kills and reaps the whole fleet instead of leaking orphans (which
+    // could otherwise linger in bootstrap accept loops).
+    let mut fleet = Fleet(vec![rank0]);
+    let addr = loop {
+        let line = lines
+            .next()
+            .ok_or("rank 0 exited before advertising its rendezvous address")?
+            .map_err(|e| format!("reading rank 0 stdout: {e}"))?;
+        if let Some(addr) = line.strip_prefix(ADDR_TAG) {
+            break addr.trim().to_string();
+        }
+    };
+    for rank in 1..spec.nprocs {
+        let peer = Command::new(&exe)
+            .args(["worker", &rank.to_string(), &spec.nprocs.to_string(), &addr])
+            .args(&spec_args)
+            .stdout(Stdio::null())
+            .spawn()
+            .map_err(|e| format!("spawning rank {rank}: {e}"))?;
+        fleet.0.push(peer);
+    }
+    let row = loop {
+        let line = lines
+            .next()
+            .ok_or("rank 0 exited without printing a result row")?
+            .map_err(|e| format!("reading rank 0 stdout: {e}"))?;
+        if let Some(cells) = line.strip_prefix(ROW_TAG) {
+            break Row::parse(cells.trim_start_matches('\t'))
+                .ok_or_else(|| format!("malformed result row {line:?}"))?;
+        }
+    };
+    // Reap every rank before judging statuses so a failure mid-loop
+    // cannot leave un-waited children behind.
+    let mut failure = None;
+    for (rank, child) in fleet.0.iter_mut().enumerate() {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                failure.get_or_insert(format!("rank {rank} exited with {status}"));
+            }
+            Err(e) => {
+                failure.get_or_insert(format!("waiting for rank {rank}: {e}"));
+            }
+        }
+    }
+    fleet.0.clear(); // all reaped; nothing left for the drop guard
+    match failure {
+        None => Ok(row),
+        Some(f) => Err(f),
+    }
+}
+
+/// Drop guard over the spawned worker fleet: on an early error return,
+/// kill and reap whatever is still running.
+struct Fleet(Vec<std::process::Child>);
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        for child in &mut self.0 {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// The acceptance gate: loopback vs bytes (in-process) vs tcp (real
+/// processes) must agree on every non-timing column.
+fn compare(spec: Spec) -> Result<(), String> {
+    let rows = vec![
+        reference_row(TransportKind::Loopback, spec),
+        reference_row(TransportKind::Bytes, spec),
+        launch_row(spec)?,
+    ];
+    let mut table = Table::new(&HEADER);
+    for row in &rows {
+        table.row(row.cells());
+    }
+    table.print();
+    if let Ok(path) = table.write_tsv("tcp_compare") {
+        println!("wrote {}", path.display());
+    }
+    let reference = rows[0].non_timing_key();
+    for row in &rows[1..] {
+        if row.non_timing_key() != reference {
+            return Err(format!(
+                "transport {} diverges from loopback:\n  loopback: {:?}\n  {}: {:?}",
+                row.transport,
+                reference,
+                row.transport,
+                row.non_timing_key()
+            ));
+        }
+    }
+    println!(
+        "OK: {} backends agree on all non-timing columns ({} processes, scale {})",
+        rows.len(),
+        spec.nprocs,
+        spec.scale
+    );
+    Ok(())
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dne-tcp-worker [quick|full]\n\
+         \x20      dne-tcp-worker compare [quick|full]\n\
+         \x20      dne-tcp-worker launch <nprocs> <scale> <degree> <seed>\n\
+         \x20      dne-tcp-worker reference <loopback|bytes|tcp> <nprocs> <scale> <degree> <seed>\n\
+         \x20      dne-tcp-worker worker <rank> <nprocs> <addr> <scale> <degree> <seed>"
+    );
+    std::process::exit(2);
+}
+
+fn arg<T: std::str::FromStr>(args: &[String], i: usize, what: &str) -> T {
+    args.get(i).and_then(|a| a.parse().ok()).unwrap_or_else(|| {
+        eprintln!("missing or invalid <{what}> argument");
+        usage()
+    })
+}
+
+fn spec_from(args: &[String], from: usize, nprocs: usize) -> Spec {
+    Spec {
+        nprocs,
+        scale: arg(args, from, "scale"),
+        degree: arg(args, from + 1, "degree"),
+        seed: arg(args, from + 2, "seed"),
+    }
+}
+
+fn preset(args: &[String], i: usize) -> Spec {
+    match args.get(i).map(String::as_str) {
+        Some("full") => Spec::full(),
+        Some("quick") | None => Spec::quick(),
+        Some(other) => {
+            eprintln!("unknown mode {other:?}");
+            usage()
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let result = match args.get(1).map(String::as_str) {
+        None | Some("quick") | Some("full") => compare(preset(&args, 1)),
+        Some("compare") => compare(preset(&args, 2)),
+        Some("launch") => {
+            let nprocs: usize = arg(&args, 2, "nprocs");
+            launch_row(spec_from(&args, 3, nprocs)).map(|row| {
+                let mut table = Table::new(&HEADER);
+                table.row(row.cells());
+                table.print();
+            })
+        }
+        Some("reference") => {
+            let kind: TransportKind = arg(&args, 2, "transport");
+            let nprocs: usize = arg(&args, 3, "nprocs");
+            let row = reference_row(kind, spec_from(&args, 4, nprocs));
+            let mut table = Table::new(&HEADER);
+            table.row(row.cells());
+            table.print();
+            Ok(())
+        }
+        Some("worker") => {
+            let rank: usize = arg(&args, 2, "rank");
+            let nprocs: usize = arg(&args, 3, "nprocs");
+            let addr: String = arg(&args, 4, "addr");
+            worker(rank, nprocs, &addr, spec_from(&args, 5, nprocs))
+        }
+        Some(_) => usage(),
+    };
+    if let Err(e) = result {
+        eprintln!("dne-tcp-worker: {e}");
+        std::process::exit(1);
+    }
+}

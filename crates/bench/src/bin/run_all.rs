@@ -3,11 +3,17 @@
 //!
 //! Usage: `cargo run -p dne-bench --release --bin run_all [full]`
 //!
-//! The `DNE_TRANSPORT` environment variable (`loopback` | `bytes`) selects
-//! the simulated cluster's transport backend for the whole suite; it is
-//! inherited by every child binary. Partitioning results are identical
-//! under both — `bytes` additionally round-trips every message through the
-//! real wire codec and reports exact (rather than estimated) comm volumes.
+//! The `DNE_TRANSPORT` environment variable (`loopback` | `bytes` | `tcp`)
+//! selects the simulated cluster's transport backend for the whole suite;
+//! it is inherited by every child binary. Partitioning results are
+//! identical under all backends — `bytes` round-trips every message
+//! through the real wire codec, `tcp` additionally carries the frames
+//! over real localhost sockets; both report exact (rather than estimated)
+//! comm volumes.
+//!
+//! The suite ends with the `dne-tcp-worker` compare step: a real
+//! multi-process TCP partition whose non-timing TSV columns are asserted
+//! identical to the in-process loopback and bytes runs.
 
 use std::process::Command;
 
@@ -29,6 +35,9 @@ fn main() {
         "table4_sequential",
         "table5_apps",
         "table6_roads",
+        // Multi-process acceptance gate: spawns real worker processes and
+        // asserts tcp == bytes == loopback on all non-timing columns.
+        "dne-tcp-worker",
     ];
     let exe_dir = std::env::current_exe()
         .ok()

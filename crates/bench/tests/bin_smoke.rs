@@ -25,6 +25,14 @@ fn table6_roads_quick_completes() {
 }
 
 #[test]
+fn tcp_worker_compare_quick_agrees_across_backends() {
+    // The multi-process acceptance gate: spawns 4 real worker processes
+    // over TCP and exits non-zero unless every non-timing column matches
+    // the in-process loopback and bytes runs.
+    run(env!("CARGO_BIN_EXE_dne-tcp-worker"), &["quick"]);
+}
+
+#[test]
 #[ignore = "runs every table/figure binary (~minutes in debug); CI runs it in release"]
 fn run_all_quick_completes() {
     run(env!("CARGO_BIN_EXE_run_all"), &[]);

@@ -29,8 +29,9 @@ pub struct NeConfig {
     pub stall_limit: u32,
     /// Transport backend of the simulated cluster: `Loopback` moves
     /// messages by pointer with estimated byte accounting, `Bytes` really
-    /// serializes every envelope and charges exact bytes. Partitioning
-    /// results are identical under both. `None` (the default) resolves the
+    /// serializes every envelope and charges exact bytes, `Tcp` carries
+    /// the same frames over real localhost sockets. Partitioning results
+    /// are identical under all three. `None` (the default) resolves the
     /// `DNE_TRANSPORT` environment variable at partition time (loopback
     /// when unset), so constructing a config never touches the environment.
     pub transport: Option<TransportKind>,

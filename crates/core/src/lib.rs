@@ -47,5 +47,5 @@ pub mod theory;
 
 pub use config::NeConfig;
 pub use messages::NeMsg;
-pub use partitioner::DistributedNe;
+pub use partitioner::{DistributedNe, RankRun};
 pub use stats::NeStats;

@@ -7,7 +7,7 @@ use parking_lot::Mutex;
 
 use dne_graph::{EdgeId, Graph, HeapSize, VertexId};
 use dne_partition::{EdgeAssignment, EdgePartitioner, PartitionId, UNASSIGNED};
-use dne_runtime::{Cluster, Ctx};
+use dne_runtime::{Cluster, Ctx, TransportError};
 
 use crate::allocation::{self, SelectRequest};
 use crate::config::NeConfig;
@@ -24,12 +24,20 @@ pub struct DistributedNe {
     config: NeConfig,
 }
 
-/// Per-machine result returned from the cluster run.
-struct MachineResult {
-    edges: Vec<EdgeId>,
-    iterations: u64,
-    selection_time: Duration,
-    allocation_time: Duration,
+/// Per-rank result of one Distributed NE machine: the final edge set of
+/// the partition this rank expanded, plus per-rank timing counters.
+/// Returned by [`DistributedNe::run_rank`]; assembled into the global
+/// [`EdgeAssignment`] by [`DistributedNe::partition_with_stats`].
+pub struct RankRun {
+    /// Global ids of the edges allocated to this rank's partition.
+    pub edges: Vec<EdgeId>,
+    /// Iterations this rank executed (identical across ranks by the
+    /// lock-step termination check).
+    pub iterations: u64,
+    /// Time spent in the vertex-selection phase on this rank.
+    pub selection_time: Duration,
+    /// Time spent in the allocation phases on this rank.
+    pub allocation_time: Duration,
 }
 
 impl DistributedNe {
@@ -75,11 +83,15 @@ impl DistributedNe {
         let cells: Vec<Mutex<Option<Vec<EdgeId>>>> =
             buckets.into_iter().map(|b| Mutex::new(Some(b))).collect();
         let outcome = Cluster::with_transport(k as usize, self.config.resolved_transport())
-            .run::<NeMsg, MachineResult, _>(|ctx| {
-            let my_edges =
-                cells[ctx.rank()].lock().take().expect("each rank takes its bucket once");
-            self.run_machine(ctx, g, &grid, my_edges, k)
-        });
+            .run::<NeMsg, RankRun, _>(|ctx| {
+                let my_edges =
+                    cells[ctx.rank()].lock().take().expect("each rank takes its bucket once");
+                // In-process, a transport failure means a sibling machine
+                // thread died — nothing to recover; fail the run loudly.
+                self.run_machine(ctx, g, &grid, my_edges, k).unwrap_or_else(|e| {
+                    panic!("rank {}: transport failure during Distributed NE: {e}", ctx.rank())
+                })
+            });
         // Assemble the global assignment from the expansion processes'
         // final edge sets ("at the end of the computation, the entire edges
         // are distributed to the |P| expansion processes", §3.3).
@@ -117,6 +129,46 @@ impl DistributedNe {
         (assignment, stats)
     }
 
+    /// Run this process's rank of a `k`-way partition of `g` over an
+    /// externally-built cluster context — the per-rank entry point for
+    /// *real multi-process* deployments (each OS process builds the same
+    /// graph deterministically, connects a
+    /// [`TcpProcessCluster`](dne_runtime::TcpProcessCluster) session, and
+    /// calls this with its own `ctx`; see the `dne-tcp-worker` binary).
+    ///
+    /// The rank's 2D-hash edge bucket is computed locally, identically to
+    /// the bucketing [`DistributedNe::partition_with_stats`] performs, so
+    /// results are bit-identical to an in-process run with the same
+    /// config. A peer that dies mid-run surfaces as a
+    /// [`TransportError`], not a panic.
+    pub fn run_rank(
+        &self,
+        ctx: &mut Ctx<NeMsg>,
+        g: &Graph,
+        k: PartitionId,
+    ) -> Result<RankRun, TransportError> {
+        assert!(k >= 1, "need at least one partition");
+        assert_eq!(ctx.nprocs(), k as usize, "one machine per partition");
+        if g.num_edges() == 0 {
+            return Ok(RankRun {
+                edges: Vec::new(),
+                iterations: 0,
+                selection_time: Duration::ZERO,
+                allocation_time: Duration::ZERO,
+            });
+        }
+        let grid = Grid2D::new(k, self.config.seed);
+        let rank = ctx.rank() as u32;
+        let mut my_edges = Vec::new();
+        for e in 0..g.num_edges() {
+            let (u, v) = g.edge(e);
+            if grid.owner(u, v) == rank {
+                my_edges.push(e);
+            }
+        }
+        self.run_machine(ctx, g, &grid, my_edges, k)
+    }
+
     /// One simulated machine: expansion process for partition `rank` plus
     /// the allocation process for the 2D-hash cell `rank`.
     fn run_machine(
@@ -126,7 +178,7 @@ impl DistributedNe {
         grid: &Grid2D,
         my_edges: Vec<EdgeId>,
         k: PartitionId,
-    ) -> MachineResult {
+    ) -> Result<RankRun, TransportError> {
         let rank = ctx.rank();
         let kk = k as usize;
         let m = g.num_edges();
@@ -136,7 +188,7 @@ impl DistributedNe {
         let mut exp = ExpansionState::new(rank as Part, limit, self.config.lambda);
         // Free-edge gossip, seeded by one initial all-gather and refreshed
         // by every Result round afterwards.
-        let mut free_hints: Vec<u64> = ctx.all_gather_u64(alloc.free_edges);
+        let mut free_hints: Vec<u64> = ctx.try_all_gather_u64(alloc.free_edges)?;
         // Previous iteration's |E_p| per partition (capacity gate for the
         // two-hop phase; one iteration stale by construction).
         let mut global_sizes: Vec<u64> = vec![0; kk];
@@ -164,13 +216,13 @@ impl DistributedNe {
                 SelectAction::Nothing => {}
             }
             selection_time += t0.elapsed();
-            let selects = ctx.exchange(|dst| NeMsg::Select {
+            let selects = ctx.try_exchange(|dst| NeMsg::Select {
                 vertices: std::mem::take(&mut sel_buckets[dst]),
                 random_budget: match random_req {
                     Some((target, budget)) if target == dst => budget.max(1),
                     _ => 0,
                 },
-            });
+            })?;
             // ---- Phase 2: one-hop allocation (Algorithm 3 l.1–9).
             let t1 = Instant::now();
             let requests: Vec<SelectRequest> = selects
@@ -194,8 +246,9 @@ impl DistributedNe {
                 }
             }
             allocation_time += t1.elapsed();
-            let syncs =
-                ctx.exchange(|dst| NeMsg::Sync { pairs: std::mem::take(&mut sync_buckets[dst]) });
+            let syncs = ctx.try_exchange(|dst| NeMsg::Sync {
+                pairs: std::mem::take(&mut sync_buckets[dst]),
+            })?;
             let t2 = Instant::now();
             let mut bp_new: Vec<(VertexId, Part)> = one.new_memberships;
             for msg in syncs {
@@ -237,11 +290,11 @@ impl DistributedNe {
             }
             allocation_time += t2.elapsed();
             // ---- Phase 5: results back to the expansion processes.
-            let results = ctx.exchange(|dst| NeMsg::Result {
+            let results = ctx.try_exchange(|dst| NeMsg::Result {
                 boundary: std::mem::take(&mut res_boundary[dst]),
                 edges: std::mem::take(&mut res_edges[dst]),
                 free_edges: alloc.free_edges,
-            });
+            })?;
             let t3 = Instant::now();
             let mut boundary_updates: Vec<(VertexId, u64)> = Vec::new();
             let mut new_edges: Vec<EdgeId> = Vec::new();
@@ -260,7 +313,7 @@ impl DistributedNe {
             }
             // ---- Termination (Algorithm 1 l.14–15). The all-gather both
             // sums |E| for the stop test and refreshes the capacity gate.
-            global_sizes = ctx.all_gather_u64(exp.size());
+            global_sizes = ctx.try_all_gather_u64(exp.size())?;
             let total: u64 = global_sizes.iter().sum();
             if total == m {
                 break;
@@ -275,7 +328,7 @@ impl DistributedNe {
                 // Leftover trickle (DESIGN.md §6.5): every partition is full
                 // or starved while isolated edges remain — assign them to
                 // the globally least-loaded partitions and finish.
-                let sizes = ctx.all_gather_u64(exp.size());
+                let sizes = ctx.try_all_gather_u64(exp.size())?;
                 // Deficit-directed leftover distribution: each allocator
                 // greedily fills the globally smallest partition, but
                 // advances its local size model by `nprocs` per assignment
@@ -292,22 +345,22 @@ impl DistributedNe {
                         extra[p].push(alloc.edge_global[le as usize]);
                     }
                 }
-                let finals = ctx.exchange(|dst| NeMsg::Result {
+                let finals = ctx.try_exchange(|dst| NeMsg::Result {
                     boundary: Vec::new(),
                     edges: std::mem::take(&mut extra[dst]),
                     free_edges: 0,
-                });
+                })?;
                 for msg in finals {
                     if let NeMsg::Result { edges, .. } = msg {
                         exp.edges.extend(edges);
                     }
                 }
-                let total = ctx.all_reduce_sum_u64(exp.size());
+                let total = ctx.try_all_reduce_sum_u64(exp.size())?;
                 debug_assert_eq!(total, m, "trickle must complete the cover");
                 break;
             }
         }
-        MachineResult { edges: exp.edges, iterations, selection_time, allocation_time }
+        Ok(RankRun { edges: exp.edges, iterations, selection_time, allocation_time })
     }
 }
 
@@ -481,6 +534,57 @@ mod tests {
         assert!(stats.iterations > 0);
         let q = PartitionQuality::measure(&g, &a);
         assert!(q.edge_balance < 1.35, "balance {}", q.edge_balance);
+    }
+
+    #[test]
+    fn run_rank_over_process_sessions_matches_in_process() {
+        // The multi-process entry point: each "process" (a thread here —
+        // the bootstrap, socket, and per-rank code paths are exactly what
+        // real OS processes execute) builds the same graph, connects a
+        // TcpProcessCluster session, and runs its rank. The assembled
+        // assignment, iteration count, and per-rank comm accounting must
+        // be bit-identical to the in-process loopback run.
+        use dne_runtime::TcpProcessCluster;
+        let g = gen::rmat(&gen::RmatConfig::graph500(7, 4, 11));
+        let k = 4u32;
+        let part = ne(11);
+        let (a_ref, s_ref) = part.partition_with_stats(&g, k);
+        let host = TcpProcessCluster::host(k as usize, "127.0.0.1:0").unwrap();
+        let addr = host.addr().to_string();
+        let mut host = Some(host);
+        let outputs: Vec<(Vec<EdgeId>, u64, u64, u64)> = std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for rank in 0..k as usize {
+                let (g, part, addr) = (&g, &part, addr.clone());
+                let cluster = host.take();
+                handles.push(s.spawn(move || {
+                    let cluster = match cluster {
+                        Some(h) => h,
+                        None => TcpProcessCluster::join(rank, k as usize, &addr).unwrap(),
+                    };
+                    let mut session = cluster.connect::<NeMsg>().unwrap();
+                    let run = part.run_rank(&mut session.ctx, g, k).unwrap();
+                    let bytes = session.comm.bytes_sent_by(rank);
+                    let msgs = session.comm.msgs_sent_by(rank);
+                    (run.edges, run.iterations, bytes, msgs)
+                }));
+            }
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut parts = vec![UNASSIGNED; g.num_edges() as usize];
+        let mut total_bytes = 0;
+        let mut total_msgs = 0;
+        for (p, (edges, iterations, bytes, msgs)) in outputs.into_iter().enumerate() {
+            assert_eq!(iterations, s_ref.iterations, "rank {p} iteration count");
+            total_bytes += bytes;
+            total_msgs += msgs;
+            for e in edges {
+                parts[e as usize] = p as PartitionId;
+            }
+        }
+        assert_eq!(EdgeAssignment::new(parts, k), a_ref, "assignments must be bit-identical");
+        assert_eq!(total_bytes, s_ref.comm_bytes, "comm bytes across processes");
+        assert_eq!(total_msgs, s_ref.comm_msgs, "comm message counts across processes");
     }
 
     #[test]

@@ -8,11 +8,18 @@ use crate::collectives::Collectives;
 use crate::comm::CommEndpoint;
 use crate::memory::{MemoryReport, MemoryTracker};
 use crate::stats::CommStats;
-use crate::transport::TransportKind;
+use crate::transport::{TransportError, TransportKind};
 use crate::wire::{WireDecode, WireEncode};
 
 /// Handle given to each simulated machine: its rank, the interconnect, the
 /// collectives, and the accounting hooks.
+///
+/// Every messaging primitive comes in two flavors: a `try_`-prefixed
+/// fallible form returning `Result<_, TransportError>` (what per-rank
+/// algorithm code in a real multi-process cluster uses, so a dead peer
+/// aborts the rank with an attributable error), and an infallible
+/// convenience form that panics with the typed error's message — fine for
+/// in-process simulations, where a failed rank takes the run down anyway.
 pub struct Ctx<M> {
     comm: CommEndpoint<M>,
     coll: Collectives,
@@ -20,6 +27,14 @@ pub struct Ctx<M> {
 }
 
 impl<M: Send + WireEncode + WireDecode + 'static> Ctx<M> {
+    /// Assemble a context from its parts — how a worker process in a real
+    /// multi-process cluster (see [`crate::tcp::TcpProcessCluster`])
+    /// builds the same handle that in-process `Cluster::run` closures
+    /// receive.
+    pub fn from_parts(comm: CommEndpoint<M>, coll: Collectives, mem: Arc<MemoryTracker>) -> Self {
+        Self { comm, coll, mem }
+    }
+
     /// This machine's rank in `0..nprocs`.
     #[inline]
     pub fn rank(&self) -> usize {
@@ -32,16 +47,32 @@ impl<M: Send + WireEncode + WireDecode + 'static> Ctx<M> {
         self.comm.nprocs()
     }
 
+    fn bail(&self, e: TransportError) -> ! {
+        panic!("rank {}: transport failure: {e}", self.rank())
+    }
+
     /// Point-to-point send (FIFO per link, byte-accounted).
     #[inline]
+    pub fn try_send(&self, dst: usize, msg: M) -> Result<(), TransportError> {
+        self.comm.send(dst, msg)
+    }
+
+    /// Infallible [`Ctx::try_send`]; panics on transport failure.
+    #[inline]
     pub fn send(&self, dst: usize, msg: M) {
-        self.comm.send(dst, msg);
+        self.try_send(dst, msg).unwrap_or_else(|e| self.bail(e));
     }
 
     /// Blocking receive of the next message from any peer.
     #[inline]
-    pub fn recv(&self) -> (usize, M) {
+    pub fn try_recv(&self) -> Result<(usize, M), TransportError> {
         self.comm.recv()
+    }
+
+    /// Infallible [`Ctx::try_recv`]; panics on transport failure.
+    #[inline]
+    pub fn recv(&self) -> (usize, M) {
+        self.try_recv().unwrap_or_else(|e| self.bail(e))
     }
 
     /// Lock-step all-to-all: send one message to every rank (produced by
@@ -49,47 +80,109 @@ impl<M: Send + WireEncode + WireDecode + 'static> Ctx<M> {
     /// indexed by source. The workhorse primitive of every iterative
     /// algorithm in this workspace; see module docs for why back-to-back
     /// exchanges are race-free.
-    pub fn exchange(&mut self, mut make: impl FnMut(usize) -> M) -> Vec<M> {
+    pub fn try_exchange(
+        &mut self,
+        mut make: impl FnMut(usize) -> M,
+    ) -> Result<Vec<M>, TransportError> {
         for dst in 0..self.nprocs() {
-            self.comm.send(dst, make(dst));
+            self.comm.send(dst, make(dst))?;
         }
         self.comm.recv_one_from_each()
     }
 
+    /// Infallible [`Ctx::try_exchange`]; panics on transport failure.
+    pub fn exchange(&mut self, make: impl FnMut(usize) -> M) -> Vec<M> {
+        match self.try_exchange(make) {
+            Ok(v) => v,
+            Err(e) => self.bail(e),
+        }
+    }
+
     /// MPI-style barrier across all machines.
     #[inline]
+    pub fn try_barrier(&mut self) -> Result<(), TransportError> {
+        self.coll.barrier()
+    }
+
+    /// Infallible [`Ctx::try_barrier`]; panics on transport failure.
+    #[inline]
     pub fn barrier(&mut self) {
-        self.coll.barrier();
+        self.try_barrier().unwrap_or_else(|e| self.bail(e));
     }
 
     /// All-gather one `u64` per machine.
     #[inline]
-    pub fn all_gather_u64(&mut self, value: u64) -> Vec<u64> {
+    pub fn try_all_gather_u64(&mut self, value: u64) -> Result<Vec<u64>, TransportError> {
         self.coll.all_gather_u64(value)
+    }
+
+    /// Infallible [`Ctx::try_all_gather_u64`]; panics on transport failure.
+    #[inline]
+    pub fn all_gather_u64(&mut self, value: u64) -> Vec<u64> {
+        match self.try_all_gather_u64(value) {
+            Ok(v) => v,
+            Err(e) => self.bail(e),
+        }
     }
 
     /// Sum-reduce a `u64` across machines (paper's `AllGatherSum`).
     #[inline]
-    pub fn all_reduce_sum_u64(&mut self, value: u64) -> u64 {
+    pub fn try_all_reduce_sum_u64(&mut self, value: u64) -> Result<u64, TransportError> {
         self.coll.all_reduce_sum_u64(value)
+    }
+
+    /// Infallible [`Ctx::try_all_reduce_sum_u64`]; panics on failure.
+    #[inline]
+    pub fn all_reduce_sum_u64(&mut self, value: u64) -> u64 {
+        match self.try_all_reduce_sum_u64(value) {
+            Ok(v) => v,
+            Err(e) => self.bail(e),
+        }
     }
 
     /// Max-reduce a `u64` across machines.
     #[inline]
-    pub fn all_reduce_max_u64(&mut self, value: u64) -> u64 {
+    pub fn try_all_reduce_max_u64(&mut self, value: u64) -> Result<u64, TransportError> {
         self.coll.all_reduce_max_u64(value)
+    }
+
+    /// Infallible [`Ctx::try_all_reduce_max_u64`]; panics on failure.
+    #[inline]
+    pub fn all_reduce_max_u64(&mut self, value: u64) -> u64 {
+        match self.try_all_reduce_max_u64(value) {
+            Ok(v) => v,
+            Err(e) => self.bail(e),
+        }
     }
 
     /// Sum-reduce an `f64` across machines.
     #[inline]
-    pub fn all_reduce_sum_f64(&mut self, value: f64) -> f64 {
+    pub fn try_all_reduce_sum_f64(&mut self, value: f64) -> Result<f64, TransportError> {
         self.coll.all_reduce_sum_f64(value)
+    }
+
+    /// Infallible [`Ctx::try_all_reduce_sum_f64`]; panics on failure.
+    #[inline]
+    pub fn all_reduce_sum_f64(&mut self, value: f64) -> f64 {
+        match self.try_all_reduce_sum_f64(value) {
+            Ok(v) => v,
+            Err(e) => self.bail(e),
+        }
     }
 
     /// OR-reduce a `bool` across machines.
     #[inline]
-    pub fn all_reduce_any(&mut self, value: bool) -> bool {
+    pub fn try_all_reduce_any(&mut self, value: bool) -> Result<bool, TransportError> {
         self.coll.all_reduce_any(value)
+    }
+
+    /// Infallible [`Ctx::try_all_reduce_any`]; panics on failure.
+    #[inline]
+    pub fn all_reduce_any(&mut self, value: bool) -> bool {
+        match self.try_all_reduce_any(value) {
+            Ok(v) => v,
+            Err(e) => self.bail(e),
+        }
     }
 
     /// Report this machine's current live heap bytes (mem-score snapshot).
@@ -169,7 +262,7 @@ impl Cluster {
                 let mem = Arc::clone(&mem);
                 let f = &f;
                 handles.push(scope.spawn(move || {
-                    let mut ctx = Ctx { comm, coll, mem };
+                    let mut ctx = Ctx::from_parts(comm, coll, mem);
                     f(&mut ctx)
                 }));
             }
@@ -187,9 +280,11 @@ impl Cluster {
 mod tests {
     use super::*;
 
-    /// Run the same cluster program on both backends.
-    fn on_both(nprocs: usize, f: impl Fn(&mut Ctx<u64>) + Sync) {
-        for kind in [TransportKind::Loopback, TransportKind::Bytes] {
+    const ALL: [TransportKind; 3] = TransportKind::ALL;
+
+    /// Run the same cluster program on every backend.
+    fn on_all(nprocs: usize, f: impl Fn(&mut Ctx<u64>) + Sync) {
+        for kind in ALL {
             Cluster::with_transport(nprocs, kind).run::<u64, _, _>(&f);
         }
     }
@@ -202,7 +297,7 @@ mod tests {
 
     #[test]
     fn exchange_is_all_to_all() {
-        on_both(3, |ctx| {
+        on_all(3, |ctx| {
             let rank = ctx.rank();
             // Everyone sends (own rank * 100 + dst) to each dst.
             let got = ctx.exchange(|dst| (rank * 100 + dst) as u64);
@@ -214,7 +309,7 @@ mod tests {
 
     #[test]
     fn repeated_exchanges_stay_aligned() {
-        on_both(4, |ctx| {
+        on_all(4, |ctx| {
             for round in 0..100u64 {
                 let got = ctx.exchange(|_| round);
                 assert!(got.iter().all(|&r| r == round));
@@ -235,7 +330,7 @@ mod tests {
 
     #[test]
     fn memory_and_comm_accounting_flow_through() {
-        for kind in [TransportKind::Loopback, TransportKind::Bytes] {
+        for kind in ALL {
             let out = Cluster::with_transport(2, kind).run::<u64, _, _>(|ctx| {
                 ctx.report_memory(1000 * (ctx.rank() + 1));
                 ctx.barrier();
@@ -248,7 +343,7 @@ mod tests {
             });
             assert_eq!(out.memory.peak_total_bytes, 3000);
             // One point-to-point u64 (8 bytes) plus two barrier charges
-            // (8·(P−1) = 8 each) — identical on both backends.
+            // (8·(P−1) = 8 each) — identical on every backend.
             assert_eq!(out.comm.total_bytes(), 8 + 16, "{kind}");
         }
     }
@@ -266,8 +361,8 @@ mod tests {
     #[test]
     fn byte_accounting_agrees_across_backends() {
         // The codec's estimate==actual invariant, observed end-to-end: the
-        // same program must charge the same bytes on both transports.
-        let totals: Vec<u64> = [TransportKind::Loopback, TransportKind::Bytes]
+        // same program must charge the same bytes on every transport.
+        let totals: Vec<u64> = ALL
             .into_iter()
             .map(|kind| {
                 let out = Cluster::with_transport(3, kind).run::<Vec<(u64, f64)>, _, _>(|ctx| {
@@ -286,6 +381,7 @@ mod tests {
             .collect();
         assert!(totals[0] > 0);
         assert_eq!(totals[0], totals[1], "loopback estimate must equal bytes actual");
+        assert_eq!(totals[0], totals[2], "loopback estimate must equal tcp actual");
     }
 
     #[test]

@@ -3,12 +3,12 @@
 //! Algorithm 1 of the paper uses `Barrier()` (line 9) and
 //! `AllGatherSum(|Ep|)` (line 14) every iteration; the application engine
 //! uses all-reduce for convergence/frontier checks. Collectives are built
-//! as *real traffic* over the same [`Transport`](crate::transport::Transport)
+//! as *real traffic* over the same [`Transport`]
 //! fabric as point-to-point messages: a flat all-gather in which every rank
 //! sends its one-word contribution to every peer and collects one word from
 //! each (the self-send is free and keeps indexing uniform). On the bytes
-//! backend those words are genuinely serialized and decoded like any other
-//! envelope.
+//! and tcp backends those words are genuinely serialized and decoded like
+//! any other envelope.
 //!
 //! Round alignment comes from the same argument as
 //! [`crate::Ctx::exchange`]: per-link FIFO order plus one-message-per-rank
@@ -17,14 +17,21 @@
 //!
 //! Byte accounting: each collective charges `8·(P−1)` bytes to every
 //! participant — on the loopback backend as `P−1` estimated 8-byte sends,
-//! on the bytes backend as `P−1` actually-encoded 8-byte frames. The total
-//! matches what a flat MPI all-gather of one word would move.
+//! on the bytes/tcp backends as `P−1` actually-encoded 8-byte frames. The
+//! total matches what a flat MPI all-gather of one word would move.
+//!
+//! Transport failures surface as a [`TransportError`] from the collective
+//! call rather than a panic inside the runtime. On the tcp backend that
+//! includes a peer dying mid-collective (its socket closes without the
+//! goodbye frame); on the in-process channel backends a vanished peer can
+//! only be a sibling thread already unwinding the whole run, and is
+//! reported once the fabric is torn down.
 
 use std::sync::Arc;
 
 use crate::comm::CommEndpoint;
 use crate::stats::CommStats;
-use crate::transport::TransportKind;
+use crate::transport::{Transport, TransportError, TransportKind};
 
 /// Per-rank collective-communication endpoint for one cluster run.
 pub struct Collectives {
@@ -36,6 +43,13 @@ impl Collectives {
     /// sharing the run's byte accounting.
     pub fn fabric(kind: TransportKind, n: usize, stats: Arc<CommStats>) -> Vec<Collectives> {
         CommEndpoint::fabric(kind, n, stats).into_iter().map(|comm| Collectives { comm }).collect()
+    }
+
+    /// Wrap a single already-connected transport endpoint — how a worker
+    /// process in a real multi-process cluster (see [`crate::tcp`])
+    /// builds its collectives handle.
+    pub fn from_transport(link: Box<dyn Transport<u64>>, stats: Arc<CommStats>) -> Collectives {
+        Collectives { comm: CommEndpoint::from_transport(link, stats) }
     }
 
     /// This endpoint's rank.
@@ -52,42 +66,44 @@ impl Collectives {
 
     /// Flat all-gather: contribute `value`, receive the full vector of
     /// contributions indexed by rank.
-    pub fn all_gather_u64(&mut self, value: u64) -> Vec<u64> {
+    pub fn all_gather_u64(&mut self, value: u64) -> Result<Vec<u64>, TransportError> {
         for dst in 0..self.nprocs() {
-            self.comm.send(dst, value);
+            self.comm.send(dst, value)?;
         }
         self.comm.recv_one_from_each()
     }
 
     /// Barrier: returns once every participant has arrived.
-    pub fn barrier(&mut self) {
-        self.all_gather_u64(0);
+    pub fn barrier(&mut self) -> Result<(), TransportError> {
+        self.all_gather_u64(0).map(|_| ())
     }
 
     /// Sum-reduce a `u64` across all participants.
-    pub fn all_reduce_sum_u64(&mut self, value: u64) -> u64 {
-        self.all_gather_u64(value).iter().sum()
+    pub fn all_reduce_sum_u64(&mut self, value: u64) -> Result<u64, TransportError> {
+        Ok(self.all_gather_u64(value)?.iter().sum())
     }
 
     /// Max-reduce a `u64` across all participants.
-    pub fn all_reduce_max_u64(&mut self, value: u64) -> u64 {
-        self.all_gather_u64(value).into_iter().max().unwrap_or(0)
+    pub fn all_reduce_max_u64(&mut self, value: u64) -> Result<u64, TransportError> {
+        Ok(self.all_gather_u64(value)?.into_iter().max().unwrap_or(0))
     }
 
     /// Sum-reduce an `f64` (transported via bit pattern, summed at reader).
-    pub fn all_reduce_sum_f64(&mut self, value: f64) -> f64 {
-        self.all_gather_u64(value.to_bits()).iter().map(|&b| f64::from_bits(b)).sum()
+    pub fn all_reduce_sum_f64(&mut self, value: f64) -> Result<f64, TransportError> {
+        Ok(self.all_gather_u64(value.to_bits())?.iter().map(|&b| f64::from_bits(b)).sum())
     }
 
     /// Logical OR across participants (any participant true ⇒ all see true).
-    pub fn all_reduce_any(&mut self, value: bool) -> bool {
-        self.all_reduce_sum_u64(value as u64) > 0
+    pub fn all_reduce_any(&mut self, value: bool) -> Result<bool, TransportError> {
+        Ok(self.all_reduce_sum_u64(value as u64)? > 0)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    const ALL: [TransportKind; 3] = TransportKind::ALL;
 
     fn run_on(kind: TransportKind, n: usize, f: impl Fn(usize, &mut Collectives) + Sync) {
         let stats = CommStats::new(n);
@@ -100,24 +116,25 @@ mod tests {
         });
     }
 
-    fn both(n: usize, f: impl Fn(usize, &mut Collectives) + Sync) {
-        run_on(TransportKind::Loopback, n, &f);
-        run_on(TransportKind::Bytes, n, &f);
+    fn all(n: usize, f: impl Fn(usize, &mut Collectives) + Sync) {
+        for kind in ALL {
+            run_on(kind, n, &f);
+        }
     }
 
     #[test]
     fn all_gather_returns_rank_indexed_values() {
-        both(4, |rank, coll| {
-            let got = coll.all_gather_u64((rank * 10) as u64);
+        all(4, |rank, coll| {
+            let got = coll.all_gather_u64((rank * 10) as u64).unwrap();
             assert_eq!(got, vec![0, 10, 20, 30]);
         });
     }
 
     #[test]
     fn repeated_rounds_do_not_mix() {
-        both(3, |rank, coll| {
+        all(3, |rank, coll| {
             for round in 0..50u64 {
-                let got = coll.all_gather_u64(round * 100 + rank as u64);
+                let got = coll.all_gather_u64(round * 100 + rank as u64).unwrap();
                 assert_eq!(got, vec![round * 100, round * 100 + 1, round * 100 + 2]);
             }
         });
@@ -125,33 +142,33 @@ mod tests {
 
     #[test]
     fn reductions() {
-        both(4, |rank, coll| {
-            assert_eq!(coll.all_reduce_sum_u64(2), 8);
-            assert_eq!(coll.all_reduce_max_u64(rank as u64), 3);
-            let s = coll.all_reduce_sum_f64(0.5);
+        all(4, |rank, coll| {
+            assert_eq!(coll.all_reduce_sum_u64(2).unwrap(), 8);
+            assert_eq!(coll.all_reduce_max_u64(rank as u64).unwrap(), 3);
+            let s = coll.all_reduce_sum_f64(0.5).unwrap();
             assert!((s - 2.0).abs() < 1e-12);
-            assert!(coll.all_reduce_any(rank == 2));
-            assert!(!coll.all_reduce_any(false));
+            assert!(coll.all_reduce_any(rank == 2).unwrap());
+            assert!(!coll.all_reduce_any(false).unwrap());
         });
     }
 
     #[test]
     fn single_process_collectives_are_identity() {
-        both(1, |_rank, coll| {
-            assert_eq!(coll.all_gather_u64(9), vec![9]);
-            assert_eq!(coll.all_reduce_sum_u64(9), 9);
-            coll.barrier();
+        all(1, |_rank, coll| {
+            assert_eq!(coll.all_gather_u64(9).unwrap(), vec![9]);
+            assert_eq!(coll.all_reduce_sum_u64(9).unwrap(), 9);
+            coll.barrier().unwrap();
         });
     }
 
     #[test]
     fn collectives_charge_bytes() {
-        for kind in [TransportKind::Loopback, TransportKind::Bytes] {
+        for kind in ALL {
             let stats = CommStats::new(2);
             let fabric = Collectives::fabric(kind, 2, stats.clone());
             std::thread::scope(|s| {
                 for mut coll in fabric {
-                    s.spawn(move || coll.barrier());
+                    s.spawn(move || coll.barrier().unwrap());
                 }
             });
             // Each participant charges 8·(P−1) = 8 bytes.
@@ -161,11 +178,27 @@ mod tests {
 
     #[test]
     fn single_process_collectives_are_free() {
-        let stats = CommStats::new(1);
-        let fabric = Collectives::fabric(TransportKind::Bytes, 1, stats.clone());
-        let mut coll = fabric.into_iter().next().unwrap();
-        coll.barrier();
-        assert_eq!(coll.all_gather_u64(3), vec![3]);
-        assert_eq!(stats.total_bytes(), 0, "nprocs = 1 moves nothing over the wire");
+        for kind in [TransportKind::Bytes, TransportKind::Tcp] {
+            let stats = CommStats::new(1);
+            let fabric = Collectives::fabric(kind, 1, stats.clone());
+            let mut coll = fabric.into_iter().next().unwrap();
+            coll.barrier().unwrap();
+            assert_eq!(coll.all_gather_u64(3).unwrap(), vec![3]);
+            assert_eq!(stats.total_bytes(), 0, "{kind}: nprocs = 1 moves nothing over the wire");
+        }
+    }
+
+    #[test]
+    fn departed_peer_mid_collective_is_an_error_not_a_hang() {
+        // Rank 1 goes away before contributing its word: rank 0's
+        // all-gather must surface a typed transport error instead of
+        // blocking forever or panicking mid-collective.
+        let stats = CommStats::new(2);
+        let mut fabric = Collectives::fabric(TransportKind::Tcp, 2, stats);
+        let one = fabric.pop().expect("rank 1");
+        let mut zero = fabric.pop().expect("rank 0");
+        drop(one);
+        let err = zero.all_gather_u64(1).unwrap_err();
+        assert!(matches!(err, TransportError::Disconnected { .. }), "{err}");
     }
 }

@@ -1,19 +1,24 @@
 //! Point-to-point FIFO messaging between simulated machines.
 //!
 //! [`CommEndpoint`] is the runtime's per-process messaging handle: it owns
-//! one endpoint of a [`Transport`] fabric (loopback or bytes — see
+//! one endpoint of a [`Transport`] fabric (loopback, bytes, or tcp — see
 //! [`crate::transport`]), charges every non-self send to [`CommStats`], and
 //! layers the round-alignment buffering that the lock-step
 //! [`crate::Ctx::exchange`] primitive needs. Per-link FIFO order is
-//! guaranteed by both backends (crossbeam channels are per-producer FIFO),
-//! which is exactly the MPI non-overtaking guarantee the algorithms rely
-//! on.
+//! guaranteed by all backends (crossbeam channels are per-producer FIFO,
+//! TCP streams are ordered), which is exactly the MPI non-overtaking
+//! guarantee the algorithms rely on.
+//!
+//! Every operation is fallible: a peer that dies mid-run or a frame that
+//! fails to decode propagates as a [`TransportError`] so callers —
+//! including real worker processes on the TCP backend — can attribute the
+//! failure instead of panicking mid-collective.
 
 use std::collections::VecDeque;
 use std::sync::Arc;
 
 use crate::stats::CommStats;
-use crate::transport::{Transport, TransportKind};
+use crate::transport::{Transport, TransportError, TransportKind};
 use crate::wire::{WireDecode, WireEncode};
 
 /// The per-process endpoint of the simulated interconnect.
@@ -34,12 +39,16 @@ impl<M: Send + WireEncode + WireDecode + 'static> CommEndpoint<M> {
     ) -> Vec<CommEndpoint<M>> {
         kind.fabric(n)
             .into_iter()
-            .map(|link| CommEndpoint {
-                link,
-                pending: (0..n).map(|_| VecDeque::new()).collect(),
-                stats: Arc::clone(&stats),
-            })
+            .map(|link| CommEndpoint::from_transport(link, Arc::clone(&stats)))
             .collect()
+    }
+
+    /// Wrap a single already-connected transport endpoint — how a worker
+    /// process in a real multi-process cluster (see [`crate::tcp`])
+    /// builds its messaging handle.
+    pub fn from_transport(link: Box<dyn Transport<M>>, stats: Arc<CommStats>) -> CommEndpoint<M> {
+        let n = link.nprocs();
+        CommEndpoint { link, pending: (0..n).map(|_| VecDeque::new()).collect(), stats }
     }
 
     /// This endpoint's rank.
@@ -58,15 +67,16 @@ impl<M: Send + WireEncode + WireDecode + 'static> CommEndpoint<M> {
     /// Self-sends are free (no wire crossing) but still delivered, so
     /// algorithms can treat all ranks uniformly. This is the *only* place
     /// that decides chargeability — transports just report sizes.
-    pub fn send(&self, dst: usize, msg: M) {
-        let wire = self.link.send(dst, msg);
+    pub fn send(&self, dst: usize, msg: M) -> Result<(), TransportError> {
+        let wire = self.link.send(dst, msg)?;
         if dst != self.rank() {
             self.stats.record_send(self.rank(), wire);
         }
+        Ok(())
     }
 
     /// Blocking receive of the next message from any source.
-    pub fn recv(&self) -> (usize, M) {
+    pub fn recv(&self) -> Result<(usize, M), TransportError> {
         self.link.recv()
     }
 
@@ -75,7 +85,7 @@ impl<M: Send + WireEncode + WireDecode + 'static> CommEndpoint<M> {
     /// message from a rank that already delivered this round) are buffered
     /// for the next call — this is what makes back-to-back exchanges safe
     /// even when peers race ahead.
-    pub fn recv_one_from_each(&mut self) -> Vec<M> {
+    pub fn recv_one_from_each(&mut self) -> Result<Vec<M>, TransportError> {
         let n = self.nprocs();
         let mut slots: Vec<Option<M>> = (0..n).map(|_| None).collect();
         let mut filled = 0;
@@ -89,7 +99,7 @@ impl<M: Send + WireEncode + WireDecode + 'static> CommEndpoint<M> {
             }
         }
         while filled < n {
-            let (src, msg) = self.recv();
+            let (src, msg) = self.recv()?;
             if slots[src].is_none() {
                 slots[src] = Some(msg);
                 filled += 1;
@@ -97,13 +107,15 @@ impl<M: Send + WireEncode + WireDecode + 'static> CommEndpoint<M> {
                 self.pending[src].push_back(msg);
             }
         }
-        slots.into_iter().map(|s| s.expect("slot filled")).collect()
+        Ok(slots.into_iter().map(|s| s.expect("slot filled")).collect())
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    const ALL: [TransportKind; 3] = TransportKind::ALL;
 
     fn fabric_of(kind: TransportKind, n: usize) -> (Vec<CommEndpoint<u64>>, Arc<CommStats>) {
         let stats = CommStats::new(n);
@@ -112,12 +124,12 @@ mod tests {
 
     #[test]
     fn fabric_delivers_point_to_point() {
-        for kind in [TransportKind::Loopback, TransportKind::Bytes] {
+        for kind in ALL {
             let (mut eps, stats) = fabric_of(kind, 2);
             let b = eps.pop().unwrap();
             let a = eps.pop().unwrap();
-            a.send(1, 42);
-            let (src, v) = b.recv();
+            a.send(1, 42).unwrap();
+            let (src, v) = b.recv().unwrap();
             assert_eq!((src, v), (0, 42));
             assert_eq!(stats.total_bytes(), 8, "{kind}: one u64 is 8 wire bytes");
         }
@@ -125,44 +137,44 @@ mod tests {
 
     #[test]
     fn self_send_is_free_but_delivered() {
-        for kind in [TransportKind::Loopback, TransportKind::Bytes] {
+        for kind in ALL {
             let (mut eps, stats) = fabric_of(kind, 1);
             let a = eps.pop().unwrap();
-            a.send(0, 7);
-            assert_eq!(a.recv(), (0, 7));
+            a.send(0, 7).unwrap();
+            assert_eq!(a.recv().unwrap(), (0, 7));
             assert_eq!(stats.total_bytes(), 0, "{kind}: self-sends are free");
         }
     }
 
     #[test]
     fn recv_one_from_each_buffers_early_rounds() {
-        for kind in [TransportKind::Loopback, TransportKind::Bytes] {
+        for kind in ALL {
             let (mut eps, _) = fabric_of(kind, 2);
             let b = eps.pop().unwrap();
             let mut a = eps.pop().unwrap();
             // Rank 1 races two rounds ahead before rank 0 collects round 1.
-            b.send(0, 10); // round 1
-            b.send(0, 20); // round 2 (early)
-            a.send(0, 1); // rank 0's self message, round 1
-            let round1 = a.recv_one_from_each();
+            b.send(0, 10).unwrap(); // round 1
+            b.send(0, 20).unwrap(); // round 2 (early)
+            a.send(0, 1).unwrap(); // rank 0's self message, round 1
+            let round1 = a.recv_one_from_each().unwrap();
             assert_eq!(round1, vec![1, 10]);
-            a.send(0, 2); // self, round 2
-            let round2 = a.recv_one_from_each();
+            a.send(0, 2).unwrap(); // self, round 2
+            let round2 = a.recv_one_from_each().unwrap();
             assert_eq!(round2, vec![2, 20]);
         }
     }
 
     #[test]
     fn per_link_fifo_order() {
-        for kind in [TransportKind::Loopback, TransportKind::Bytes] {
+        for kind in ALL {
             let (mut eps, _) = fabric_of(kind, 2);
             let b = eps.pop().unwrap();
             let a = eps.pop().unwrap();
             for i in 0..100 {
-                a.send(1, i);
+                a.send(1, i).unwrap();
             }
             for i in 0..100 {
-                assert_eq!(b.recv(), (0, i), "{kind}: FIFO per link");
+                assert_eq!(b.recv().unwrap(), (0, i), "{kind}: FIFO per link");
             }
         }
     }
@@ -171,62 +183,72 @@ mod tests {
     fn bytes_backend_charges_exactly_the_encoded_frame_bytes() {
         use crate::wire::{WireEncode, WireSize};
         // Independently re-encode every non-self message and compare the
-        // accumulated payload lengths against what CommStats recorded.
-        let stats = CommStats::new(2);
-        let mut eps = CommEndpoint::<Vec<u64>>::fabric(TransportKind::Bytes, 2, stats.clone());
-        let b = eps.pop().unwrap();
-        let a = eps.pop().unwrap();
-        let mut expected = 0u64;
-        for len in [0usize, 1, 3, 100, 1000] {
-            let msg: Vec<u64> = (0..len as u64).collect();
-            expected += msg.to_wire().len() as u64;
-            assert_eq!(msg.to_wire().len(), msg.wire_bytes());
-            a.send(1, msg.clone());
-            a.send(0, msg); // self-send: encoded but never charged
+        // accumulated payload lengths against what CommStats recorded —
+        // on both really-serializing backends.
+        for kind in [TransportKind::Bytes, TransportKind::Tcp] {
+            let stats = CommStats::new(2);
+            let mut eps = CommEndpoint::<Vec<u64>>::fabric(kind, 2, stats.clone());
+            let b = eps.pop().unwrap();
+            let a = eps.pop().unwrap();
+            let mut expected = 0u64;
+            for len in [0usize, 1, 3, 100, 1000] {
+                let msg: Vec<u64> = (0..len as u64).collect();
+                expected += msg.to_wire().len() as u64;
+                assert_eq!(msg.to_wire().len(), msg.wire_bytes());
+                a.send(1, msg.clone()).unwrap();
+                a.send(0, msg).unwrap(); // self-send: encoded but never charged
+            }
+            for _ in 0..5 {
+                let _ = b.recv().unwrap();
+                let _ = a.recv().unwrap();
+            }
+            assert_eq!(
+                stats.total_bytes(),
+                expected,
+                "{kind}: comm_bytes must equal encoded frame bytes"
+            );
         }
-        for _ in 0..5 {
-            let _ = b.recv();
-            let _ = a.recv();
-        }
-        assert_eq!(stats.total_bytes(), expected, "comm_bytes must equal encoded frame bytes");
     }
 
     #[test]
     fn interleaved_sends_from_many_sources_keep_per_link_order() {
         // Two producers interleave their streams into one consumer; each
-        // link's own order must survive arbitrary interleaving.
-        let stats = CommStats::new(3);
-        let eps = CommEndpoint::<u64>::fabric(TransportKind::Bytes, 3, stats);
-        let mut it = eps.into_iter();
-        let c = it.next().unwrap(); // rank 0 consumes
-        let a = it.next().unwrap(); // rank 1 produces odd tags
-        let b = it.next().unwrap(); // rank 2 produces even tags
-        std::thread::scope(|s| {
-            s.spawn(move || {
-                for i in 0..200u64 {
-                    a.send(0, i * 2 + 1);
+        // link's own order must survive arbitrary interleaving — on both
+        // serializing backends.
+        for kind in [TransportKind::Bytes, TransportKind::Tcp] {
+            let stats = CommStats::new(3);
+            let eps = CommEndpoint::<u64>::fabric(kind, 3, stats);
+            let mut it = eps.into_iter();
+            let c = it.next().unwrap(); // rank 0 consumes
+            let a = it.next().unwrap(); // rank 1 produces odd tags
+            let b = it.next().unwrap(); // rank 2 produces even tags
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    for i in 0..200u64 {
+                        a.send(0, i * 2 + 1).unwrap();
+                    }
+                });
+                s.spawn(move || {
+                    for i in 0..200u64 {
+                        b.send(0, i * 2).unwrap();
+                    }
+                });
+                let mut next = [0u64, 1]; // next expected even / odd value
+                for _ in 0..400 {
+                    let (src, v) = c.recv().unwrap();
+                    match src {
+                        1 => {
+                            assert_eq!(v, next[1], "link 1→0 must stay FIFO");
+                            next[1] += 2;
+                        }
+                        2 => {
+                            assert_eq!(v, next[0], "link 2→0 must stay FIFO");
+                            next[0] += 2;
+                        }
+                        other => panic!("unexpected source {other}"),
+                    }
                 }
             });
-            s.spawn(move || {
-                for i in 0..200u64 {
-                    b.send(0, i * 2);
-                }
-            });
-            let mut next = [0u64, 1]; // next expected even / odd value
-            for _ in 0..400 {
-                let (src, v) = c.recv();
-                match src {
-                    1 => {
-                        assert_eq!(v, next[1], "link 1→0 must stay FIFO");
-                        next[1] += 2;
-                    }
-                    2 => {
-                        assert_eq!(v, next[0], "link 2→0 must stay FIFO");
-                        next[0] += 2;
-                    }
-                    other => panic!("unexpected source {other}"),
-                }
-            }
-        });
+        }
     }
 }

@@ -9,15 +9,21 @@
 //!   `P` of them and joins their results);
 //! * the **interconnect** is a pluggable [`Transport`] fabric of FIFO links
 //!   with per-link byte accounting ([`CommStats`]) — this is what the
-//!   Table 5 "COM" column measures. Two backends exist:
+//!   Table 5 "COM" column measures. Three backends exist:
 //!   [`TransportKind::Loopback`] moves values by pointer and charges the
 //!   [`WireSize`] estimate; [`TransportKind::Bytes`] really serializes
 //!   every envelope through the [`WireEncode`]/[`WireDecode`] codec into
 //!   length-prefixed little-endian frames and charges the actual encoded
-//!   bytes. The codec guarantees estimate == actual, so both backends
-//!   report identical communication volumes — the bytes backend *proves*
+//!   bytes; [`TransportKind::Tcp`] carries those same frames over real
+//!   localhost `TcpStream`s, bootstrapped by a rendezvous handshake — and
+//!   the same socket endpoint powers genuinely multi-process clusters
+//!   ([`tcp::TcpProcessCluster`], driven by the `dne-tcp-worker` binary).
+//!   The codec guarantees estimate == actual, so all backends report
+//!   identical communication volumes — the serializing backends *prove*
 //!   it. Select with [`Cluster::with_transport`] or the `DNE_TRANSPORT`
-//!   environment variable (`loopback` | `bytes`);
+//!   environment variable (`loopback` | `bytes` | `tcp`). Transport
+//!   failures (a dead peer, an undecodable frame) surface as typed
+//!   [`TransportError`]s, not panics;
 //! * **collectives** (barrier, all-gather, all-reduce over `u64`/`f64`)
 //!   match the MPI primitives the paper's pseudo-code uses (`Barrier()` in
 //!   Algorithm 1 line 9, `AllGatherSum` in line 14) and are themselves
@@ -64,11 +70,13 @@ pub mod collectives;
 pub mod comm;
 pub mod memory;
 pub mod stats;
+pub mod tcp;
 pub mod transport;
 pub mod wire;
 
 pub use cluster::{Cluster, ClusterOutcome, Ctx};
 pub use memory::{MemoryReport, MemoryTracker};
 pub use stats::CommStats;
-pub use transport::{BytesTransport, LoopbackTransport, Transport, TransportKind};
+pub use tcp::{TcpProcessCluster, TcpSession, TcpTransport};
+pub use transport::{BytesTransport, LoopbackTransport, Transport, TransportError, TransportKind};
 pub use wire::{WireDecode, WireEncode, WireError, WireReader, WireSize};

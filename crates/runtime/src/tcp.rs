@@ -1,0 +1,1088 @@
+//! The TCP socket fabric: the wire frames of the bytes backend carried
+//! over real `TcpStream`s, between threads or between OS processes.
+//!
+//! # Topology and bootstrap
+//!
+//! A fabric of `P` endpoints is a full localhost mesh: one TCP connection
+//! per unordered rank pair, built by a rendezvous protocol:
+//!
+//! 1. **Rendezvous** — rank 0 listens on a known address (the
+//!    [`TcpRendezvous`]). Every rank `r > 0` first binds its own
+//!    ephemeral mesh listener, then dials rank 0 and sends a hello
+//!    (`[u32 magic][u8 fabric][u32 rank][u16 listen port]`).
+//! 2. **Roster** — once all `P − 1` hellos arrived, rank 0 answers each
+//!    peer with the roster (`[u32 magic][u32 nprocs][u16 port × (P − 1)]`)
+//!    mapping every nonzero rank to its mesh listener port. The
+//!    rendezvous connection itself becomes the `0 ↔ r` mesh link.
+//! 3. **Mesh** — each rank `i > 0` dials the listeners of ranks
+//!    `1..i` (sending a hello so the acceptor learns who called) and
+//!    accepts one connection from each rank `i+1..P`.
+//!
+//! The `fabric` byte lets one rendezvous listener serve several fabrics
+//! (a cluster run builds two: point-to-point and collectives); hellos
+//! that arrive for a fabric not currently being collected are stashed,
+//! so process startup order cannot wedge the bootstrap. Every bootstrap
+//! step carries a deadline — a peer that never shows up is a
+//! [`TransportError::Bootstrap`], not a hang.
+//!
+//! # Framing
+//!
+//! Data frames are exactly the bytes-backend format:
+//! `[u64 payload len][u32 src][payload]`, little-endian. The
+//! [`FramedReader`] reassembles them from the byte stream, immune to
+//! short reads and coalesced frames, bounding the length prefix by
+//! [`MAX_FRAME_PAYLOAD`] and by the bytes that actually arrive (a
+//! truncated connection is a typed error, never an unbounded allocation
+//! or a forever-block). A length prefix of `u64::MAX` is the *goodbye
+//! frame*: endpoints send it on every link when dropped, which is how
+//! peers distinguish a graceful teardown (reader retires silently) from
+//! a killed process (EOF without goodbye ⇒
+//! [`TransportError::Disconnected`] surfaces from `recv`).
+//!
+//! # Accounting
+//!
+//! `send` reports the encoded payload length exactly like the bytes
+//! backend, so `comm_bytes`/`comm_msgs` are identical across loopback,
+//! bytes, and tcp for identical traffic — the cross-transport equality
+//! tests assert this end-to-end.
+
+use std::io::{self, BufReader, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::cluster::Ctx;
+use crate::collectives::Collectives;
+use crate::comm::CommEndpoint;
+use crate::memory::MemoryTracker;
+use crate::stats::CommStats;
+use crate::transport::{decode_frame, encode_frame, Transport, TransportError, FRAME_HEADER_BYTES};
+
+pub use crate::transport::MAX_FRAME_PAYLOAD;
+use crate::wire::{WireDecode, WireEncode};
+
+/// Handshake magic ("DNE1") opening every bootstrap message.
+const MAGIC: u32 = 0x444E_4531;
+
+/// Length-prefix sentinel marking a goodbye frame.
+const BYE_LEN: u64 = u64::MAX;
+
+/// Payloads are read in chunks of this size, so even an in-bound length
+/// prefix only ever allocates ahead of the stream by one chunk.
+const READ_CHUNK: usize = 1 << 20;
+
+/// How long any single bootstrap step (dial, hello, roster, accept) may
+/// take before the bootstrap fails with a typed error.
+const BOOTSTRAP_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Fabric id of the point-to-point mesh in a cluster session.
+const FABRIC_P2P: u8 = 0;
+
+/// Fabric id of the collectives mesh in a cluster session.
+const FABRIC_COLL: u8 = 1;
+
+fn io_err(context: impl Into<String>, error: io::Error) -> TransportError {
+    TransportError::Io { context: context.into(), error }
+}
+
+fn bootstrap_err(detail: impl Into<String>) -> TransportError {
+    TransportError::Bootstrap { detail: detail.into() }
+}
+
+// ---------------------------------------------------------------- framing --
+
+/// One item pulled off a framed byte stream.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FrameItem {
+    /// A payload frame tagged with the source rank its header claims.
+    Frame {
+        /// Source rank from the frame header.
+        src: u32,
+        /// The raw encoded payload (codec bytes, header stripped).
+        payload: Vec<u8>,
+    },
+    /// The goodbye marker of a graceful shutdown.
+    Bye {
+        /// Source rank from the goodbye header.
+        src: u32,
+    },
+}
+
+/// Read until `buf` is full or the stream ends; returns the bytes filled.
+fn read_full<R: Read + ?Sized>(r: &mut R, buf: &mut [u8]) -> io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
+}
+
+/// Reassembles length-prefixed wire frames from a byte stream.
+///
+/// Handles the two realities of stream sockets that the in-process
+/// channel backends never see: *short reads* (one frame arriving in many
+/// pieces) and *coalesced frames* (many frames arriving in one read).
+/// Every malformed condition — EOF between frames, EOF mid-frame, a
+/// length prefix beyond [`MAX_FRAME_PAYLOAD`] — is a typed error.
+pub struct FramedReader<R> {
+    inner: R,
+}
+
+impl<R: Read> FramedReader<R> {
+    /// Wrap a byte stream.
+    pub fn new(inner: R) -> Self {
+        Self { inner }
+    }
+
+    /// Read the next frame, blocking as needed.
+    ///
+    /// EOF cleanly between frames yields
+    /// [`TransportError::Disconnected`] (the caller knows which peer the
+    /// stream belongs to); EOF anywhere inside a frame, or an oversized
+    /// length prefix, yields [`TransportError::Frame`].
+    pub fn read_frame(&mut self) -> Result<FrameItem, TransportError> {
+        let mut header = [0u8; FRAME_HEADER_BYTES];
+        let filled = read_full(&mut self.inner, &mut header)
+            .map_err(|e| io_err("reading frame header", e))?;
+        if filled == 0 {
+            // Stream ended at a frame boundary without a goodbye frame:
+            // the peer vanished rather than shutting down.
+            return Err(TransportError::Disconnected { peer: None });
+        }
+        if filled < FRAME_HEADER_BYTES {
+            return Err(TransportError::Frame {
+                src: None,
+                detail: format!(
+                    "stream ended mid-header after {filled} of {FRAME_HEADER_BYTES} bytes"
+                ),
+            });
+        }
+        let len = u64::from_le_bytes(header[0..8].try_into().expect("8-byte slice"));
+        let src = u32::from_le_bytes(header[8..12].try_into().expect("4-byte slice"));
+        if len == BYE_LEN {
+            return Ok(FrameItem::Bye { src });
+        }
+        if len > MAX_FRAME_PAYLOAD {
+            return Err(TransportError::Frame {
+                src: Some(src as usize),
+                detail: format!(
+                    "length prefix {len} exceeds the {MAX_FRAME_PAYLOAD}-byte frame bound"
+                ),
+            });
+        }
+        // Read the payload chunk by chunk so the allocation is bounded by
+        // the bytes that actually arrive, not by what the prefix claims.
+        let len = len as usize;
+        let mut payload = Vec::new();
+        while payload.len() < len {
+            let chunk = READ_CHUNK.min(len - payload.len());
+            let start = payload.len();
+            payload.resize(start + chunk, 0);
+            let got = read_full(&mut self.inner, &mut payload[start..])
+                .map_err(|e| io_err("reading frame payload", e))?;
+            if got < chunk {
+                return Err(TransportError::Frame {
+                    src: Some(src as usize),
+                    detail: format!(
+                        "stream ended mid-frame: length prefix claims {len} payload bytes, \
+                         only {} arrived",
+                        start + got
+                    ),
+                });
+            }
+        }
+        Ok(FrameItem::Frame { src, payload })
+    }
+}
+
+/// The 12-byte goodbye frame of rank `src`.
+fn bye_frame(src: usize) -> [u8; FRAME_HEADER_BYTES] {
+    let mut f = [0u8; FRAME_HEADER_BYTES];
+    f[0..8].copy_from_slice(&BYE_LEN.to_le_bytes());
+    f[8..12].copy_from_slice(&(src as u32).to_le_bytes());
+    f
+}
+
+// -------------------------------------------------------------- bootstrap --
+
+/// Hello: `[u32 magic][u8 fabric][u32 rank][u16 listen port]`.
+const HELLO_BYTES: usize = 11;
+
+fn write_hello(s: &mut impl Write, fabric: u8, rank: u32, port: u16) -> io::Result<()> {
+    let mut buf = [0u8; HELLO_BYTES];
+    buf[0..4].copy_from_slice(&MAGIC.to_le_bytes());
+    buf[4] = fabric;
+    buf[5..9].copy_from_slice(&rank.to_le_bytes());
+    buf[9..11].copy_from_slice(&port.to_le_bytes());
+    s.write_all(&buf)
+}
+
+fn read_hello(s: &mut impl Read) -> Result<(u8, u32, u16), TransportError> {
+    let mut buf = [0u8; HELLO_BYTES];
+    s.read_exact(&mut buf).map_err(|e| io_err("reading bootstrap hello", e))?;
+    let magic = u32::from_le_bytes(buf[0..4].try_into().expect("4-byte slice"));
+    if magic != MAGIC {
+        return Err(bootstrap_err(format!(
+            "bad hello magic {magic:#010x} (expected {MAGIC:#010x}) — \
+             is something else talking to the rendezvous port?"
+        )));
+    }
+    let fabric = buf[4];
+    let rank = u32::from_le_bytes(buf[5..9].try_into().expect("4-byte slice"));
+    let port = u16::from_le_bytes(buf[9..11].try_into().expect("2-byte slice"));
+    Ok((fabric, rank, port))
+}
+
+fn write_roster(s: &mut impl Write, nprocs: usize, ports: &[u16]) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(8 + ports.len() * 2);
+    buf.extend_from_slice(&MAGIC.to_le_bytes());
+    buf.extend_from_slice(&(nprocs as u32).to_le_bytes());
+    for p in ports {
+        buf.extend_from_slice(&p.to_le_bytes());
+    }
+    s.write_all(&buf)
+}
+
+fn read_roster(s: &mut impl Read, nprocs: usize) -> Result<Vec<u16>, TransportError> {
+    let mut head = [0u8; 8];
+    s.read_exact(&mut head).map_err(|e| io_err("reading bootstrap roster", e))?;
+    let magic = u32::from_le_bytes(head[0..4].try_into().expect("4-byte slice"));
+    if magic != MAGIC {
+        return Err(bootstrap_err(format!("bad roster magic {magic:#010x}")));
+    }
+    let n = u32::from_le_bytes(head[4..8].try_into().expect("4-byte slice")) as usize;
+    if n != nprocs {
+        return Err(bootstrap_err(format!(
+            "cluster size disagreement: rendezvous says {n} processes, this rank expects {nprocs}"
+        )));
+    }
+    let mut ports = vec![0u8; (nprocs - 1) * 2];
+    s.read_exact(&mut ports).map_err(|e| io_err("reading bootstrap roster ports", e))?;
+    Ok(ports.chunks_exact(2).map(|c| u16::from_le_bytes([c[0], c[1]])).collect())
+}
+
+/// The rendezvous point of a TCP fabric: rank 0's listener, which peers
+/// dial to exchange rank handshakes before the mesh is built.
+///
+/// One rendezvous can bootstrap several fabrics in sequence (a cluster
+/// session builds a point-to-point mesh and a collectives mesh); hellos
+/// arriving early for a later fabric are stashed, so peer startup order
+/// does not matter.
+pub struct TcpRendezvous {
+    listener: TcpListener,
+    addr: SocketAddr,
+    stash: Vec<(u8, u32, u16, TcpStream)>,
+}
+
+impl TcpRendezvous {
+    /// Bind the rendezvous listener (e.g. `"127.0.0.1:0"` for an
+    /// ephemeral port, or a fixed `host:port` peers were told to dial).
+    pub fn bind(addr: &str) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(Self { listener, addr, stash: Vec::new() })
+    }
+
+    /// The bound address peers must dial.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Accept hellos until every rank `1..nprocs` reported in for
+    /// `fabric`; returns `(rank, mesh port, stream)` sorted by rank.
+    fn collect(
+        &mut self,
+        fabric: u8,
+        nprocs: usize,
+    ) -> Result<Vec<(u32, u16, TcpStream)>, TransportError> {
+        let mut slots: Vec<Option<(u16, TcpStream)>> = (0..nprocs).map(|_| None).collect();
+        let mut place = |rank: u32, port: u16, stream: TcpStream| -> Result<(), TransportError> {
+            let slot = slots.get_mut(rank as usize).filter(|_| rank >= 1).ok_or_else(|| {
+                bootstrap_err(format!("hello from out-of-range rank {rank} (nprocs {nprocs})"))
+            })?;
+            if slot.is_some() {
+                return Err(bootstrap_err(format!("two hellos from rank {rank}")));
+            }
+            *slot = Some((port, stream));
+            Ok(())
+        };
+        let mut remaining = nprocs - 1;
+        // Serve hellos stashed by an earlier fabric's collection first.
+        let mut i = 0;
+        while i < self.stash.len() {
+            if self.stash[i].0 == fabric {
+                let (_, rank, port, stream) = self.stash.remove(i);
+                place(rank, port, stream)?;
+                remaining -= 1;
+            } else {
+                i += 1;
+            }
+        }
+        let deadline = Instant::now() + BOOTSTRAP_TIMEOUT;
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| io_err("configuring rendezvous listener", e))?;
+        while remaining > 0 {
+            match self.listener.accept() {
+                Ok((mut stream, _)) => {
+                    stream
+                        .set_nonblocking(false)
+                        .and_then(|()| stream.set_read_timeout(Some(BOOTSTRAP_TIMEOUT)))
+                        .map_err(|e| io_err("configuring rendezvous connection", e))?;
+                    let (f, rank, port) = read_hello(&mut stream)?;
+                    stream
+                        .set_read_timeout(None)
+                        .map_err(|e| io_err("configuring rendezvous connection", e))?;
+                    if f == fabric {
+                        place(rank, port, stream)?;
+                        remaining -= 1;
+                    } else {
+                        self.stash.push((f, rank, port, stream));
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if Instant::now() > deadline {
+                        return Err(bootstrap_err(format!(
+                            "timed out waiting for {remaining} of {} peers to dial the \
+                             rendezvous at {}",
+                            nprocs - 1,
+                            self.addr
+                        )));
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(io_err("accepting rendezvous connection", e)),
+            }
+        }
+        self.listener
+            .set_nonblocking(false)
+            .map_err(|e| io_err("configuring rendezvous listener", e))?;
+        Ok(slots
+            .into_iter()
+            .enumerate()
+            .filter_map(|(rank, s)| s.map(|(port, stream)| (rank as u32, port, stream)))
+            .collect())
+    }
+}
+
+/// Rank 0's side of one fabric bootstrap: collect hellos, answer rosters,
+/// keep the rendezvous connections as mesh links.
+fn host_endpoint<M>(
+    rv: &mut TcpRendezvous,
+    fabric: u8,
+    nprocs: usize,
+) -> Result<TcpTransport<M>, TransportError>
+where
+    M: Send + WireEncode + WireDecode + 'static,
+{
+    if nprocs == 1 {
+        return Ok(TcpTransport::solo());
+    }
+    let peers = rv.collect(fabric, nprocs)?;
+    let ports: Vec<u16> = peers.iter().map(|&(_, port, _)| port).collect();
+    let mut links: Vec<Option<TcpStream>> = (0..nprocs).map(|_| None).collect();
+    for (rank, _, mut stream) in peers {
+        write_roster(&mut stream, nprocs, &ports).map_err(|e| io_err("sending roster", e))?;
+        links[rank as usize] = Some(stream);
+    }
+    Ok(TcpTransport::from_links(0, nprocs, links))
+}
+
+/// Dial `addr` until it accepts or the bootstrap deadline passes.
+fn connect_with_retry(addr: SocketAddr) -> Result<TcpStream, TransportError> {
+    let deadline = Instant::now() + BOOTSTRAP_TIMEOUT;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                if Instant::now() > deadline {
+                    return Err(io_err(format!("dialing rendezvous {addr}"), e));
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
+    }
+}
+
+/// A nonzero rank's side of one fabric bootstrap: dial the rendezvous,
+/// learn the roster, then complete the mesh (dial lower ranks, accept
+/// higher ranks).
+fn connect_endpoint<M>(
+    addr: SocketAddr,
+    fabric: u8,
+    rank: usize,
+    nprocs: usize,
+) -> Result<TcpTransport<M>, TransportError>
+where
+    M: Send + WireEncode + WireDecode + 'static,
+{
+    assert!(rank >= 1 && rank < nprocs, "connect_endpoint is for ranks 1..nprocs");
+    let listener =
+        TcpListener::bind("127.0.0.1:0").map_err(|e| io_err("binding mesh listener", e))?;
+    let my_port =
+        listener.local_addr().map_err(|e| io_err("reading mesh listener address", e))?.port();
+    let mut rendezvous = connect_with_retry(addr)?;
+    write_hello(&mut rendezvous, fabric, rank as u32, my_port)
+        .map_err(|e| io_err("sending hello", e))?;
+    rendezvous
+        .set_read_timeout(Some(BOOTSTRAP_TIMEOUT))
+        .map_err(|e| io_err("configuring rendezvous connection", e))?;
+    let ports = read_roster(&mut rendezvous, nprocs)?;
+    rendezvous
+        .set_read_timeout(None)
+        .map_err(|e| io_err("configuring rendezvous connection", e))?;
+    let mut links: Vec<Option<TcpStream>> = (0..nprocs).map(|_| None).collect();
+    links[0] = Some(rendezvous);
+    // Dial every lower nonzero rank's mesh listener.
+    for j in 1..rank {
+        let mut s = TcpStream::connect(("127.0.0.1", ports[j - 1]))
+            .map_err(|e| io_err(format!("dialing mesh listener of rank {j}"), e))?;
+        write_hello(&mut s, fabric, rank as u32, 0).map_err(|e| io_err("sending mesh hello", e))?;
+        links[j] = Some(s);
+    }
+    // Accept one connection from every higher rank (any arrival order).
+    // The accept itself is bounded by the bootstrap deadline too: a peer
+    // that dies between its rendezvous hello and its mesh dial must
+    // surface as a bootstrap error here, not wedge this rank forever.
+    listener.set_nonblocking(true).map_err(|e| io_err("configuring mesh listener", e))?;
+    let deadline = Instant::now() + BOOTSTRAP_TIMEOUT;
+    for _ in rank + 1..nprocs {
+        let mut s = loop {
+            match listener.accept() {
+                Ok((s, _)) => break s,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    if Instant::now() > deadline {
+                        return Err(bootstrap_err(format!(
+                            "timed out waiting for higher ranks to dial rank {rank}'s mesh \
+                             listener"
+                        )));
+                    }
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => return Err(io_err("accepting mesh connection", e)),
+            }
+        };
+        s.set_nonblocking(false)
+            .and_then(|()| s.set_read_timeout(Some(BOOTSTRAP_TIMEOUT)))
+            .map_err(|e| io_err("configuring mesh connection", e))?;
+        let (f, peer, _) = read_hello(&mut s)?;
+        s.set_read_timeout(None).map_err(|e| io_err("configuring mesh connection", e))?;
+        if f != fabric {
+            return Err(bootstrap_err(format!(
+                "mesh hello for fabric {f} arrived on fabric {fabric}'s listener"
+            )));
+        }
+        let peer = peer as usize;
+        if peer <= rank || peer >= nprocs {
+            return Err(bootstrap_err(format!(
+                "mesh hello from unexpected rank {peer} (this is rank {rank} of {nprocs})"
+            )));
+        }
+        if links[peer].is_some() {
+            return Err(bootstrap_err(format!("two mesh connections from rank {peer}")));
+        }
+        links[peer] = Some(s);
+    }
+    Ok(TcpTransport::from_links(rank, nprocs, links))
+}
+
+// -------------------------------------------------------------- endpoint --
+
+/// What a link's reader thread delivers into the endpoint's event queue.
+enum Event<M> {
+    /// A decoded envelope from a peer (or a self-send).
+    Frame(usize, M),
+    /// The peer said goodbye: graceful teardown, the link is retired.
+    Bye,
+    /// The link failed: dirty EOF, framing violation, or decode error.
+    Fault(TransportError),
+}
+
+/// `Read` over a shared socket (both halves use the same fd; `&TcpStream`
+/// implements `Read`/`Write`, so no descriptor duplication is needed).
+struct ArcRead(Arc<TcpStream>);
+
+impl Read for ArcRead {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        (&*self.0).read(buf)
+    }
+}
+
+/// One endpoint of the TCP socket fabric.
+///
+/// Holds the write half of one `TcpStream` per peer; a detached reader
+/// thread per link reassembles frames (via [`FramedReader`]), decodes
+/// them, and queues `(src, msg)` envelopes. `recv` surfaces a peer that
+/// died without its goodbye frame as [`TransportError::Disconnected`]
+/// instead of blocking forever, and returns the same error when every
+/// peer is gone and nothing remains queued.
+pub struct TcpTransport<M> {
+    rank: usize,
+    nprocs: usize,
+    /// Write half per peer (`None` at the self index).
+    writers: Vec<Option<Mutex<Arc<TcpStream>>>>,
+    events_tx: Sender<Event<M>>,
+    events_rx: Receiver<Event<M>>,
+    /// Links whose reader is still delivering (decremented per Bye/Fault).
+    live: Mutex<usize>,
+}
+
+impl<M> TcpTransport<M>
+where
+    M: Send + WireEncode + WireDecode + 'static,
+{
+    /// Build all `n` connected endpoints of an in-process fabric: machine
+    /// threads bridged by real localhost sockets, bootstrapped through
+    /// the same rendezvous protocol spawned worker processes use.
+    ///
+    /// # Panics
+    /// Panics when the localhost mesh cannot be built (ports exhausted,
+    /// loopback unavailable) — an environment failure, not an input
+    /// condition. Multi-process callers use [`TcpProcessCluster`], which
+    /// returns errors instead.
+    pub fn fabric(n: usize) -> Vec<Self> {
+        Self::try_fabric(n).unwrap_or_else(|e| panic!("failed to build localhost TCP fabric: {e}"))
+    }
+
+    /// Fallible variant of [`TcpTransport::fabric`].
+    pub fn try_fabric(n: usize) -> Result<Vec<Self>, TransportError> {
+        assert!(n >= 1, "fabric needs at least one endpoint");
+        if n == 1 {
+            return Ok(vec![Self::solo()]);
+        }
+        let mut rv = TcpRendezvous::bind("127.0.0.1:0")
+            .map_err(|e| io_err("binding in-process rendezvous", e))?;
+        let addr = rv.local_addr();
+        std::thread::scope(|scope| {
+            let dialers: Vec<_> = (1..n)
+                .map(|r| scope.spawn(move || connect_endpoint::<M>(addr, FABRIC_P2P, r, n)))
+                .collect();
+            let mut out = Vec::with_capacity(n);
+            out.push(host_endpoint::<M>(&mut rv, FABRIC_P2P, n)?);
+            for d in dialers {
+                out.push(
+                    d.join()
+                        .map_err(|_| bootstrap_err("in-process bootstrap thread panicked"))??,
+                );
+            }
+            Ok(out)
+        })
+    }
+
+    /// The trivial 1-endpoint fabric: no sockets, self-sends only.
+    fn solo() -> Self {
+        let (events_tx, events_rx) = unbounded();
+        Self { rank: 0, nprocs: 1, writers: vec![None], events_tx, events_rx, live: Mutex::new(0) }
+    }
+
+    /// Assemble an endpoint from its bootstrapped mesh links, spawning
+    /// one detached reader thread per link.
+    fn from_links(rank: usize, nprocs: usize, links: Vec<Option<TcpStream>>) -> Self {
+        let (events_tx, events_rx) = unbounded();
+        let mut live = 0;
+        let writers = links
+            .into_iter()
+            .enumerate()
+            .map(|(peer, link)| {
+                link.map(|stream| {
+                    let _ = stream.set_nodelay(true);
+                    let shared = Arc::new(stream);
+                    let tx = events_tx.clone();
+                    let read_half = Arc::clone(&shared);
+                    live += 1;
+                    std::thread::Builder::new()
+                        .name(format!("dne-tcp-{rank}<-{peer}"))
+                        .spawn(move || reader_loop(peer, read_half, tx))
+                        .expect("spawning tcp reader thread");
+                    Mutex::new(shared)
+                })
+            })
+            .collect();
+        Self { rank, nprocs, writers, events_tx, events_rx, live: Mutex::new(live) }
+    }
+}
+
+impl<M> TcpTransport<M> {
+    /// Simulate an abnormal death for fault-injection tests: slam every
+    /// link shut (no goodbye frames), exactly as a killed process would.
+    /// Peers observe [`TransportError::Disconnected`] from `recv`.
+    pub fn abort(&self) {
+        for w in self.writers.iter().flatten() {
+            let _ = w.lock().shutdown(Shutdown::Both);
+        }
+    }
+}
+
+/// Per-link reader: reassemble frames, decode, queue. Exits on goodbye,
+/// fault, or when the owning endpoint is dropped (queue disconnect).
+fn reader_loop<M: Send + WireDecode>(peer: usize, stream: Arc<TcpStream>, tx: Sender<Event<M>>) {
+    let mut frames = FramedReader::new(BufReader::with_capacity(64 << 10, ArcRead(stream)));
+    loop {
+        let event = match frames.read_frame() {
+            Ok(FrameItem::Frame { src, payload }) => {
+                if src as usize != peer {
+                    Event::Fault(TransportError::Frame {
+                        src: Some(peer),
+                        detail: format!(
+                            "frame claims source rank {src} on the link from rank {peer}"
+                        ),
+                    })
+                } else {
+                    match M::from_wire(&payload) {
+                        Ok(msg) => Event::Frame(peer, msg),
+                        Err(error) => Event::Fault(TransportError::Decode { src: peer, error }),
+                    }
+                }
+            }
+            Ok(FrameItem::Bye { .. }) => Event::Bye,
+            Err(TransportError::Disconnected { .. }) => {
+                Event::Fault(TransportError::Disconnected { peer: Some(peer) })
+            }
+            Err(TransportError::Frame { detail, .. }) => {
+                Event::Fault(TransportError::Frame { src: Some(peer), detail })
+            }
+            Err(e) => Event::Fault(e),
+        };
+        let stop = matches!(event, Event::Bye | Event::Fault(_));
+        if tx.send(event).is_err() || stop {
+            return;
+        }
+    }
+}
+
+impl<M> Transport<M> for TcpTransport<M>
+where
+    M: Send + WireEncode + WireDecode + 'static,
+{
+    #[inline]
+    fn rank(&self) -> usize {
+        self.rank
+    }
+
+    #[inline]
+    fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    fn send(&self, dst: usize, msg: M) -> Result<usize, TransportError> {
+        let frame = encode_frame(self.rank, &msg);
+        let wire = frame.len() - FRAME_HEADER_BYTES;
+        // Enforce the frame bound at the sender (as every backend does):
+        // shipping a gigabyte only for the receiver to reject it as
+        // stream corruption would waste the transfer and misattribute a
+        // legitimate (if oversized) message.
+        crate::transport::check_payload_bound(wire, self.rank)?;
+        if dst == self.rank {
+            // Self-sends round-trip through the codec like any other
+            // envelope (matching the bytes backend) but skip the socket.
+            let envelope = decode_frame(&frame)?;
+            self.events_tx
+                .send(Event::Frame(envelope.0, envelope.1))
+                .expect("own event queue outlives the endpoint");
+        } else {
+            let writer = self.writers[dst].as_ref().expect("non-self destinations have links");
+            let guard = writer.lock();
+            let mut w: &TcpStream = &guard;
+            w.write_all(&frame).map_err(|error| TransportError::Io {
+                context: format!("sending {}-byte frame to rank {dst}", frame.len()),
+                error,
+            })?;
+        }
+        Ok(wire)
+    }
+
+    fn recv(&self) -> Result<(usize, M), TransportError> {
+        loop {
+            let event = if *self.live.lock() == 0 {
+                // Every link has retired: only already-queued envelopes
+                // (including self-sends) can satisfy this receive. An
+                // empty queue means blocking would never return.
+                match self.events_rx.try_recv() {
+                    Ok(ev) => ev,
+                    Err(_) => return Err(TransportError::Disconnected { peer: None }),
+                }
+            } else {
+                self.events_rx.recv().expect("events channel held open by this endpoint")
+            };
+            match event {
+                Event::Frame(src, msg) => return Ok((src, msg)),
+                Event::Bye => *self.live.lock() -= 1,
+                Event::Fault(e) => {
+                    *self.live.lock() -= 1;
+                    return Err(e);
+                }
+            }
+        }
+    }
+}
+
+impl<M> Drop for TcpTransport<M> {
+    fn drop(&mut self) {
+        // Graceful teardown: a goodbye frame then a write-side FIN on
+        // every link, so peers can tell this shutdown from a crash. A
+        // drop that happens while this thread is *panicking* is a crash,
+        // not a shutdown — skip the goodbye and slam the links, so peers
+        // observe a typed disconnect instead of blocking on a machine
+        // that will never speak again.
+        if std::thread::panicking() {
+            self.abort();
+            return;
+        }
+        let bye = bye_frame(self.rank);
+        for w in self.writers.iter().flatten() {
+            let guard = w.lock();
+            let mut s: &TcpStream = &guard;
+            let _ = s.write_all(&bye);
+            let _ = guard.shutdown(Shutdown::Write);
+        }
+    }
+}
+
+// --------------------------------------------------------- multi-process --
+
+/// One rank of a TCP cluster whose machines are *real OS processes*.
+///
+/// Rank 0 [`host`](TcpProcessCluster::host)s the rendezvous; every other
+/// process [`join`](TcpProcessCluster::join)s it.
+/// [`connect`](TcpProcessCluster::connect) then bootstraps the two meshes
+/// of a cluster session (point-to-point and collectives) and hands back a
+/// [`TcpSession`] whose [`Ctx`] offers the exact API that in-process
+/// `Cluster::run` closures receive — the same per-rank algorithm code
+/// drives both. See the `dne-tcp-worker` binary for the full workflow.
+pub struct TcpProcessCluster {
+    rank: usize,
+    nprocs: usize,
+    rendezvous: Option<TcpRendezvous>,
+    addr: SocketAddr,
+}
+
+impl TcpProcessCluster {
+    /// Become rank 0: bind the rendezvous listener at `bind_addr`
+    /// (`"127.0.0.1:0"` picks an ephemeral port; advertise
+    /// [`addr`](TcpProcessCluster::addr) to the other processes).
+    pub fn host(nprocs: usize, bind_addr: &str) -> Result<Self, TransportError> {
+        assert!(nprocs >= 1, "cluster needs at least one process");
+        let rendezvous = TcpRendezvous::bind(bind_addr)
+            .map_err(|e| io_err(format!("binding rendezvous at {bind_addr}"), e))?;
+        let addr = rendezvous.local_addr();
+        Ok(Self { rank: 0, nprocs, rendezvous: Some(rendezvous), addr })
+    }
+
+    /// Become rank `rank` (`1..nprocs`), dialing the rendezvous `addr`
+    /// that rank 0 advertised.
+    pub fn join(rank: usize, nprocs: usize, addr: &str) -> Result<Self, TransportError> {
+        assert!(rank >= 1 && rank < nprocs, "join is for ranks 1..nprocs");
+        let addr = addr
+            .parse()
+            .map_err(|e| bootstrap_err(format!("invalid rendezvous address {addr:?}: {e}")))?;
+        Ok(Self { rank, nprocs, rendezvous: None, addr })
+    }
+
+    /// This process's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Number of processes in the cluster.
+    pub fn nprocs(&self) -> usize {
+        self.nprocs
+    }
+
+    /// The rendezvous address (for rank 0: the bound listener address to
+    /// advertise to joining processes).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Bootstrap both meshes and build this rank's cluster context.
+    ///
+    /// Blocks until every process of the cluster has connected (bounded
+    /// by the bootstrap deadline). The session's [`CommStats`] and
+    /// [`MemoryTracker`] are process-local: only this rank's row is
+    /// populated — aggregate across ranks with a collective after the
+    /// algorithm finishes, as `dne-tcp-worker` does.
+    pub fn connect<M>(mut self) -> Result<TcpSession<M>, TransportError>
+    where
+        M: Send + WireEncode + WireDecode + 'static,
+    {
+        let stats = CommStats::new(self.nprocs);
+        let memory = MemoryTracker::new(self.nprocs);
+        let (p2p, coll): (TcpTransport<M>, TcpTransport<u64>) = match self.rendezvous.as_mut() {
+            Some(rv) => (
+                host_endpoint(rv, FABRIC_P2P, self.nprocs)?,
+                host_endpoint(rv, FABRIC_COLL, self.nprocs)?,
+            ),
+            None => (
+                connect_endpoint(self.addr, FABRIC_P2P, self.rank, self.nprocs)?,
+                connect_endpoint(self.addr, FABRIC_COLL, self.rank, self.nprocs)?,
+            ),
+        };
+        let comm = CommEndpoint::from_transport(Box::new(p2p), Arc::clone(&stats));
+        let collectives = Collectives::from_transport(Box::new(coll), Arc::clone(&stats));
+        let ctx = Ctx::from_parts(comm, collectives, Arc::clone(&memory));
+        Ok(TcpSession { ctx, comm: stats, memory })
+    }
+}
+
+/// A connected per-process cluster session (see [`TcpProcessCluster`]).
+pub struct TcpSession<M> {
+    /// The per-rank cluster context — the same API in-process
+    /// `Cluster::run` closures receive.
+    pub ctx: Ctx<M>,
+    /// Process-local communication accounting (this rank's row only).
+    pub comm: Arc<CommStats>,
+    /// Process-local memory accounting (this rank's row only).
+    pub memory: Arc<MemoryTracker>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::wire::WireSize;
+
+    // ------------------------------------------------- framed reader --
+
+    /// Adversarial `Read` that trickles one byte per call — the worst
+    /// possible short-read schedule.
+    struct OneByte<R>(R);
+
+    impl<R: Read> Read for OneByte<R> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let n = buf.len().min(1);
+            self.0.read(&mut buf[..n])
+        }
+    }
+
+    #[test]
+    fn coalesced_frames_split_correctly() {
+        // Three frames delivered in one contiguous buffer must come back
+        // as three distinct items.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&encode_frame(0, &7u64));
+        bytes.extend_from_slice(&encode_frame(1, &vec![1u64, 2, 3]));
+        bytes.extend_from_slice(&bye_frame(0));
+        let mut r = FramedReader::new(io::Cursor::new(bytes));
+        assert_eq!(
+            r.read_frame().unwrap(),
+            FrameItem::Frame { src: 0, payload: 7u64.to_le_bytes().to_vec() }
+        );
+        match r.read_frame().unwrap() {
+            FrameItem::Frame { src: 1, payload } => {
+                assert_eq!(Vec::<u64>::from_wire(&payload).unwrap(), vec![1, 2, 3]);
+            }
+            other => panic!("expected frame from rank 1, got {other:?}"),
+        }
+        assert_eq!(r.read_frame().unwrap(), FrameItem::Bye { src: 0 });
+    }
+
+    #[test]
+    fn short_reads_reassemble_frames() {
+        let mut bytes = Vec::new();
+        let payload: Vec<u64> = (0..100).collect();
+        bytes.extend_from_slice(&encode_frame(2, &payload));
+        bytes.extend_from_slice(&encode_frame(2, &vec![9u64]));
+        let mut r = FramedReader::new(OneByte(io::Cursor::new(bytes)));
+        for want in [payload, vec![9u64]] {
+            match r.read_frame().unwrap() {
+                FrameItem::Frame { src: 2, payload } => {
+                    assert_eq!(Vec::<u64>::from_wire(&payload).unwrap(), want);
+                }
+                other => panic!("expected data frame, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn eof_between_frames_is_disconnect() {
+        let bytes = encode_frame(0, &5u64);
+        let mut r = FramedReader::new(io::Cursor::new(bytes));
+        r.read_frame().unwrap();
+        let err = r.read_frame().unwrap_err();
+        assert!(matches!(err, TransportError::Disconnected { .. }), "{err}");
+    }
+
+    #[test]
+    fn truncated_header_and_payload_error_cleanly() {
+        // A stream that ends mid-header.
+        let frame = encode_frame(0, &5u64);
+        let mut r = FramedReader::new(io::Cursor::new(frame[..7].to_vec()));
+        let err = r.read_frame().unwrap_err();
+        assert!(matches!(err, TransportError::Frame { .. }), "mid-header: {err}");
+        // A stream that ends mid-payload: errors instead of blocking or
+        // over-allocating.
+        let mut r = FramedReader::new(io::Cursor::new(frame[..frame.len() - 3].to_vec()));
+        let err = r.read_frame().unwrap_err();
+        match err {
+            TransportError::Frame { src: Some(0), detail } => {
+                assert!(detail.contains("mid-frame"), "{detail}");
+            }
+            other => panic!("expected mid-frame error from rank 0, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_bounded() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(MAX_FRAME_PAYLOAD + 1).to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        let mut r = FramedReader::new(io::Cursor::new(bytes));
+        match r.read_frame().unwrap_err() {
+            TransportError::Frame { detail, .. } => assert!(detail.contains("exceeds"), "{detail}"),
+            other => panic!("expected framing error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn absurd_length_prefix_does_not_allocate_ahead_of_the_stream() {
+        // In-bound but huge claim with a near-empty stream: must error
+        // after at most one read chunk of allocation, quickly.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAX_FRAME_PAYLOAD.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 100]);
+        let mut r = FramedReader::new(io::Cursor::new(bytes));
+        let err = r.read_frame().unwrap_err();
+        assert!(matches!(err, TransportError::Frame { .. }), "{err}");
+    }
+
+    // ---------------------------------------------------- socket fabric --
+
+    #[test]
+    fn fabric_delivers_with_exact_accounting() {
+        let mut eps = TcpTransport::<Vec<u64>>::fabric(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        let payload: Vec<u64> = (0..500).collect();
+        let wire = a.send(1, payload.clone()).unwrap();
+        assert_eq!(wire, payload.wire_bytes());
+        assert_eq!(b.recv().unwrap(), (0, payload));
+    }
+
+    #[test]
+    fn per_link_fifo_order_over_sockets() {
+        let mut eps = TcpTransport::<u64>::fabric(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        for i in 0..200 {
+            a.send(1, i).unwrap();
+        }
+        for i in 0..200 {
+            assert_eq!(b.recv().unwrap(), (0, i));
+        }
+    }
+
+    #[test]
+    fn killed_peer_surfaces_as_transport_error() {
+        // Rank 1 dies abnormally (no goodbye): rank 0's next receive must
+        // be a typed disconnect naming the peer — not a hang, not a panic.
+        let mut eps = TcpTransport::<u64>::fabric(3);
+        let _c = eps.pop().unwrap();
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        b.abort();
+        match a.recv() {
+            Err(TransportError::Disconnected { peer: Some(1) }) => {}
+            other => panic!("expected disconnect from rank 1, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn graceful_shutdown_drains_then_reports_all_gone() {
+        // Frames sent before a graceful drop must still be received;
+        // afterwards recv reports that nothing can arrive instead of
+        // blocking forever.
+        let mut eps = TcpTransport::<u64>::fabric(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        b.send(0, 41).unwrap();
+        b.send(0, 42).unwrap();
+        drop(b);
+        assert_eq!(a.recv().unwrap(), (1, 41));
+        assert_eq!(a.recv().unwrap(), (1, 42));
+        match a.recv() {
+            Err(TransportError::Disconnected { peer: None }) => {}
+            other => panic!("expected all-gone disconnect, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn self_sends_work_without_sockets() {
+        let eps = TcpTransport::<u64>::fabric(1);
+        let a = &eps[0];
+        assert_eq!(a.send(0, 9).unwrap(), 8);
+        assert_eq!(a.recv().unwrap(), (0, 9));
+        // Nothing queued and no links: recv must error, not block.
+        assert!(matches!(a.recv(), Err(TransportError::Disconnected { peer: None })));
+    }
+
+    #[test]
+    fn four_endpoint_mesh_all_to_all() {
+        let eps = TcpTransport::<u64>::fabric(4);
+        std::thread::scope(|s| {
+            for ep in eps {
+                s.spawn(move || {
+                    for dst in 0..4 {
+                        ep.send(dst, (ep.rank() * 10 + dst) as u64).unwrap();
+                    }
+                    let mut got = vec![0u64; 4];
+                    for _ in 0..4 {
+                        let (src, v) = ep.recv().unwrap();
+                        got[src] = v;
+                    }
+                    let want: Vec<u64> = (0..4).map(|src| (src * 10 + ep.rank()) as u64).collect();
+                    assert_eq!(got, want);
+                });
+            }
+        });
+    }
+
+    // -------------------------------------------------- process cluster --
+
+    #[test]
+    fn process_cluster_bootstrap_and_collectives() {
+        // Exercise the exact host/join/connect path worker processes use
+        // (threads stand in for processes; the code path is identical).
+        let n = 3;
+        let host = TcpProcessCluster::host(n, "127.0.0.1:0").unwrap();
+        let addr = host.addr().to_string();
+        std::thread::scope(|s| {
+            let mut handles = vec![s.spawn(move || host.connect::<Vec<u64>>().unwrap())];
+            for rank in 1..n {
+                let addr = addr.clone();
+                handles.push(s.spawn(move || {
+                    TcpProcessCluster::join(rank, n, &addr).unwrap().connect::<Vec<u64>>().unwrap()
+                }));
+            }
+            let mut runners = Vec::new();
+            for h in handles {
+                let mut session = h.join().unwrap();
+                runners.push(s.spawn(move || {
+                    let rank = session.ctx.rank() as u64;
+                    let sum = session.ctx.try_all_reduce_sum_u64(rank).unwrap();
+                    assert_eq!(sum, 3);
+                    let got = session.ctx.try_exchange(|dst| vec![rank, dst as u64]).unwrap();
+                    for (src, msg) in got.iter().enumerate() {
+                        assert_eq!(msg, &vec![src as u64, rank]);
+                    }
+                    session.ctx.try_barrier().unwrap();
+                    // Per-process accounting: only this rank's row moves.
+                    session.comm.bytes_sent_by(session.ctx.rank())
+                }));
+            }
+            for r in runners {
+                let bytes = r.join().unwrap();
+                // Each rank: 2 collective rounds of 8·(P−1) plus one
+                // exchange with two non-self 24-byte payloads.
+                assert_eq!(bytes, 2 * 16 + 2 * 24);
+            }
+        });
+    }
+}

@@ -1,8 +1,8 @@
 //! Pluggable transport backends for the simulated interconnect.
 //!
 //! All traffic in the simulated cluster — point-to-point envelopes *and*
-//! collective rounds — flows through the [`Transport`] trait. Two backends
-//! implement it:
+//! collective rounds — flows through the [`Transport`] trait. Three
+//! backends implement it:
 //!
 //! * [`LoopbackTransport`] — the fast path: messages move between machine
 //!   threads by pointer through crossbeam channels, and the wire cost is
@@ -14,22 +14,37 @@
 //!   The wire cost charged is the *actual* encoded payload length, which
 //!   makes communication-volume numbers (Table 5 "COM", Figures 9/10)
 //!   exact rather than estimated.
+//! * [`TcpTransport`](crate::tcp::TcpTransport) — the same frames, but
+//!   carried over real `TcpStream` sockets: a full localhost mesh built by
+//!   a rendezvous bootstrap (rank 0 listens, peers dial in and exchange
+//!   rank handshakes). The in-process fabric bridges machine threads with
+//!   real sockets; the same endpoint code also powers genuinely
+//!   multi-process clusters (see [`crate::tcp::TcpProcessCluster`] and the
+//!   `dne-tcp-worker` binary).
 //!
-//! Both backends preserve the two properties every algorithm in this
+//! All backends preserve the two properties every algorithm in this
 //! workspace relies on: per-link FIFO order (crossbeam channels are
-//! per-producer FIFO, the MPI non-overtaking guarantee) and source-tagged
-//! envelopes. A future multi-process backend (TCP, shared memory, MPI)
-//! plugs in by implementing [`Transport`] over real sockets — the frame
-//! format is already what would cross the network.
+//! per-producer FIFO, TCP streams are ordered — the MPI non-overtaking
+//! guarantee) and source-tagged envelopes.
 //!
 //! Backend selection is a [`TransportKind`], threaded through
 //! [`crate::Cluster::with_transport`], `NeConfig` in `dne-core`, and the
-//! `DNE_TRANSPORT` environment variable (`loopback` | `bytes`) that the
-//! bench binaries and test suites honor.
+//! `DNE_TRANSPORT` environment variable (`loopback` | `bytes` | `tcp`)
+//! that the bench binaries and test suites honor.
+//!
+//! Failure surfaces as a typed [`TransportError`], never a panic: a frame
+//! that fails to decode, a send into a torn-down fabric, or a vanished
+//! peer is reported from [`Transport::send`]/[`Transport::recv`] as an
+//! `Err` the caller can attribute to a rank. How *promptly* a vanished
+//! peer is detected depends on the medium: the tcp backend observes the
+//! peer's socket close (EOF without the goodbye frame) and errors on the
+//! next receive, while the in-process channel backends — where a "dead
+//! peer" can only mean a sibling thread already unwinding the whole run —
+//! report [`TransportError::Disconnected`] once the fabric is torn down.
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 
-use crate::wire::{WireDecode, WireEncode, WireReader, WireSize};
+use crate::wire::{WireDecode, WireEncode, WireError, WireReader, WireSize};
 
 /// Which transport backend a cluster run uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -40,28 +55,54 @@ pub enum TransportKind {
     /// Real serialization: every envelope is encoded to a byte frame and
     /// decoded on receive; byte accounting is exact.
     Bytes,
+    /// Real sockets: the byte frames cross genuine localhost `TcpStream`s
+    /// between endpoints; byte accounting is exact and identical to
+    /// [`TransportKind::Bytes`].
+    Tcp,
 }
+
+/// The names `TransportKind::from_str` accepts, for error messages.
+const KIND_NAMES: &str = "\"loopback\", \"bytes\", or \"tcp\"";
 
 impl TransportKind {
     /// Environment variable consulted by [`TransportKind::from_env`].
     pub const ENV_VAR: &'static str = "DNE_TRANSPORT";
 
-    /// Read the backend from `DNE_TRANSPORT` (`loopback` | `bytes`,
-    /// case-insensitive). Unset or empty means [`TransportKind::Loopback`].
+    /// Every backend, in definition order — the canonical list invariance
+    /// tests iterate, so adding a backend cannot silently drop it from a
+    /// test suite that hand-copied the roster.
+    pub const ALL: [TransportKind; 3] =
+        [TransportKind::Loopback, TransportKind::Bytes, TransportKind::Tcp];
+
+    /// Read the backend from `DNE_TRANSPORT` (`loopback` | `bytes` | `tcp`,
+    /// case-insensitive, surrounding whitespace ignored). Unset or empty
+    /// means [`TransportKind::Loopback`].
     ///
     /// # Panics
-    /// Panics on an unrecognized value — a misconfigured benchmark run
-    /// should fail loudly, not silently measure the wrong backend.
+    /// Panics on an unrecognized or non-Unicode value, naming the valid
+    /// backends — a misconfigured benchmark run (`DNE_TRANSPORT=byte`)
+    /// must fail loudly before it silently measures the wrong backend.
     pub fn from_env() -> Self {
         match std::env::var(Self::ENV_VAR) {
-            Ok(v) if !v.is_empty() => {
+            Ok(v) if !v.trim().is_empty() => {
                 v.parse().unwrap_or_else(|e| panic!("invalid {}: {e}", Self::ENV_VAR))
+            }
+            Err(std::env::VarError::NotUnicode(raw)) => {
+                panic!(
+                    "invalid {}: non-Unicode value {raw:?} (expected {KIND_NAMES})",
+                    Self::ENV_VAR
+                )
             }
             _ => TransportKind::Loopback,
         }
     }
 
     /// Build the `n`-endpoint fabric of this backend.
+    ///
+    /// # Panics
+    /// [`TransportKind::Tcp`] panics when the localhost socket mesh cannot
+    /// be built (ports exhausted, loopback interface unavailable) — an
+    /// environment failure, not an input condition.
     pub(crate) fn fabric<M>(self, n: usize) -> Vec<Box<dyn Transport<M>>>
     where
         M: Send + WireEncode + WireDecode + 'static,
@@ -75,6 +116,10 @@ impl TransportKind {
                 .into_iter()
                 .map(|t| Box::new(t) as Box<dyn Transport<M>>)
                 .collect(),
+            TransportKind::Tcp => crate::tcp::TcpTransport::fabric(n)
+                .into_iter()
+                .map(|t| Box::new(t) as Box<dyn Transport<M>>)
+                .collect(),
         }
     }
 }
@@ -83,12 +128,11 @@ impl std::str::FromStr for TransportKind {
     type Err = String;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        match s.to_ascii_lowercase().as_str() {
+        match s.trim().to_ascii_lowercase().as_str() {
             "loopback" => Ok(TransportKind::Loopback),
             "bytes" => Ok(TransportKind::Bytes),
-            other => {
-                Err(format!("unknown transport {other:?} (expected \"loopback\" or \"bytes\")"))
-            }
+            "tcp" => Ok(TransportKind::Tcp),
+            other => Err(format!("unknown transport {other:?} (expected {KIND_NAMES})")),
         }
     }
 }
@@ -98,7 +142,84 @@ impl std::fmt::Display for TransportKind {
         f.write_str(match self {
             TransportKind::Loopback => "loopback",
             TransportKind::Bytes => "bytes",
+            TransportKind::Tcp => "tcp",
         })
+    }
+}
+
+/// A transport-level failure, surfaced as a value instead of a panic so a
+/// dead peer aborts a run with an attributable error — essential once
+/// endpoints live in separate OS processes that can genuinely die.
+#[derive(Debug)]
+pub enum TransportError {
+    /// A peer endpoint went away: its channel disconnected, its socket was
+    /// reset, or its stream ended without the goodbye frame a graceful
+    /// shutdown sends.
+    Disconnected {
+        /// The peer that vanished, when the transport can attribute it.
+        peer: Option<usize>,
+    },
+    /// An incoming frame's payload failed wire decoding.
+    Decode {
+        /// Source rank of the malformed frame.
+        src: usize,
+        /// The underlying codec error.
+        error: WireError,
+    },
+    /// A frame violated the framing protocol: oversized length prefix,
+    /// stream truncated mid-frame, or a header that does not parse.
+    Frame {
+        /// Source rank, when the link it arrived on is known.
+        src: Option<usize>,
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// A socket-level IO failure.
+    Io {
+        /// What the transport was doing when the error occurred.
+        context: String,
+        /// The underlying OS error.
+        error: std::io::Error,
+    },
+    /// The TCP rendezvous/bootstrap protocol failed (bad magic, rank
+    /// mismatch, peer count disagreement, bootstrap timeout).
+    Bootstrap {
+        /// Human-readable description of the failure.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportError::Disconnected { peer: Some(p) } => {
+                write!(f, "peer rank {p} disconnected without goodbye")
+            }
+            TransportError::Disconnected { peer: None } => {
+                write!(f, "all peers disconnected; no further messages can arrive")
+            }
+            TransportError::Decode { src, error } => {
+                write!(f, "malformed frame from rank {src}: {error}")
+            }
+            TransportError::Frame { src: Some(s), detail } => {
+                write!(f, "framing violation on link from rank {s}: {detail}")
+            }
+            TransportError::Frame { src: None, detail } => write!(f, "framing violation: {detail}"),
+            TransportError::Io { context, error } => {
+                write!(f, "io failure while {context}: {error}")
+            }
+            TransportError::Bootstrap { detail } => write!(f, "tcp bootstrap failed: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for TransportError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TransportError::Io { error, .. } => Some(error),
+            TransportError::Decode { error, .. } => Some(error),
+            _ => None,
+        }
     }
 }
 
@@ -106,12 +227,17 @@ impl std::fmt::Display for TransportKind {
 /// runtime's messaging primitives and the medium that carries them.
 ///
 /// `send` reports the envelope's wire size (estimated on loopback, actual
-/// encoded payload on bytes) for *every* destination, including self.
+/// encoded payload on bytes/tcp) for *every* destination, including self.
 /// Whether a send is chargeable is not a transport concern: accounting
 /// policy (self-sends are free) lives in exactly one place, the
 /// [`CommEndpoint`](crate::comm::CommEndpoint) wrapping this trait. `recv`
 /// blocks for the next envelope from any source and returns it tagged with
 /// the source rank.
+///
+/// Both operations are fallible: a vanished peer or an undecodable frame
+/// is a [`TransportError`], not a panic, so callers (including worker
+/// processes in a real multi-process cluster) can attribute the failure
+/// and exit cleanly.
 pub trait Transport<M>: Send {
     /// This endpoint's rank in `0..nprocs`.
     fn rank(&self) -> usize;
@@ -120,10 +246,10 @@ pub trait Transport<M>: Send {
     fn nprocs(&self) -> usize;
 
     /// Deliver `msg` to `dst`'s queue; returns the envelope's wire size.
-    fn send(&self, dst: usize, msg: M) -> usize;
+    fn send(&self, dst: usize, msg: M) -> Result<usize, TransportError>;
 
     /// Blocking receive of the next `(source, message)` envelope.
-    fn recv(&self) -> (usize, M);
+    fn recv(&self) -> Result<(usize, M), TransportError>;
 }
 
 /// Build the fully-connected channel mesh both in-process backends share:
@@ -172,19 +298,89 @@ impl<M: Send + WireSize> Transport<M> for LoopbackTransport<M> {
         self.senders.len()
     }
 
-    fn send(&self, dst: usize, msg: M) -> usize {
+    fn send(&self, dst: usize, msg: M) -> Result<usize, TransportError> {
         let wire = msg.wire_bytes();
-        self.senders[dst].send((self.rank, msg)).expect("receiver endpoint dropped");
-        wire
+        check_payload_bound(wire, self.rank)?;
+        self.senders[dst]
+            .send((self.rank, msg))
+            .map_err(|_| TransportError::Disconnected { peer: Some(dst) })?;
+        Ok(wire)
     }
 
-    fn recv(&self) -> (usize, M) {
-        self.receiver.recv().expect("all sender endpoints dropped")
+    fn recv(&self) -> Result<(usize, M), TransportError> {
+        self.receiver.recv().map_err(|_| TransportError::Disconnected { peer: None })
     }
 }
 
 /// Frame header: `[u64 payload length][u32 source rank]`, little-endian.
-const FRAME_HEADER_BYTES: usize = 12;
+pub(crate) const FRAME_HEADER_BYTES: usize = 12;
+
+/// Upper bound on a single message's encoded payload (1 GiB). Enforced
+/// identically by *every* backend's `send` — on the framing backends a
+/// corrupt or adversarial length prefix must not drive the reader into a
+/// giant allocation, and bounding loopback the same way keeps the three
+/// backends observationally identical even at the limit.
+pub const MAX_FRAME_PAYLOAD: u64 = 1 << 30;
+
+/// Reject an outgoing payload that would exceed the frame bound.
+pub(crate) fn check_payload_bound(wire: usize, src: usize) -> Result<(), TransportError> {
+    if wire as u64 > MAX_FRAME_PAYLOAD {
+        return Err(TransportError::Frame {
+            src: Some(src),
+            detail: format!(
+                "outgoing message payload of {wire} bytes exceeds the \
+                 {MAX_FRAME_PAYLOAD}-byte frame bound"
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// Encode one envelope into its wire frame
+/// (`[u64 payload len][u32 src][payload]`) — the format shared by the
+/// bytes backend and the TCP socket fabric.
+pub(crate) fn encode_frame<M: WireEncode>(src: usize, msg: &M) -> Vec<u8> {
+    let payload_len = msg.wire_bytes();
+    let mut frame = Vec::with_capacity(FRAME_HEADER_BYTES + payload_len);
+    (payload_len as u64).encode(&mut frame);
+    (src as u32).encode(&mut frame);
+    msg.encode(&mut frame);
+    debug_assert_eq!(
+        frame.len(),
+        FRAME_HEADER_BYTES + payload_len,
+        "encoder must emit exactly wire_bytes() payload bytes"
+    );
+    frame
+}
+
+/// Decode one wire frame back into its envelope. Malformed frames are
+/// typed errors, never panics: on the in-process bytes backend they would
+/// indicate a codec bug, but the same frames cross real sockets on the
+/// TCP backend, where truncation and corruption are input conditions.
+pub(crate) fn decode_frame<M: WireDecode>(frame: &[u8]) -> Result<(usize, M), TransportError> {
+    let mut r = WireReader::new(frame);
+    let payload_len = u64::decode(&mut r).map_err(|e| TransportError::Frame {
+        src: None,
+        detail: format!("frame too short for length prefix: {e}"),
+    })? as usize;
+    let src = u32::decode(&mut r).map_err(|e| TransportError::Frame {
+        src: None,
+        detail: format!("frame too short for source rank: {e}"),
+    })? as usize;
+    if r.remaining() != payload_len {
+        return Err(TransportError::Frame {
+            src: Some(src),
+            detail: format!(
+                "length prefix mismatch: header claims {payload_len} payload bytes, \
+                 {} present",
+                r.remaining()
+            ),
+        });
+    }
+    let payload = r.read_bytes(payload_len).expect("payload length checked above");
+    let msg = M::from_wire(payload).map_err(|error| TransportError::Decode { src, error })?;
+    Ok((src, msg))
+}
 
 /// The serializing backend: every envelope becomes a length-prefixed
 /// little-endian byte frame (`[u64 payload len][u32 src][payload]`).
@@ -213,37 +409,6 @@ impl<M: Send + WireEncode + WireDecode> BytesTransport<M> {
             })
             .collect()
     }
-
-    /// Encode one envelope into its wire frame.
-    fn encode_frame(src: usize, msg: &M) -> Vec<u8> {
-        let payload_len = msg.wire_bytes();
-        let mut frame = Vec::with_capacity(FRAME_HEADER_BYTES + payload_len);
-        (payload_len as u64).encode(&mut frame);
-        (src as u32).encode(&mut frame);
-        msg.encode(&mut frame);
-        debug_assert_eq!(
-            frame.len(),
-            FRAME_HEADER_BYTES + payload_len,
-            "encoder must emit exactly wire_bytes() payload bytes"
-        );
-        frame
-    }
-
-    /// Decode one wire frame back into its envelope.
-    ///
-    /// # Panics
-    /// Panics on a malformed frame: frames only ever come from
-    /// `encode_frame` over a reliable in-process channel, so corruption
-    /// here is a codec bug, not an input condition.
-    fn decode_frame(frame: &[u8]) -> (usize, M) {
-        let mut r = WireReader::new(frame);
-        let payload_len = u64::decode(&mut r).expect("frame too short for length prefix") as usize;
-        let src = u32::decode(&mut r).expect("frame too short for source rank") as usize;
-        assert_eq!(r.remaining(), payload_len, "frame length prefix mismatch");
-        let msg = M::from_wire(r.read_bytes(payload_len).expect("payload length checked"))
-            .unwrap_or_else(|e| panic!("malformed frame from rank {src}: {e}"));
-        (src, msg)
-    }
 }
 
 impl<M: Send + WireEncode + WireDecode> Transport<M> for BytesTransport<M> {
@@ -257,19 +422,23 @@ impl<M: Send + WireEncode + WireDecode> Transport<M> for BytesTransport<M> {
         self.senders.len()
     }
 
-    fn send(&self, dst: usize, msg: M) -> usize {
-        let frame = Self::encode_frame(self.rank, &msg);
+    fn send(&self, dst: usize, msg: M) -> Result<usize, TransportError> {
+        let frame = encode_frame(self.rank, &msg);
         // Report the encoded payload, excluding the 12-byte frame header:
-        // WireSize estimates are payload-only, and the two backends must
+        // WireSize estimates are payload-only, and all backends must
         // account identically for identical traffic.
         let wire = frame.len() - FRAME_HEADER_BYTES;
-        self.senders[dst].send(frame).expect("receiver endpoint dropped");
-        wire
+        check_payload_bound(wire, self.rank)?;
+        self.senders[dst]
+            .send(frame)
+            .map_err(|_| TransportError::Disconnected { peer: Some(dst) })?;
+        Ok(wire)
     }
 
-    fn recv(&self) -> (usize, M) {
-        let frame = self.receiver.recv().expect("all sender endpoints dropped");
-        Self::decode_frame(&frame)
+    fn recv(&self) -> Result<(usize, M), TransportError> {
+        let frame =
+            self.receiver.recv().map_err(|_| TransportError::Disconnected { peer: None })?;
+        decode_frame(&frame)
     }
 }
 
@@ -281,9 +450,21 @@ mod tests {
     fn kind_parses_and_displays() {
         assert_eq!("loopback".parse::<TransportKind>().unwrap(), TransportKind::Loopback);
         assert_eq!("BYTES".parse::<TransportKind>().unwrap(), TransportKind::Bytes);
-        assert!("tcp".parse::<TransportKind>().is_err());
+        assert_eq!("tcp".parse::<TransportKind>().unwrap(), TransportKind::Tcp);
+        assert_eq!(" Tcp ".parse::<TransportKind>().unwrap(), TransportKind::Tcp);
         assert_eq!(TransportKind::Bytes.to_string(), "bytes");
+        assert_eq!(TransportKind::Tcp.to_string(), "tcp");
         assert_eq!(TransportKind::default(), TransportKind::Loopback);
+    }
+
+    #[test]
+    fn typos_name_every_valid_backend() {
+        // The satellite bug: `DNE_TRANSPORT=byte` must be a hard error that
+        // tells the operator what would have been accepted.
+        let err = "byte".parse::<TransportKind>().unwrap_err();
+        for name in ["loopback", "bytes", "tcp"] {
+            assert!(err.contains(name), "error {err:?} must list {name}");
+        }
     }
 
     fn delivery_roundtrip(kind: TransportKind) {
@@ -291,9 +472,9 @@ mod tests {
         let b = fabric.pop().unwrap();
         let a = fabric.pop().unwrap();
         let payload: Vec<u64> = (0..100).collect();
-        let wire = a.send(1, payload.clone());
+        let wire = a.send(1, payload.clone()).unwrap();
         assert_eq!(wire, payload.wire_bytes(), "charged bytes must equal wire size");
-        let (src, got) = b.recv();
+        let (src, got) = b.recv().unwrap();
         assert_eq!(src, 0);
         assert_eq!(got, payload);
     }
@@ -309,31 +490,60 @@ mod tests {
     }
 
     #[test]
+    fn tcp_delivers_and_charges_actual() {
+        delivery_roundtrip(TransportKind::Tcp);
+    }
+
+    #[test]
     fn self_sends_report_their_size_and_deliver() {
         // Transports always report the envelope's wire size — the
         // self-sends-are-free policy lives solely in CommEndpoint.
-        for kind in [TransportKind::Loopback, TransportKind::Bytes] {
+        for kind in TransportKind::ALL {
             let fabric = kind.fabric::<u64>(1);
             let a = &fabric[0];
-            assert_eq!(a.send(0, 7), 8, "{kind}: size reported even for self-sends");
-            assert_eq!(a.recv(), (0, 7));
+            assert_eq!(a.send(0, 7).unwrap(), 8, "{kind}: size reported even for self-sends");
+            assert_eq!(a.recv().unwrap(), (0, 7));
         }
     }
 
     #[test]
     fn frame_layout_is_length_prefixed_little_endian() {
-        let frame = BytesTransport::<u64>::encode_frame(3, &0x0102_0304_0506_0708);
+        let frame = encode_frame(3, &0x0102_0304_0506_0708u64);
         assert_eq!(&frame[0..8], &8u64.to_le_bytes(), "payload length prefix");
         assert_eq!(&frame[8..12], &3u32.to_le_bytes(), "source rank");
         assert_eq!(&frame[12..], &0x0102_0304_0506_0708u64.to_le_bytes());
-        let (src, msg) = BytesTransport::<u64>::decode_frame(&frame);
+        let (src, msg) = decode_frame::<u64>(&frame).unwrap();
         assert_eq!((src, msg), (3, 0x0102_0304_0506_0708));
     }
 
     #[test]
-    #[should_panic(expected = "length prefix mismatch")]
-    fn truncated_frame_is_a_loud_codec_bug() {
-        let frame = BytesTransport::<u64>::encode_frame(0, &7);
-        BytesTransport::<u64>::decode_frame(&frame[..frame.len() - 1]);
+    fn truncated_frame_is_a_typed_error() {
+        let frame = encode_frame(0, &7u64);
+        let err = decode_frame::<u64>(&frame[..frame.len() - 1]).unwrap_err();
+        assert!(
+            matches!(err, TransportError::Frame { .. }),
+            "truncation must surface as a framing error, got {err}"
+        );
+    }
+
+    #[test]
+    fn undecodable_payload_names_the_source() {
+        // A frame whose header is intact but whose payload is garbage for
+        // the target type must attribute the decode failure to its sender.
+        let frame = encode_frame(2, &vec![1u8, 2, 3]);
+        match decode_frame::<Vec<u64>>(&frame) {
+            Err(TransportError::Decode { src: 2, .. }) => {}
+            other => panic!("expected Decode error from rank 2, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn loopback_send_to_dropped_fabric_errors() {
+        let mut fabric = LoopbackTransport::<u64>::fabric(2);
+        let _b = fabric.pop().unwrap();
+        let a = fabric.pop().unwrap();
+        drop(_b);
+        let err = a.send(1, 5).unwrap_err();
+        assert!(matches!(err, TransportError::Disconnected { peer: Some(1) }), "{err}");
     }
 }

@@ -1,6 +1,7 @@
 //! Stress and property tests of the simulated cluster: the lock-step
 //! exchange and the collectives must stay aligned under adversarial
-//! round patterns — the foundation of Distributed NE's determinism.
+//! round patterns — the foundation of Distributed NE's determinism —
+//! on every transport backend, sockets included.
 
 use distributed_ne::runtime::{Cluster, TransportKind};
 use proptest::prelude::*;
@@ -17,7 +18,7 @@ proptest! {
         rounds in 1u64..40,
         seed in 0u64..1000,
     ) {
-        for kind in [TransportKind::Loopback, TransportKind::Bytes] {
+        for kind in TransportKind::ALL {
         let out = Cluster::with_transport(nprocs, kind).run::<u64, _, _>(|ctx| {
             let mut checksum = 0u64;
             for r in 0..rounds {
@@ -59,7 +60,7 @@ proptest! {
     /// both exercised every case.
     #[test]
     fn comm_accounting_is_exact(nprocs in 2usize..5, msgs in 1u64..30) {
-        for kind in [TransportKind::Loopback, TransportKind::Bytes] {
+        for kind in TransportKind::ALL {
         let out = Cluster::with_transport(nprocs, kind).run::<u64, _, _>(|ctx| {
             // Every machine sends `msgs` u64s to its right neighbor.
             let right = (ctx.rank() + 1) % ctx.nprocs();

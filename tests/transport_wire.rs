@@ -1,9 +1,9 @@
 //! Cross-crate properties of the transport layer and wire codec: the
-//! loopback (pointer-passing, estimated bytes) and bytes (real
-//! serialization, exact bytes) backends must be observationally identical —
-//! same partitioning results, same application results, same communication
-//! accounting — and the codec must reject malformed frames with errors, not
-//! panics.
+//! loopback (pointer-passing, estimated bytes), bytes (real serialization,
+//! exact bytes), and tcp (the same frames over real localhost sockets)
+//! backends must be observationally identical — same partitioning results,
+//! same application results, same communication accounting — and the codec
+//! must reject malformed frames with errors, not panics.
 
 use distributed_ne::core::{DistributedNe, NeConfig, NeMsg};
 use distributed_ne::graph::gen;
@@ -11,7 +11,7 @@ use distributed_ne::partition::{EdgePartitioner, PartitionQuality};
 use distributed_ne::runtime::{Cluster, TransportKind, WireDecode, WireEncode, WireSize};
 use proptest::prelude::*;
 
-const BOTH: [TransportKind; 2] = [TransportKind::Loopback, TransportKind::Bytes];
+const ALL: [TransportKind; 3] = TransportKind::ALL;
 
 // ---------------------------------------------------------------- codec --
 
@@ -86,7 +86,7 @@ fn zero_length_payload_rounds_work_on_both_backends() {
     // Empty vectors (the common "nothing for you this round" envelope)
     // still frame, ship, and account correctly: each costs exactly its
     // 8-byte length prefix.
-    for kind in BOTH {
+    for kind in ALL {
         let out = Cluster::with_transport(3, kind).run::<Vec<u64>, _, _>(|ctx| {
             for _ in 0..4 {
                 let got = ctx.exchange(|_| Vec::new());
@@ -102,7 +102,7 @@ fn zero_length_payload_rounds_work_on_both_backends() {
 
 #[test]
 fn single_machine_collectives_and_exchange_on_both_backends() {
-    for kind in BOTH {
+    for kind in ALL {
         let out = Cluster::with_transport(1, kind).run::<Vec<u64>, _, _>(|ctx| {
             let got = ctx.exchange(|_| vec![1, 2, 3]);
             assert_eq!(got, vec![vec![1, 2, 3]]);
@@ -122,8 +122,8 @@ fn single_machine_collectives_and_exchange_on_both_backends() {
 #[test]
 fn distributed_ne_is_transport_invariant() {
     // The acceptance property: identical assignments, iteration counts and
-    // (thanks to estimate == actual) identical comm accounting under both
-    // transports, across several graph shapes.
+    // (thanks to estimate == actual) identical comm accounting under every
+    // transport — including real sockets — across several graph shapes.
     let graphs = [
         ("rmat", gen::rmat(&gen::RmatConfig::graph500(8, 6, 5))),
         ("star", gen::star(64)),
@@ -135,14 +135,16 @@ fn distributed_ne_is_transport_invariant() {
                 .partition_with_stats(g, 4)
         };
         let (a_loop, s_loop) = run(TransportKind::Loopback);
-        let (a_bytes, s_bytes) = run(TransportKind::Bytes);
-        assert_eq!(a_loop, a_bytes, "{name}: assignments must match across transports");
-        assert_eq!(s_loop.iterations, s_bytes.iterations, "{name}: iteration counts");
-        assert_eq!(s_loop.comm_bytes, s_bytes.comm_bytes, "{name}: comm accounting");
-        assert_eq!(s_loop.comm_msgs, s_bytes.comm_msgs, "{name}: message counts");
-        let q_loop = PartitionQuality::measure(g, &a_loop);
-        let q_bytes = PartitionQuality::measure(g, &a_bytes);
-        assert_eq!(q_loop.replication_factor, q_bytes.replication_factor, "{name}: RF");
+        for kind in [TransportKind::Bytes, TransportKind::Tcp] {
+            let (a_kind, s_kind) = run(kind);
+            assert_eq!(a_loop, a_kind, "{name}/{kind}: assignments must match across transports");
+            assert_eq!(s_loop.iterations, s_kind.iterations, "{name}/{kind}: iteration counts");
+            assert_eq!(s_loop.comm_bytes, s_kind.comm_bytes, "{name}/{kind}: comm accounting");
+            assert_eq!(s_loop.comm_msgs, s_kind.comm_msgs, "{name}/{kind}: message counts");
+            let q_loop = PartitionQuality::measure(g, &a_loop);
+            let q_kind = PartitionQuality::measure(g, &a_kind);
+            assert_eq!(q_loop.replication_factor, q_kind.replication_factor, "{name}/{kind}: RF");
+        }
     }
 }
 
@@ -156,13 +158,39 @@ fn app_engine_is_transport_invariant() {
         (engine.wcc(), engine.pagerank(5))
     };
     let (wcc_loop, pr_loop) = run(TransportKind::Loopback);
-    let (wcc_bytes, pr_bytes) = run(TransportKind::Bytes);
-    for (l, b) in [(&wcc_loop, &wcc_bytes), (&pr_loop, &pr_bytes)] {
-        assert_eq!(l.supersteps, b.supersteps, "{}: supersteps", l.name);
-        assert_eq!(l.comm_bytes, b.comm_bytes, "{}: comm accounting", l.name);
-        assert_eq!(l.values.len(), b.values.len());
-        for (x, y) in l.values.iter().zip(&b.values) {
-            assert_eq!(x.to_bits(), y.to_bits(), "{}: values must be bit-identical", l.name);
+    for kind in [TransportKind::Bytes, TransportKind::Tcp] {
+        let (wcc_kind, pr_kind) = run(kind);
+        for (l, b) in [(&wcc_loop, &wcc_kind), (&pr_loop, &pr_kind)] {
+            assert_eq!(l.supersteps, b.supersteps, "{}/{kind}: supersteps", l.name);
+            assert_eq!(l.comm_bytes, b.comm_bytes, "{}/{kind}: comm accounting", l.name);
+            assert_eq!(l.values.len(), b.values.len());
+            for (x, y) in l.values.iter().zip(&b.values) {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "{}/{kind}: values must be bit-identical",
+                    l.name
+                );
+            }
         }
     }
+}
+
+#[test]
+fn killed_tcp_peer_fails_the_run_with_a_typed_error() {
+    // Fault injection end-to-end: one machine of a TCP cluster dies
+    // abnormally mid-run; the sibling machines observe a typed transport
+    // disconnect (surfaced through the infallible Ctx wrappers as a panic
+    // naming the dead peer), never a silent hang.
+    use distributed_ne::runtime::Cluster;
+    let result = std::panic::catch_unwind(|| {
+        Cluster::with_transport(3, TransportKind::Tcp).run::<u64, _, _>(|ctx| {
+            if ctx.rank() == 1 {
+                panic!("injected failure"); // unwinds: endpoint drops mid-protocol
+            }
+            // The survivors' next collective cannot complete.
+            ctx.all_gather_u64(ctx.rank() as u64);
+        });
+    });
+    assert!(result.is_err(), "the dead peer must abort the run");
 }
