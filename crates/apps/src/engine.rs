@@ -5,7 +5,7 @@ use std::time::Duration;
 use dne_graph::hash::mix2;
 use dne_graph::{EdgeId, Graph, VertexId};
 use dne_partition::{EdgeAssignment, PartitionId};
-use dne_runtime::{Cluster, TransportKind};
+use dne_runtime::{Cluster, CollectiveTopology, TransportKind};
 use parking_lot::Mutex;
 
 /// How partial accumulators combine (the `⊕` of the GAS gather phase).
@@ -78,6 +78,10 @@ pub struct Engine<'g> {
     /// Transport backend of the simulated cluster the programs run on;
     /// `None` resolves `DNE_TRANSPORT` at run time.
     transport: Option<TransportKind>,
+    /// Collective topology of the simulated cluster; `None` resolves
+    /// `DNE_COLLECTIVES` at run time. Application results are
+    /// bit-identical under every topology.
+    collectives: Option<CollectiveTopology>,
 }
 
 impl<'g> Engine<'g> {
@@ -118,6 +122,7 @@ impl<'g> Engine<'g> {
             masters,
             edges_by_part: assignment.edges_by_partition(),
             transport: None,
+            collectives: None,
         }
     }
 
@@ -125,6 +130,15 @@ impl<'g> Engine<'g> {
     /// application results and comm accounting are identical under both).
     pub fn with_transport(mut self, transport: TransportKind) -> Self {
         self.transport = Some(transport);
+        self
+    }
+
+    /// Select the collective topology explicitly (overrides
+    /// `DNE_COLLECTIVES`; application results are bit-identical under
+    /// every topology — only the convergence collectives' schedule
+    /// changes).
+    pub fn with_collectives(mut self, collectives: CollectiveTopology) -> Self {
+        self.collectives = Some(collectives);
         self
     }
 
@@ -140,7 +154,9 @@ impl<'g> Engine<'g> {
         let g = self.g;
         let busy_times: Vec<Mutex<Duration>> = (0..k).map(|_| Mutex::new(Duration::ZERO)).collect();
         let transport = self.transport.unwrap_or_else(TransportKind::from_env);
+        let collectives = self.collectives.unwrap_or_else(CollectiveTopology::from_env);
         let outcome = Cluster::with_transport(k, transport)
+            .with_collectives(collectives)
             .run::<AppMsg, (Vec<(VertexId, f64)>, u64), _>(|ctx| {
                 let rank = ctx.rank();
                 let t_busy = std::time::Instant::now;

@@ -5,7 +5,7 @@
 //! Distributed NE?
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use dne_runtime::{Cluster, TransportKind, WireDecode, WireEncode};
+use dne_runtime::{Cluster, CollectiveTopology, TransportKind, WireDecode, WireEncode};
 use std::hint::black_box;
 
 /// Lock-step all-to-all of `Vec<u64>` payloads — the dominant traffic
@@ -53,6 +53,35 @@ fn bench_collectives_backends(c: &mut Criterion) {
     group.finish();
 }
 
+/// Collective topology comparison at the paper's machine counts: the same
+/// 20 all-reduce rounds under flat, binomial-tree, and recursive-doubling
+/// schedules at P ∈ {4, 16, 64}. Flat serializes P−1 sends per rank per
+/// round; tree and recursive-doubling trade that for log-depth schedules
+/// (see `CollectiveTopology::rank_traffic` for the exact byte model) —
+/// this measures what that buys in wall-clock as the fabric widens.
+fn bench_collective_topologies(c: &mut Criterion) {
+    for p in [4usize, 16, 64] {
+        let mut group = c.benchmark_group(format!("all_reduce_20x_p{p}_topology"));
+        group.sample_size(10);
+        for topo in CollectiveTopology::ALL {
+            group.bench_function(BenchmarkId::from_parameter(topo), |b| {
+                b.iter(|| {
+                    Cluster::with_transport(p, TransportKind::Loopback)
+                        .with_collectives(topo)
+                        .run::<u64, _, _>(|ctx| {
+                            let mut acc = 0u64;
+                            for i in 0..20 {
+                                acc = acc.wrapping_add(ctx.all_reduce_sum_u64(i));
+                            }
+                            black_box(acc)
+                        })
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
 /// The raw codec, isolated from threading: encode and decode throughput of
 /// the bulk `Vec<u64>` fast path.
 fn bench_codec(c: &mut Criterion) {
@@ -68,5 +97,11 @@ fn bench_codec(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_exchange_backends, bench_collectives_backends, bench_codec);
+criterion_group!(
+    benches,
+    bench_exchange_backends,
+    bench_collectives_backends,
+    bench_collective_topologies,
+    bench_codec
+);
 criterion_main!(benches);

@@ -17,15 +17,18 @@
 
 use std::process::Command;
 
-use dne_runtime::TransportKind;
+use dne_runtime::{CollectiveTopology, TransportKind};
 
 fn main() {
     let full = std::env::args().any(|a| a == "full");
     let mode = if full { "full" } else { "quick" };
-    // Validate DNE_TRANSPORT up front so a typo fails before, not after,
-    // an hours-long sweep; children inherit the environment unchanged.
+    // Validate DNE_TRANSPORT and DNE_COLLECTIVES up front so a typo fails
+    // before, not after, an hours-long sweep; children inherit the
+    // environment unchanged.
     let transport = TransportKind::from_env();
+    let collectives = CollectiveTopology::from_env();
     println!("transport: {transport}");
+    println!("collectives: {collectives}");
     let bins = [
         "table1_bounds",
         "fig6_lambda",

@@ -1,6 +1,6 @@
 //! Configuration of a Distributed NE run.
 
-use dne_runtime::TransportKind;
+use dne_runtime::{CollectiveTopology, TransportKind};
 
 /// Tunable parameters of Distributed NE. Defaults follow the paper's
 /// experimental setting (§7.1): imbalance factor `α = 1.1`, expansion factor
@@ -35,6 +35,13 @@ pub struct NeConfig {
     /// `DNE_TRANSPORT` environment variable at partition time (loopback
     /// when unset), so constructing a config never touches the environment.
     pub transport: Option<TransportKind>,
+    /// Collective aggregation topology of the simulated cluster: `Flat`
+    /// all-gathers (the reference), `Binomial` tree, or
+    /// `RecursiveDoubling` — partitioning results are bit-identical under
+    /// all three; only the collectives' message/byte schedule changes.
+    /// `None` (the default) resolves the `DNE_COLLECTIVES` environment
+    /// variable at partition time (flat when unset).
+    pub collectives: Option<CollectiveTopology>,
 }
 
 impl Default for NeConfig {
@@ -46,6 +53,7 @@ impl Default for NeConfig {
             track_memory: true,
             stall_limit: 3,
             transport: None,
+            collectives: None,
         }
     }
 }
@@ -88,6 +96,19 @@ impl NeConfig {
     pub fn resolved_transport(&self) -> TransportKind {
         self.transport.unwrap_or_else(TransportKind::from_env)
     }
+
+    /// Select the collective topology explicitly (overrides
+    /// `DNE_COLLECTIVES`).
+    pub fn with_collectives(mut self, collectives: CollectiveTopology) -> Self {
+        self.collectives = Some(collectives);
+        self
+    }
+
+    /// The collective topology a run will use: the explicit choice if one
+    /// was made, otherwise whatever `DNE_COLLECTIVES` says right now.
+    pub fn resolved_collectives(&self) -> CollectiveTopology {
+        self.collectives.unwrap_or_else(CollectiveTopology::from_env)
+    }
 }
 
 #[cfg(test)]
@@ -119,18 +140,22 @@ mod tests {
             .with_seed(9)
             .with_alpha(1.2)
             .with_lambda(1.0)
-            .with_transport(TransportKind::Bytes);
+            .with_transport(TransportKind::Bytes)
+            .with_collectives(CollectiveTopology::Binomial);
         assert_eq!(c.seed, 9);
         assert_eq!(c.alpha, 1.2);
         assert_eq!(c.lambda, 1.0);
         assert_eq!(c.transport, Some(TransportKind::Bytes));
         assert_eq!(c.resolved_transport(), TransportKind::Bytes);
+        assert_eq!(c.collectives, Some(CollectiveTopology::Binomial));
+        assert_eq!(c.resolved_collectives(), CollectiveTopology::Binomial);
     }
 
     #[test]
     fn default_does_not_read_the_environment() {
-        // `Default` must be pure: the env var is only consulted when a run
-        // resolves the backend, never at construction.
+        // `Default` must be pure: the env vars are only consulted when a
+        // run resolves the backend/topology, never at construction.
         assert_eq!(NeConfig::default().transport, None);
+        assert_eq!(NeConfig::default().collectives, None);
     }
 }

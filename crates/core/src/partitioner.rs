@@ -64,6 +64,7 @@ impl DistributedNe {
                 elapsed: Duration::ZERO,
                 comm_bytes: 0,
                 comm_msgs: 0,
+                collective_rounds: 0,
                 peak_memory_bytes: 0,
                 mem_score: 0.0,
                 selection_time_max: Duration::ZERO,
@@ -83,6 +84,7 @@ impl DistributedNe {
         let cells: Vec<Mutex<Option<Vec<EdgeId>>>> =
             buckets.into_iter().map(|b| Mutex::new(Some(b))).collect();
         let outcome = Cluster::with_transport(k as usize, self.config.resolved_transport())
+            .with_collectives(self.config.resolved_collectives())
             .run::<NeMsg, RankRun, _>(|ctx| {
                 let my_edges =
                     cells[ctx.rank()].lock().take().expect("each rank takes its bucket once");
@@ -111,6 +113,11 @@ impl DistributedNe {
             elapsed: outcome.elapsed,
             comm_bytes: outcome.comm.total_bytes(),
             comm_msgs: outcome.comm.total_msgs(),
+            collective_rounds: {
+                let total = outcome.comm.total_collective_rounds();
+                debug_assert_eq!(total % k as u64, 0, "lock-step ranks share a round count");
+                total / k as u64
+            },
             peak_memory_bytes: outcome.memory.peak_total_bytes,
             mem_score: outcome.memory.peak_total_bytes as f64 / m as f64,
             selection_time_max: outcome

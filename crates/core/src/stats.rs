@@ -19,6 +19,11 @@ pub struct NeStats {
     pub comm_bytes: u64,
     /// Total messages crossing the simulated interconnect.
     pub comm_msgs: u64,
+    /// Collective rounds (barrier / all-gather / all-reduce) each rank
+    /// executed — identical across ranks by the lock-step structure. With
+    /// `CollectiveTopology::total_traffic` this turns `comm_bytes` into an
+    /// exact per-topology expectation (the equivalence harness does).
+    pub collective_rounds: u64,
     /// Peak total live bytes across machines (Figure 9 numerator).
     pub peak_memory_bytes: u64,
     /// The paper's mem score: peak bytes / `|E|` (Figure 9).
@@ -58,6 +63,7 @@ mod tests {
             elapsed: Duration::from_millis(10),
             comm_bytes: 1000,
             comm_msgs: 10,
+            collective_rounds: 6,
             peak_memory_bytes: 4096,
             mem_score: 40.96,
             selection_time_max: Duration::from_millis(3),
@@ -75,6 +81,7 @@ mod tests {
             elapsed: Duration::ZERO,
             comm_bytes: 0,
             comm_msgs: 0,
+            collective_rounds: 0,
             peak_memory_bytes: 0,
             mem_score: 0.0,
             selection_time_max: Duration::ZERO,

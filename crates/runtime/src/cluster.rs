@@ -4,7 +4,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crate::collectives::Collectives;
+use crate::collectives::{CollectiveTopology, Collectives};
 use crate::comm::CommEndpoint;
 use crate::memory::{MemoryReport, MemoryTracker};
 use crate::stats::CommStats;
@@ -210,20 +210,37 @@ pub struct ClusterOutcome<R> {
 pub struct Cluster {
     nprocs: usize,
     transport: TransportKind,
+    /// `None` resolves `DNE_COLLECTIVES` lazily at [`Cluster::run`] time,
+    /// so an explicit [`Cluster::with_collectives`] choice never touches
+    /// (and can never be broken by) the environment.
+    collectives: Option<CollectiveTopology>,
 }
 
 impl Cluster {
     /// A cluster of `nprocs` simulated machines (`nprocs >= 1`) on the
     /// transport selected by the `DNE_TRANSPORT` environment variable
-    /// (loopback when unset — see [`TransportKind::from_env`]).
+    /// (loopback when unset — see [`TransportKind::from_env`]) and the
+    /// collective topology selected by `DNE_COLLECTIVES` (flat when unset
+    /// — see [`CollectiveTopology::from_env`]).
     pub fn new(nprocs: usize) -> Self {
         Self::with_transport(nprocs, TransportKind::from_env())
     }
 
     /// A cluster of `nprocs` simulated machines on an explicit backend.
+    /// The collective topology resolves from `DNE_COLLECTIVES` at run
+    /// time; override it with [`Cluster::with_collectives`].
     pub fn with_transport(nprocs: usize, transport: TransportKind) -> Self {
         assert!(nprocs >= 1, "cluster needs at least one machine");
-        Self { nprocs, transport }
+        Self { nprocs, transport, collectives: None }
+    }
+
+    /// Select the collective aggregation topology explicitly (overrides
+    /// `DNE_COLLECTIVES`, which is then never consulted). Results are
+    /// bit-identical under every topology; only the collectives'
+    /// message/byte schedule changes.
+    pub fn with_collectives(mut self, collectives: CollectiveTopology) -> Self {
+        self.collectives = Some(collectives);
+        self
     }
 
     /// Number of machines.
@@ -234,6 +251,12 @@ impl Cluster {
     /// The transport backend this cluster runs on.
     pub fn transport(&self) -> TransportKind {
         self.transport
+    }
+
+    /// The collective topology a run will use: the explicit choice if one
+    /// was made, otherwise whatever `DNE_COLLECTIVES` says right now.
+    pub fn collectives(&self) -> CollectiveTopology {
+        self.collectives.unwrap_or_else(CollectiveTopology::from_env)
     }
 
     /// Run `f` on every machine in parallel and join the results.
@@ -254,7 +277,12 @@ impl Cluster {
         let stats = CommStats::new(self.nprocs);
         let mem = MemoryTracker::new(self.nprocs);
         let endpoints = CommEndpoint::<M>::fabric(self.transport, self.nprocs, Arc::clone(&stats));
-        let collectives = Collectives::fabric(self.transport, self.nprocs, Arc::clone(&stats));
+        let collectives = Collectives::fabric(
+            self.transport,
+            self.collectives(),
+            self.nprocs,
+            Arc::clone(&stats),
+        );
         let start = Instant::now();
         let results: Vec<R> = std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(self.nprocs);
@@ -281,11 +309,14 @@ mod tests {
     use super::*;
 
     const ALL: [TransportKind; 3] = TransportKind::ALL;
+    const TOPOLOGIES: [CollectiveTopology; 3] = CollectiveTopology::ALL;
 
-    /// Run the same cluster program on every backend.
+    /// Run the same cluster program on every (transport × topology) pair.
     fn on_all(nprocs: usize, f: impl Fn(&mut Ctx<u64>) + Sync) {
         for kind in ALL {
-            Cluster::with_transport(nprocs, kind).run::<u64, _, _>(&f);
+            for topo in TOPOLOGIES {
+                Cluster::with_transport(nprocs, kind).with_collectives(topo).run::<u64, _, _>(&f);
+            }
         }
     }
 
@@ -331,20 +362,27 @@ mod tests {
     #[test]
     fn memory_and_comm_accounting_flow_through() {
         for kind in ALL {
-            let out = Cluster::with_transport(2, kind).run::<u64, _, _>(|ctx| {
-                ctx.report_memory(1000 * (ctx.rank() + 1));
-                ctx.barrier();
-                if ctx.rank() == 0 {
-                    ctx.send(1, 7);
-                } else {
-                    let (src, v) = ctx.recv();
-                    assert_eq!((src, v), (0, 7));
-                }
-            });
-            assert_eq!(out.memory.peak_total_bytes, 3000);
-            // One point-to-point u64 (8 bytes) plus two barrier charges
-            // (8·(P−1) = 8 each) — identical on every backend.
-            assert_eq!(out.comm.total_bytes(), 8 + 16, "{kind}");
+            for topo in TOPOLOGIES {
+                let out = Cluster::with_transport(2, kind).with_collectives(topo).run::<u64, _, _>(
+                    |ctx| {
+                        ctx.report_memory(1000 * (ctx.rank() + 1));
+                        ctx.barrier();
+                        if ctx.rank() == 0 {
+                            ctx.send(1, 7);
+                        } else {
+                            let (src, v) = ctx.recv();
+                            assert_eq!((src, v), (0, 7));
+                        }
+                    },
+                );
+                assert_eq!(out.memory.peak_total_bytes, 3000);
+                // One point-to-point u64 (8 bytes) plus one barrier at the
+                // topology's published per-collective cost — identical on
+                // every transport backend.
+                let (coll_bytes, _) = topo.total_traffic(2);
+                assert_eq!(out.comm.total_bytes(), 8 + coll_bytes, "{kind}/{topo}");
+                assert_eq!(out.comm.total_collective_rounds(), 2, "{kind}/{topo}");
+            }
         }
     }
 
@@ -361,21 +399,25 @@ mod tests {
     #[test]
     fn byte_accounting_agrees_across_backends() {
         // The codec's estimate==actual invariant, observed end-to-end: the
-        // same program must charge the same bytes on every transport.
+        // same program must charge the same bytes on every transport (the
+        // topology is held fixed; per-topology costs are covered by the
+        // collectives tests and the equivalence harness).
         let totals: Vec<u64> = ALL
             .into_iter()
             .map(|kind| {
-                let out = Cluster::with_transport(3, kind).run::<Vec<(u64, f64)>, _, _>(|ctx| {
-                    let rank = ctx.rank() as u64;
-                    for round in 0..5 {
-                        let got = ctx.exchange(|_dst| {
-                            (0..round + rank).map(|i| (i, i as f64 * 0.5)).collect()
-                        });
-                        assert_eq!(got.len(), 3);
-                        ctx.barrier();
-                    }
-                    ctx.all_reduce_sum_u64(1)
-                });
+                let out = Cluster::with_transport(3, kind)
+                    .with_collectives(CollectiveTopology::RecursiveDoubling)
+                    .run::<Vec<(u64, f64)>, _, _>(|ctx| {
+                        let rank = ctx.rank() as u64;
+                        for round in 0..5 {
+                            let got = ctx.exchange(|_dst| {
+                                (0..round + rank).map(|i| (i, i as f64 * 0.5)).collect()
+                            });
+                            assert_eq!(got.len(), 3);
+                            ctx.barrier();
+                        }
+                        ctx.all_reduce_sum_u64(1)
+                    });
                 out.comm.total_bytes()
             })
             .collect();
@@ -388,5 +430,17 @@ mod tests {
     #[should_panic]
     fn zero_machines_rejected() {
         Cluster::new(0);
+    }
+
+    #[test]
+    fn explicit_topology_wins_over_the_environment() {
+        // An explicit with_collectives choice must hold whatever
+        // DNE_COLLECTIVES the surrounding run exports (construction never
+        // reads the variable, so even an invalid value cannot break a
+        // pinned cluster — the env is only consulted lazily when unset).
+        for topo in TOPOLOGIES {
+            let c = Cluster::with_transport(2, TransportKind::Loopback).with_collectives(topo);
+            assert_eq!(c.collectives(), topo);
+        }
     }
 }

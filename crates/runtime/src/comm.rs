@@ -80,6 +80,25 @@ impl<M: Send + WireEncode + WireDecode + 'static> CommEndpoint<M> {
         self.link.recv()
     }
 
+    /// Blocking receive of the next message from a *specific* source,
+    /// buffering envelopes that arrive from other ranks in the meantime
+    /// (served by later `recv_from`/`recv_one_from_each` calls in per-link
+    /// FIFO order). This is what lets the tree and recursive-doubling
+    /// collective schedules name their partner per round without racing
+    /// peers that have run ahead.
+    pub fn recv_from(&mut self, src: usize) -> Result<M, TransportError> {
+        if let Some(m) = self.pending[src].pop_front() {
+            return Ok(m);
+        }
+        loop {
+            let (from, msg) = self.recv()?;
+            if from == src {
+                return Ok(msg);
+            }
+            self.pending[from].push_back(msg);
+        }
+    }
+
     /// Receive exactly one message from *every* rank (including self),
     /// returning them indexed by source. Out-of-round messages (a second
     /// message from a rank that already delivered this round) are buffered
@@ -161,6 +180,24 @@ mod tests {
             a.send(0, 2).unwrap(); // self, round 2
             let round2 = a.recv_one_from_each().unwrap();
             assert_eq!(round2, vec![2, 20]);
+        }
+    }
+
+    #[test]
+    fn recv_from_buffers_other_sources() {
+        for kind in ALL {
+            let (mut eps, _) = fabric_of(kind, 3);
+            let c = eps.pop().unwrap();
+            let b = eps.pop().unwrap();
+            let mut a = eps.pop().unwrap();
+            // Ranks 1 and 2 both send; rank 0 asks for rank 2 first.
+            b.send(0, 11).unwrap();
+            b.send(0, 12).unwrap();
+            c.send(0, 21).unwrap();
+            assert_eq!(a.recv_from(2).unwrap(), 21, "{kind}");
+            // Rank 1's envelopes were buffered in arrival (FIFO) order.
+            assert_eq!(a.recv_from(1).unwrap(), 11, "{kind}");
+            assert_eq!(a.recv_from(1).unwrap(), 12, "{kind}");
         }
     }
 

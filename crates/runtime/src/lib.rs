@@ -27,7 +27,16 @@
 //! * **collectives** (barrier, all-gather, all-reduce over `u64`/`f64`)
 //!   match the MPI primitives the paper's pseudo-code uses (`Barrier()` in
 //!   Algorithm 1 line 9, `AllGatherSum` in line 14) and are themselves
-//!   implemented as flat all-gathers over the transport fabric;
+//!   real traffic over the transport fabric, scheduled by a pluggable
+//!   [`CollectiveTopology`]: `Flat` (the reference: depth 1, `8·(P−1)`
+//!   bytes per rank), `Binomial` tree (depth `2·log₂P`, `2·(P−1)`
+//!   messages in total), or `RecursiveDoubling` (depth `log₂P`,
+//!   `log₂P` messages per rank) — selected with
+//!   [`Cluster::with_collectives`] or the `DNE_COLLECTIVES` environment
+//!   variable (`flat` | `tree` | `recursive-doubling`). Every topology
+//!   produces bit-identical results (reductions fold the same
+//!   rank-indexed vector in rank order) and exact, published byte
+//!   accounting ([`CollectiveTopology::rank_traffic`]);
 //! * **memory accounting** ([`MemoryTracker`]) reproduces the paper's "mem
 //!   score" methodology (§7.3): processes report their live heap bytes at
 //!   phase boundaries, and the tracker keeps the snapshot at which the
@@ -54,15 +63,23 @@
 //! ## Quick start
 //!
 //! ```
-//! use dne_runtime::{Cluster, TransportKind};
+//! use dne_runtime::{Cluster, CollectiveTopology, TransportKind};
 //!
 //! // Four simulated machines sum their ranks with an all-reduce, with
 //! // every envelope genuinely serialized through the wire codec.
 //! let out = Cluster::with_transport(4, TransportKind::Bytes)
+//!     .with_collectives(CollectiveTopology::Flat)
 //!     .run::<u64, _, _>(|ctx| ctx.all_reduce_sum_u64(ctx.rank() as u64));
 //! assert_eq!(out.results, vec![6, 6, 6, 6]);
-//! // Each collective charges 8·(P−1) bytes per participant.
+//! // The flat topology charges 8·(P−1) bytes per participant; the tree
+//! // and recursive-doubling topologies charge their own published
+//! // per-rank costs and return bit-identical results.
 //! assert_eq!(out.comm.total_bytes(), 4 * 3 * 8);
+//! let rd = Cluster::with_transport(4, TransportKind::Bytes)
+//!     .with_collectives(CollectiveTopology::RecursiveDoubling)
+//!     .run::<u64, _, _>(|ctx| ctx.all_reduce_sum_u64(ctx.rank() as u64));
+//! assert_eq!(rd.results, out.results);
+//! assert_eq!(rd.comm.total_bytes(), CollectiveTopology::RecursiveDoubling.total_traffic(4).0);
 //! ```
 
 pub mod cluster;
@@ -75,6 +92,7 @@ pub mod transport;
 pub mod wire;
 
 pub use cluster::{Cluster, ClusterOutcome, Ctx};
+pub use collectives::{CollMsg, CollectiveTopology, Collectives};
 pub use memory::{MemoryReport, MemoryTracker};
 pub use stats::CommStats;
 pub use tcp::{TcpProcessCluster, TcpSession, TcpTransport};

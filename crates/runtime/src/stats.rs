@@ -14,6 +14,11 @@ use std::sync::Arc;
 pub struct CommStats {
     bytes_sent: Vec<AtomicU64>,
     msgs_sent: Vec<AtomicU64>,
+    /// Collective rounds initiated per rank (one per barrier / all-gather
+    /// / all-reduce call). Topology-independent by construction, which is
+    /// what lets tests turn a measured byte total into an exact
+    /// per-topology expectation.
+    collective_rounds: Vec<AtomicU64>,
 }
 
 impl CommStats {
@@ -22,6 +27,7 @@ impl CommStats {
         Arc::new(Self {
             bytes_sent: (0..nprocs).map(|_| AtomicU64::new(0)).collect(),
             msgs_sent: (0..nprocs).map(|_| AtomicU64::new(0)).collect(),
+            collective_rounds: (0..nprocs).map(|_| AtomicU64::new(0)).collect(),
         })
     }
 
@@ -52,6 +58,24 @@ impl CommStats {
         self.msgs_sent.iter().map(|a| a.load(Ordering::Relaxed)).sum()
     }
 
+    /// Record one collective round initiated by `rank`.
+    #[inline]
+    pub fn record_collective(&self, rank: usize) {
+        self.collective_rounds[rank].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Collective rounds initiated by `rank` so far.
+    pub fn collectives_by(&self, rank: usize) -> u64 {
+        self.collective_rounds[rank].load(Ordering::Relaxed)
+    }
+
+    /// Total collective rounds across all ranks (in a lock-step run every
+    /// rank executes the same count, so this is `nprocs ×` the per-rank
+    /// round count).
+    pub fn total_collective_rounds(&self) -> u64 {
+        self.collective_rounds.iter().map(|a| a.load(Ordering::Relaxed)).sum()
+    }
+
     /// Number of ranks tracked.
     pub fn nprocs(&self) -> usize {
         self.bytes_sent.len()
@@ -80,6 +104,17 @@ mod tests {
         assert_eq!(s.total_msgs(), 3);
         assert_eq!(s.msgs_sent_by(0), 2);
         assert_eq!(s.per_rank_bytes(), vec![150, 0, 8]);
+    }
+
+    #[test]
+    fn collective_rounds_count_per_rank() {
+        let s = CommStats::new(2);
+        s.record_collective(0);
+        s.record_collective(0);
+        s.record_collective(1);
+        assert_eq!(s.collectives_by(0), 2);
+        assert_eq!(s.collectives_by(1), 1);
+        assert_eq!(s.total_collective_rounds(), 3);
     }
 
     #[test]

@@ -21,8 +21,12 @@
 //! The `fabric` byte lets one rendezvous listener serve several fabrics
 //! (a cluster run builds two: point-to-point and collectives); hellos
 //! that arrive for a fabric not currently being collected are stashed,
-//! so process startup order cannot wedge the bootstrap. Every bootstrap
-//! step carries a deadline — a peer that never shows up is a
+//! so process startup order cannot wedge the bootstrap. The collectives
+//! mesh's fabric id additionally encodes the collective topology, so
+//! processes that resolved different `DNE_COLLECTIVES` values fail the
+//! bootstrap with a typed error naming the disagreement instead of
+//! deadlocking at the first barrier. Every bootstrap step carries a
+//! deadline — a peer that never shows up is a
 //! [`TransportError::Bootstrap`], not a hang.
 //!
 //! # Framing
@@ -55,7 +59,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
 use crate::cluster::Ctx;
-use crate::collectives::Collectives;
+use crate::collectives::{CollMsg, CollectiveTopology, Collectives};
 use crate::comm::CommEndpoint;
 use crate::memory::MemoryTracker;
 use crate::stats::CommStats;
@@ -81,8 +85,48 @@ const BOOTSTRAP_TIMEOUT: Duration = Duration::from_secs(60);
 /// Fabric id of the point-to-point mesh in a cluster session.
 const FABRIC_P2P: u8 = 0;
 
-/// Fabric id of the collectives mesh in a cluster session.
-const FABRIC_COLL: u8 = 1;
+/// First fabric id of the collectives meshes: the collective topology is
+/// baked into the fabric id (`FABRIC_COLL_BASE + topology index`), so a
+/// cluster whose processes disagree on `DNE_COLLECTIVES` fails the
+/// bootstrap with a typed error naming the disagreement instead of
+/// deadlocking at the first barrier.
+const FABRIC_COLL_BASE: u8 = 1;
+
+/// The collectives-mesh fabric id of `topology`.
+fn coll_fabric(topology: CollectiveTopology) -> u8 {
+    let idx = CollectiveTopology::ALL.iter().position(|t| *t == topology).expect("topology in ALL");
+    FABRIC_COLL_BASE + idx as u8
+}
+
+/// Human-readable name of a fabric id, for bootstrap errors.
+fn fabric_name(fabric: u8) -> String {
+    if fabric == FABRIC_P2P {
+        "point-to-point".into()
+    } else {
+        match CollectiveTopology::ALL.get((fabric - FABRIC_COLL_BASE) as usize) {
+            Some(t) => format!("{t}-collectives"),
+            None => format!("unknown fabric {fabric}"),
+        }
+    }
+}
+
+/// Whether a fabric id names a collectives mesh (of any topology).
+fn is_coll_fabric(fabric: u8) -> bool {
+    fabric >= FABRIC_COLL_BASE
+        && ((fabric - FABRIC_COLL_BASE) as usize) < CollectiveTopology::ALL.len()
+}
+
+/// Two collectives fabrics that differ can only mean the cluster's
+/// processes resolved different `DNE_COLLECTIVES` values.
+fn topology_disagreement(theirs: u8, ours: u8) -> TransportError {
+    bootstrap_err(format!(
+        "a peer bootstrapped the {} mesh while this process expects the {} mesh — \
+         the cluster's processes disagree on the collective topology \
+         (check DNE_COLLECTIVES in every process's environment)",
+        fabric_name(theirs),
+        fabric_name(ours)
+    ))
+}
 
 fn io_err(context: impl Into<String>, error: io::Error) -> TransportError {
     TransportError::Io { context: context.into(), error }
@@ -322,6 +366,10 @@ impl TcpRendezvous {
                 let (_, rank, port, stream) = self.stash.remove(i);
                 place(rank, port, stream)?;
                 remaining -= 1;
+            } else if is_coll_fabric(self.stash[i].0) && is_coll_fabric(fabric) {
+                // A stashed collectives hello for a *different* topology:
+                // fail loudly now, not via a barrier deadlock later.
+                return Err(topology_disagreement(self.stash[i].0, fabric));
             } else {
                 i += 1;
             }
@@ -344,6 +392,8 @@ impl TcpRendezvous {
                     if f == fabric {
                         place(rank, port, stream)?;
                         remaining -= 1;
+                    } else if is_coll_fabric(f) && is_coll_fabric(fabric) {
+                        return Err(topology_disagreement(f, fabric));
                     } else {
                         self.stash.push((f, rank, port, stream));
                     }
@@ -476,6 +526,9 @@ where
         let (f, peer, _) = read_hello(&mut s)?;
         s.set_read_timeout(None).map_err(|e| io_err("configuring mesh connection", e))?;
         if f != fabric {
+            if is_coll_fabric(f) && is_coll_fabric(fabric) {
+                return Err(topology_disagreement(f, fabric));
+            }
             return Err(bootstrap_err(format!(
                 "mesh hello for fabric {f} arrived on fabric {fabric}'s listener"
             )));
@@ -802,31 +855,51 @@ impl TcpProcessCluster {
         self.addr
     }
 
-    /// Bootstrap both meshes and build this rank's cluster context.
+    /// Bootstrap both meshes and build this rank's cluster context, with
+    /// the collective topology resolved from the `DNE_COLLECTIVES`
+    /// environment variable (flat when unset — every process of a cluster
+    /// must agree, which environment inheritance gives for free).
     ///
     /// Blocks until every process of the cluster has connected (bounded
     /// by the bootstrap deadline). The session's [`CommStats`] and
     /// [`MemoryTracker`] are process-local: only this rank's row is
     /// populated — aggregate across ranks with a collective after the
     /// algorithm finishes, as `dne-tcp-worker` does.
-    pub fn connect<M>(mut self) -> Result<TcpSession<M>, TransportError>
+    pub fn connect<M>(self) -> Result<TcpSession<M>, TransportError>
+    where
+        M: Send + WireEncode + WireDecode + 'static,
+    {
+        self.connect_with_collectives(CollectiveTopology::from_env())
+    }
+
+    /// [`TcpProcessCluster::connect`] with an explicit collective
+    /// topology. Every process of the cluster must pass the same value:
+    /// the topology is baked into the collectives mesh's fabric id, so a
+    /// disagreement fails the bootstrap with a typed
+    /// [`TransportError::Bootstrap`] naming both topologies instead of
+    /// deadlocking at the first barrier.
+    pub fn connect_with_collectives<M>(
+        mut self,
+        topology: CollectiveTopology,
+    ) -> Result<TcpSession<M>, TransportError>
     where
         M: Send + WireEncode + WireDecode + 'static,
     {
         let stats = CommStats::new(self.nprocs);
         let memory = MemoryTracker::new(self.nprocs);
-        let (p2p, coll): (TcpTransport<M>, TcpTransport<u64>) = match self.rendezvous.as_mut() {
+        let coll_id = coll_fabric(topology);
+        let (p2p, coll): (TcpTransport<M>, TcpTransport<CollMsg>) = match self.rendezvous.as_mut() {
             Some(rv) => (
                 host_endpoint(rv, FABRIC_P2P, self.nprocs)?,
-                host_endpoint(rv, FABRIC_COLL, self.nprocs)?,
+                host_endpoint(rv, coll_id, self.nprocs)?,
             ),
             None => (
                 connect_endpoint(self.addr, FABRIC_P2P, self.rank, self.nprocs)?,
-                connect_endpoint(self.addr, FABRIC_COLL, self.rank, self.nprocs)?,
+                connect_endpoint(self.addr, coll_id, self.rank, self.nprocs)?,
             ),
         };
         let comm = CommEndpoint::from_transport(Box::new(p2p), Arc::clone(&stats));
-        let collectives = Collectives::from_transport(Box::new(coll), Arc::clone(&stats));
+        let collectives = Collectives::from_transport(Box::new(coll), topology, Arc::clone(&stats));
         let ctx = Ctx::from_parts(comm, collectives, Arc::clone(&memory));
         Ok(TcpSession { ctx, comm: stats, memory })
     }
@@ -1047,42 +1120,79 @@ mod tests {
     // -------------------------------------------------- process cluster --
 
     #[test]
-    fn process_cluster_bootstrap_and_collectives() {
-        // Exercise the exact host/join/connect path worker processes use
-        // (threads stand in for processes; the code path is identical).
-        let n = 3;
+    fn topology_disagreement_fails_bootstrap_with_a_typed_error() {
+        // One process exports a different DNE_COLLECTIVES than the rest:
+        // the bootstrap itself must reject the cluster (typed, prompt)
+        // rather than letting the first barrier deadlock forever.
+        let n = 2;
         let host = TcpProcessCluster::host(n, "127.0.0.1:0").unwrap();
         let addr = host.addr().to_string();
         std::thread::scope(|s| {
-            let mut handles = vec![s.spawn(move || host.connect::<Vec<u64>>().unwrap())];
-            for rank in 1..n {
-                let addr = addr.clone();
-                handles.push(s.spawn(move || {
-                    TcpProcessCluster::join(rank, n, &addr).unwrap().connect::<Vec<u64>>().unwrap()
-                }));
-            }
-            let mut runners = Vec::new();
-            for h in handles {
-                let mut session = h.join().unwrap();
-                runners.push(s.spawn(move || {
-                    let rank = session.ctx.rank() as u64;
-                    let sum = session.ctx.try_all_reduce_sum_u64(rank).unwrap();
-                    assert_eq!(sum, 3);
-                    let got = session.ctx.try_exchange(|dst| vec![rank, dst as u64]).unwrap();
-                    for (src, msg) in got.iter().enumerate() {
-                        assert_eq!(msg, &vec![src as u64, rank]);
-                    }
-                    session.ctx.try_barrier().unwrap();
-                    // Per-process accounting: only this rank's row moves.
-                    session.comm.bytes_sent_by(session.ctx.rank())
-                }));
-            }
-            for r in runners {
-                let bytes = r.join().unwrap();
-                // Each rank: 2 collective rounds of 8·(P−1) plus one
-                // exchange with two non-self 24-byte payloads.
-                assert_eq!(bytes, 2 * 16 + 2 * 24);
-            }
+            let h = s.spawn(move || host.connect_with_collectives::<u64>(CollectiveTopology::Flat));
+            let j = s.spawn(move || {
+                TcpProcessCluster::join(1, n, &addr)
+                    .unwrap()
+                    .connect_with_collectives::<u64>(CollectiveTopology::Binomial)
+            });
+            let host_err = match h.join().unwrap() {
+                Err(e) => e,
+                Ok(_) => panic!("host must reject the topology disagreement"),
+            };
+            assert!(
+                host_err.to_string().contains("DNE_COLLECTIVES"),
+                "error must point at the misconfiguration: {host_err}"
+            );
+            assert!(j.join().unwrap().is_err(), "the joiner must fail too, not hang");
         });
+    }
+
+    #[test]
+    fn process_cluster_bootstrap_and_collectives() {
+        // Exercise the exact host/join/connect path worker processes use
+        // (threads stand in for processes; the code path is identical),
+        // under every collective topology.
+        for topo in CollectiveTopology::ALL {
+            let n = 3;
+            let host = TcpProcessCluster::host(n, "127.0.0.1:0").unwrap();
+            let addr = host.addr().to_string();
+            std::thread::scope(|s| {
+                let mut handles =
+                    vec![s.spawn(move || host.connect_with_collectives::<Vec<u64>>(topo).unwrap())];
+                for rank in 1..n {
+                    let addr = addr.clone();
+                    handles.push(s.spawn(move || {
+                        TcpProcessCluster::join(rank, n, &addr)
+                            .unwrap()
+                            .connect_with_collectives::<Vec<u64>>(topo)
+                            .unwrap()
+                    }));
+                }
+                let mut runners = Vec::new();
+                for h in handles {
+                    let mut session = h.join().unwrap();
+                    runners.push(s.spawn(move || {
+                        let rank = session.ctx.rank() as u64;
+                        let sum = session.ctx.try_all_reduce_sum_u64(rank).unwrap();
+                        assert_eq!(sum, 3);
+                        let got = session.ctx.try_exchange(|dst| vec![rank, dst as u64]).unwrap();
+                        for (src, msg) in got.iter().enumerate() {
+                            assert_eq!(msg, &vec![src as u64, rank]);
+                        }
+                        session.ctx.try_barrier().unwrap();
+                        // Per-process accounting: only this rank's row moves.
+                        let rank = session.ctx.rank();
+                        (rank, session.comm.bytes_sent_by(rank))
+                    }));
+                }
+                for r in runners {
+                    let (rank, bytes) = r.join().unwrap();
+                    // Each rank: 2 collective rounds at the topology's
+                    // published per-rank cost plus one exchange with two
+                    // non-self 24-byte payloads.
+                    let (coll_bytes, _) = topo.rank_traffic(rank, n);
+                    assert_eq!(bytes, 2 * coll_bytes + 2 * 24, "{topo} rank {rank}");
+                }
+            });
+        }
     }
 }

@@ -1,0 +1,28 @@
+//! Shared helpers for the cross-crate integration suites: one place that
+//! knows how to enumerate the runtime's (transport × topology) matrix, so
+//! adding a backend or a topology automatically widens every suite that
+//! samples it instead of silently rotting a hand-copied roster.
+#![allow(dead_code)] // each test binary uses a different subset
+
+use distributed_ne::runtime::{Cluster, CollectiveTopology, TransportKind};
+
+/// Every transport backend, in canonical order.
+pub const TRANSPORTS: [TransportKind; 3] = TransportKind::ALL;
+
+/// Every collective topology, in canonical order.
+pub const TOPOLOGIES: [CollectiveTopology; 3] = CollectiveTopology::ALL;
+
+/// Every (transport × topology) pair — the full 3×3 sampling matrix.
+pub fn transport_topology_pairs() -> Vec<(TransportKind, CollectiveTopology)> {
+    TRANSPORTS
+        .into_iter()
+        .flat_map(|kind| TOPOLOGIES.into_iter().map(move |topo| (kind, topo)))
+        .collect()
+}
+
+/// A cluster pinned to an explicit (transport, topology) pair — immune to
+/// whatever `DNE_TRANSPORT` / `DNE_COLLECTIVES` the surrounding test run
+/// exports.
+pub fn cluster(nprocs: usize, kind: TransportKind, topo: CollectiveTopology) -> Cluster {
+    Cluster::with_transport(nprocs, kind).with_collectives(topo)
+}

@@ -1,25 +1,29 @@
 //! Stress and property tests of the simulated cluster: the lock-step
 //! exchange and the collectives must stay aligned under adversarial
 //! round patterns — the foundation of Distributed NE's determinism —
-//! on every transport backend, sockets included.
+//! on every (transport × topology) pair, sockets and tree schedules
+//! included.
 
-use distributed_ne::runtime::{Cluster, TransportKind};
+mod common;
+
+use common::{cluster, transport_topology_pairs};
+use distributed_ne::runtime::Cluster;
 use proptest::prelude::*;
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 
     /// Arbitrary interleavings of exchanges and collectives stay aligned:
-    /// every machine observes identical round payloads — on both transport
-    /// backends, every case.
+    /// every machine observes identical round payloads — on every
+    /// (transport × topology) pair, every case.
     #[test]
     fn mixed_rounds_stay_aligned(
         nprocs in 2usize..6,
         rounds in 1u64..40,
         seed in 0u64..1000,
     ) {
-        for kind in TransportKind::ALL {
-        let out = Cluster::with_transport(nprocs, kind).run::<u64, _, _>(|ctx| {
+        for (kind, topo) in transport_topology_pairs() {
+        let out = cluster(nprocs, kind, topo).run::<u64, _, _>(|ctx| {
             let mut checksum = 0u64;
             for r in 0..rounds {
                 // Pseudo-random choice of primitive per round, identical on
@@ -55,13 +59,14 @@ proptest! {
         }
     }
 
-    /// Byte accounting is exact for deterministic traffic, and identical
-    /// on the estimating (loopback) and serializing (bytes) backends —
-    /// both exercised every case.
+    /// Byte accounting is exact for deterministic traffic on every
+    /// (transport × topology) pair: the point-to-point part is fixed and
+    /// the barrier costs exactly the topology's published per-collective
+    /// total.
     #[test]
     fn comm_accounting_is_exact(nprocs in 2usize..5, msgs in 1u64..30) {
-        for kind in TransportKind::ALL {
-        let out = Cluster::with_transport(nprocs, kind).run::<u64, _, _>(|ctx| {
+        for (kind, topo) in transport_topology_pairs() {
+        let out = cluster(nprocs, kind, topo).run::<u64, _, _>(|ctx| {
             // Every machine sends `msgs` u64s to its right neighbor.
             let right = (ctx.rank() + 1) % ctx.nprocs();
             for i in 0..msgs {
@@ -73,10 +78,10 @@ proptest! {
             ctx.barrier();
         });
         // nprocs * msgs point-to-point u64s (8B each, none to self) plus
-        // one barrier (8·(P−1) per machine).
+        // one barrier at the topology's published cost.
         let p2p = nprocs as u64 * msgs * 8;
-        let barrier = (nprocs * (nprocs - 1) * 8) as u64;
-        prop_assert_eq!(out.comm.total_bytes(), p2p + barrier);
+        let (barrier, _) = topo.total_traffic(nprocs);
+        prop_assert_eq!(out.comm.total_bytes(), p2p + barrier, "{}/{}", kind, topo);
         }
     }
 }
@@ -95,7 +100,8 @@ fn deep_exchange_pipeline_does_not_deadlock() {
 
 #[test]
 fn wide_cluster_smoke() {
-    // 64 machines, a few collective rounds — the Table 4/5 configuration.
+    // 64 machines, a few collective rounds — the Table 4/5 configuration,
+    // on whatever transport/topology the environment selects.
     let out = Cluster::new(64).run::<u64, _, _>(|ctx| {
         let sum = ctx.all_reduce_sum_u64(1);
         assert_eq!(sum, 64);
@@ -103,6 +109,26 @@ fn wide_cluster_smoke() {
         ctx.rank() as u64
     });
     assert_eq!(out.results.len(), 64);
+}
+
+#[test]
+fn wide_cluster_collectives_work_under_every_topology() {
+    // The Table 4/5 scale on each topology explicitly (loopback keeps the
+    // 64-thread sweep cheap); deeper schedules must not deadlock or
+    // misroute at log₂64 = 6 rounds.
+    for topo in common::TOPOLOGIES {
+        let out = cluster(64, distributed_ne::runtime::TransportKind::Loopback, topo)
+            .run::<u64, _, _>(|ctx| {
+                let all = ctx.all_gather_u64(ctx.rank() as u64);
+                let want: Vec<u64> = (0..64).collect();
+                assert_eq!(all, want);
+                ctx.all_reduce_max_u64(ctx.rank() as u64)
+            });
+        assert!(out.results.iter().all(|&m| m == 63), "{topo}");
+        let (coll_bytes, coll_msgs) = topo.total_traffic(64);
+        assert_eq!(out.comm.total_bytes(), 2 * coll_bytes, "{topo}");
+        assert_eq!(out.comm.total_msgs(), 2 * coll_msgs, "{topo}");
+    }
 }
 
 #[test]

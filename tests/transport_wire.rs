@@ -5,13 +5,14 @@
 //! same application results, same communication accounting — and the codec
 //! must reject malformed frames with errors, not panics.
 
+mod common;
+
+use common::{cluster, transport_topology_pairs};
 use distributed_ne::core::{DistributedNe, NeConfig, NeMsg};
 use distributed_ne::graph::gen;
 use distributed_ne::partition::{EdgePartitioner, PartitionQuality};
-use distributed_ne::runtime::{Cluster, TransportKind, WireDecode, WireEncode, WireSize};
+use distributed_ne::runtime::{TransportKind, WireDecode, WireEncode, WireSize};
 use proptest::prelude::*;
-
-const ALL: [TransportKind; 3] = TransportKind::ALL;
 
 // ---------------------------------------------------------------- codec --
 
@@ -82,12 +83,12 @@ proptest! {
 // ------------------------------------------------------ runtime behavior --
 
 #[test]
-fn zero_length_payload_rounds_work_on_both_backends() {
+fn zero_length_payload_rounds_work_on_every_pair() {
     // Empty vectors (the common "nothing for you this round" envelope)
     // still frame, ship, and account correctly: each costs exactly its
-    // 8-byte length prefix.
-    for kind in ALL {
-        let out = Cluster::with_transport(3, kind).run::<Vec<u64>, _, _>(|ctx| {
+    // 8-byte length prefix — on every (transport × topology) pair.
+    for (kind, topo) in transport_topology_pairs() {
+        let out = cluster(3, kind, topo).run::<Vec<u64>, _, _>(|ctx| {
             for _ in 0..4 {
                 let got = ctx.exchange(|_| Vec::new());
                 assert_eq!(got, vec![Vec::new(), Vec::new(), Vec::new()]);
@@ -95,15 +96,16 @@ fn zero_length_payload_rounds_work_on_both_backends() {
             ctx.barrier();
         });
         // 4 rounds × 3 ranks × 2 non-self links × 8-byte prefix, plus one
-        // barrier (8·(P−1) per rank).
-        assert_eq!(out.comm.total_bytes(), 4 * 3 * 2 * 8 + 3 * 2 * 8, "{kind}");
+        // barrier at the topology's published per-collective cost.
+        let (barrier, _) = topo.total_traffic(3);
+        assert_eq!(out.comm.total_bytes(), 4 * 3 * 2 * 8 + barrier, "{kind}/{topo}");
     }
 }
 
 #[test]
-fn single_machine_collectives_and_exchange_on_both_backends() {
-    for kind in ALL {
-        let out = Cluster::with_transport(1, kind).run::<Vec<u64>, _, _>(|ctx| {
+fn single_machine_collectives_and_exchange_on_every_pair() {
+    for (kind, topo) in transport_topology_pairs() {
+        let out = cluster(1, kind, topo).run::<Vec<u64>, _, _>(|ctx| {
             let got = ctx.exchange(|_| vec![1, 2, 3]);
             assert_eq!(got, vec![vec![1, 2, 3]]);
             ctx.barrier();
@@ -113,7 +115,7 @@ fn single_machine_collectives_and_exchange_on_both_backends() {
             ctx.all_reduce_sum_u64(7)
         });
         assert_eq!(out.results, vec![7]);
-        assert_eq!(out.comm.total_bytes(), 0, "{kind}: nprocs = 1 moves nothing");
+        assert_eq!(out.comm.total_bytes(), 0, "{kind}/{topo}: nprocs = 1 moves nothing");
     }
 }
 
