@@ -23,54 +23,111 @@ use dne_bench::table::{f2, parse_mode, Table};
 use dne_core::{DistributedNe, NeConfig};
 use dne_graph::gen::{rmat_parallel, RmatConfig};
 use dne_graph::parallel::default_ingest_threads;
-use dne_graph::{Graph, HeapSize};
+use dne_graph::{io, Graph, StorageKind};
 use dne_partition::vertex::MetisLikePartitioner;
 use dne_partition::VertexPartitioner;
+
+/// Route a generated graph through the `DNE_GRAPH_STORAGE` backend: with
+/// the in-memory default this is the identity, otherwise the graph is
+/// spilled to a chunked file in the temp dir and reopened through the
+/// selected backend, so the whole figure measures out-of-core storage
+/// (partitioning results are bit-identical either way).
+fn with_env_storage(g: Graph, name: &str) -> Graph {
+    let kind = StorageKind::from_env();
+    if kind == StorageKind::InMemory {
+        return g;
+    }
+    let dir = std::env::temp_dir().join("dne_fig9_storage");
+    std::fs::create_dir_all(&dir).expect("create fig9 scratch dir");
+    let path = dir.join(format!("{name}.chunks"));
+    io::write_chunked(&g, &path, 1 << 16).expect("spill graph to chunked file");
+    drop(g); // free the in-memory CSR before the backend under test opens
+    io::open_chunked_with(&path, kind).unwrap_or_else(|e| panic!("reopen {name} as {kind}: {e}"))
+}
+
+/// Run `work` with a freshly reset kernel RSS high-water mark and return
+/// the peak resident set it drove, formatted in MiB — or `-` where the
+/// procfs interface is unavailable. `VmHWM` is monotonic over the process
+/// lifetime, so the reset (via `/proc/self/clear_refs`) is what makes
+/// back-to-back per-method measurements meaningful.
+fn measured_rss<T>(work: impl FnOnce() -> T) -> (T, String) {
+    let reset = dne_runtime::reset_peak_rss();
+    let out = work();
+    let cell = match dne_runtime::peak_rss_bytes() {
+        Some(bytes) if reset => f2(bytes as f64 / (1024.0 * 1024.0)),
+        _ => "-".into(),
+    };
+    (out, cell)
+}
 
 fn mem_rows(name: &str, g: &Graph, k: u32, table: &mut Table) {
     let m = g.num_edges();
     let n = g.num_vertices();
-    // Distributed NE: measured by the runtime's memory tracker.
+    let storage = g.storage_kind().to_string();
+    // Distributed NE: logical bytes from the runtime's memory tracker
+    // (includes each rank's share of the graph's resident bytes), plus the
+    // kernel-observed peak RSS of the whole run as an external check.
     let ne = DistributedNe::new(NeConfig::default().with_seed(3));
-    let (_, stats) = ne.partition_with_stats(g, k);
-    table.row(vec![name.into(), k.to_string(), "DistributedNE".into(), f2(stats.mem_score)]);
-    // ParMETIS-like: input CSR + measured multilevel hierarchy.
-    let metis = MetisLikePartitioner::new(3);
-    let _ = metis.partition_vertices(g, k);
-    let metis_bytes = g.heap_bytes() + metis.peak_memory_bytes();
+    let ((_, stats), rss) = measured_rss(|| ne.partition_with_stats(g, k));
     table.row(vec![
         name.into(),
         k.to_string(),
-        "ParMETIS-like".into(),
-        f2(metis_bytes as f64 / m as f64),
+        "DistributedNE".into(),
+        storage.clone(),
+        f2(stats.mem_score),
+        rss,
     ]);
-    // Sheep-like: input CSR + rank/parent/owned/children/tour arrays.
-    let sheep_bytes = g.heap_bytes() + 32 * n as usize + 4 * m as usize;
+    // ParMETIS-like: input CSR + measured multilevel hierarchy. The
+    // vertex partitioners walk adjacency, which the chunk-streamed
+    // backend deliberately lacks — skip the row there.
+    if g.has_adjacency() {
+        let metis = MetisLikePartitioner::new(3);
+        let (_, rss) = measured_rss(|| metis.partition_vertices(g, k));
+        let metis_bytes = g.resident_bytes() + metis.peak_memory_bytes();
+        table.row(vec![
+            name.into(),
+            k.to_string(),
+            "ParMETIS-like".into(),
+            storage.clone(),
+            f2(metis_bytes as f64 / m as f64),
+            rss,
+        ]);
+    } else {
+        eprintln!("{name}: skipping ParMETIS-like ({storage} storage keeps no adjacency)");
+    }
+    // Sheep-like: input CSR + rank/parent/owned/children/tour arrays
+    // (analytic — nothing runs, so no RSS measurement).
+    let sheep_bytes = g.resident_bytes() + 32 * n as usize + 4 * m as usize;
     table.row(vec![
         name.into(),
         k.to_string(),
         "Sheep-like".into(),
+        storage.clone(),
         f2(sheep_bytes as f64 / m as f64),
+        "-".into(),
     ]);
-    // XtraPuLP-like: input CSR + labels/queues/loads.
-    let xp_bytes = g.heap_bytes() + 16 * n as usize;
+    // XtraPuLP-like: input CSR + labels/queues/loads (analytic).
+    let xp_bytes = g.resident_bytes() + 16 * n as usize;
     table.row(vec![
         name.into(),
         k.to_string(),
         "XtraPuLP-like".into(),
+        storage,
         f2(xp_bytes as f64 / m as f64),
+        "-".into(),
     ]);
 }
 
 fn main() {
     let quick = parse_mode();
     let k = if quick { 16 } else { 64 };
-    let mut table = Table::new(&["graph", "|P|", "method", "mem score (B/edge)"]);
+    let mut table =
+        Table::new(&["graph", "|P|", "method", "storage", "mem score (B/edge)", "peak RSS (MiB)"]);
     // Fig 9(a): real-world stand-ins.
     let sets: Vec<&datasets::Dataset> =
         if quick { datasets::midsize() } else { DATASETS.iter().collect() };
     for d in sets {
-        let g = if quick { d.build_quick() } else { d.build() };
+        let g = with_env_storage(if quick { d.build_quick() } else { d.build() }, d.name);
         eprintln!("{}: |E|={}", d.name, g.num_edges());
         mem_rows(d.name, &g, k, &mut table);
     }
@@ -78,9 +135,13 @@ fn main() {
     let efs: &[u64] = if quick { &[4, 16, 64] } else { &[4, 16, 64, 256] };
     let scale = if quick { 12 } else { 14 };
     for &ef in efs {
-        let g = rmat_parallel(&RmatConfig::graph500(scale, ef, 5), default_ingest_threads());
-        eprintln!("RMAT s{scale} ef{ef}: |E|={}", g.num_edges());
-        mem_rows(&format!("RMAT-s{scale}-ef{ef}"), &g, k, &mut table);
+        let name = format!("RMAT-s{scale}-ef{ef}");
+        let g = with_env_storage(
+            rmat_parallel(&RmatConfig::graph500(scale, ef, 5), default_ingest_threads()),
+            &name,
+        );
+        eprintln!("{name}: |E|={}", g.num_edges());
+        mem_rows(&name, &g, k, &mut table);
     }
     println!("\n=== Figure 9: memory consumption (bytes per edge at peak) ===");
     table.print();

@@ -1,0 +1,93 @@
+//! Out-of-core smoke test: partition a graph whose in-memory CSR does not
+//! fit under a hard address-space cap (`ulimit -v`), using the storage
+//! backend selected by `DNE_GRAPH_STORAGE`.
+//!
+//! Two subcommands, designed to be driven from a shell (see README
+//! "Out-of-core partitioning" and `.github/workflows/ci.yml`):
+//!
+//! * `prepare <chunked-path> [scale] [edge-factor]` — generate an RMAT
+//!   graph, write it as a DNECHNK1 chunked file, and print the byte
+//!   budget an in-memory CSR of it would need.
+//! * `run <chunked-path> [k] [frontier-budget]` — open the chunked file
+//!   with the backend from `DNE_GRAPH_STORAGE`, run Distributed NE with a
+//!   fixed seed, and print a one-line summary ending in the assignment
+//!   fingerprint. Equal fingerprints across backends prove bit-identical
+//!   partitions; running the `in-memory` backend under an address-space
+//!   cap sized between the streamed and in-memory peaks demonstrates the
+//!   out-of-core point (it dies, `chunk-streamed` completes).
+//!
+//! Everything is deterministic: same file + same `k` + same seed =>
+//! same fingerprint, on every backend and transport.
+
+use dne_core::{DistributedNe, NeConfig};
+use dne_graph::gen::{rmat_parallel, RmatConfig};
+use dne_graph::parallel::default_ingest_threads;
+use dne_graph::{io, StorageKind};
+use std::path::Path;
+use std::process::ExitCode;
+
+const SEED: u64 = 7;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: oocore_smoke prepare <chunked-path> [scale] [edge-factor]\n\
+         \x20      oocore_smoke run <chunked-path> [k] [frontier-budget]"
+    );
+    ExitCode::FAILURE
+}
+
+fn arg_u64(args: &[String], i: usize, default: u64) -> u64 {
+    args.get(i).map(|s| s.parse().expect("numeric argument")).unwrap_or(default)
+}
+
+fn prepare(path: &Path, scale: u64, ef: u64) -> std::io::Result<()> {
+    let g = rmat_parallel(&RmatConfig::graph500(scale as u32, ef, SEED), default_ingest_threads());
+    let (n, m) = (g.num_vertices(), g.num_edges());
+    io::write_chunked(&g, path, 1 << 16)?;
+    // In-memory CSR footprint: edges (16m) + offsets (8(n+1)) + adjacency
+    // (2 arrays of 2m ids each, 32m).
+    let csr_bytes = 48 * m + 8 * (n + 1);
+    println!("prepared {} |V|={n} |E|={m} in-memory-csr-bytes={csr_bytes}", path.display());
+    Ok(())
+}
+
+fn run(path: &Path, k: u32, frontier_budget: u64) -> std::io::Result<()> {
+    let kind = StorageKind::from_env();
+    let g = io::open_chunked_with(path, kind)?;
+    let mut config = NeConfig::default().with_seed(SEED);
+    if frontier_budget > 0 {
+        config = config.with_frontier_budget(frontier_budget);
+    }
+    let ne = DistributedNe::new(config);
+    let (assignment, stats) = ne.partition_with_stats(&g, k);
+    let rss = dne_runtime::peak_rss_bytes()
+        .map(|b| format!("{:.1}", b as f64 / (1024.0 * 1024.0)))
+        .unwrap_or_else(|| "-".into());
+    println!(
+        "backend={kind} k={k} iterations={} mem_score={:.2} peak_rss_mib={rss} fingerprint={:016x}",
+        stats.iterations,
+        stats.mem_score,
+        assignment.fingerprint()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(cmd), Some(path)) = (args.first(), args.get(1)) else {
+        return usage();
+    };
+    let path = Path::new(path);
+    let result = match cmd.as_str() {
+        "prepare" => prepare(path, arg_u64(&args, 2, 16), arg_u64(&args, 3, 24)),
+        "run" => run(path, arg_u64(&args, 2, 8) as u32, arg_u64(&args, 3, 0)),
+        _ => return usage(),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("oocore_smoke {cmd} failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -14,6 +14,7 @@
 //! | `table5_apps` | Table 5 — SSSP/WCC/PageRank over partitions |
 //! | `table6_roads` | Table 6 — non-skewed road networks |
 //! | `run_all` | everything above, quick preset, TSV output |
+//! | `oocore_smoke` | out-of-core storage demo: partition under `ulimit -v` |
 //!
 //! Most binaries accept `quick` (default) or `full` as the first argument;
 //! `full` uses larger stand-ins and more configurations and can take tens

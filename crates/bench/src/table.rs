@@ -72,15 +72,22 @@ pub fn secs(d: std::time::Duration) -> String {
 }
 
 /// Parse the common `quick`/`full` mode argument (default quick) and
-/// report the run configuration, including the transport backend selected
-/// via `DNE_TRANSPORT` (every simulated cluster in the binary honors it).
+/// report the run configuration: the transport backend selected via
+/// `DNE_TRANSPORT` and the graph-storage backend selected via
+/// `DNE_GRAPH_STORAGE` (every simulated cluster / chunked-file opener in
+/// the binaries honors them).
 pub fn parse_mode() -> bool {
     let quick = !std::env::args().any(|a| a == "full");
     let transport = dne_runtime::TransportKind::from_env();
+    let storage = dne_graph::StorageKind::from_env();
     if quick {
-        eprintln!("[mode: quick — pass `full` for the paper-scale sweep | transport: {transport}]");
+        eprintln!(
+            "[mode: quick — pass `full` for the paper-scale sweep | transport: {transport} | storage: {storage}]"
+        );
     } else {
-        eprintln!("[mode: full — this can take a while | transport: {transport}]");
+        eprintln!(
+            "[mode: full — this can take a while | transport: {transport} | storage: {storage}]"
+        );
     }
     quick
 }

@@ -86,8 +86,21 @@ impl Boundary {
     /// boundary vertex does not fit — the partition's capacity is
     /// effectively exhausted (Equation 2's constraint, which the paper's
     /// reported edge balance of ≈ α implies is enforced).
-    pub fn pop_lambda_capped(&mut self, lambda: f64, edge_budget: u64) -> Vec<VertexId> {
+    ///
+    /// `max_pops` additionally caps the number of vertices popped this
+    /// round (the frontier budget of
+    /// [`NeConfig`](crate::NeConfig::with_frontier_budget)), bounding the
+    /// per-iteration selection fan-out independently of `λ·|B_p|`. Pass
+    /// `u64::MAX` for the paper's unbounded behavior; any cap is floored
+    /// at one vertex so a non-empty boundary always makes progress.
+    pub fn pop_lambda_capped(
+        &mut self,
+        lambda: f64,
+        edge_budget: u64,
+        max_pops: u64,
+    ) -> Vec<VertexId> {
         let k = ((lambda * self.heap.len() as f64).ceil() as usize).max(1);
+        let k = k.min(usize::try_from(max_pops.max(1)).unwrap_or(usize::MAX));
         let mut out = Vec::new();
         let mut estimated = 0u64;
         while out.len() < k {

@@ -42,6 +42,14 @@ pub struct NeConfig {
     /// `None` (the default) resolves the `DNE_COLLECTIVES` environment
     /// variable at partition time (flat when unset).
     pub collectives: Option<CollectiveTopology>,
+    /// Cap on boundary vertices expanded per iteration (the frontier
+    /// budget). Multi-expansion normally pops `⌈λ·|B_p|⌉` vertices; on a
+    /// memory-constrained machine running out-of-core storage that
+    /// fan-out — and the selection/allocation traffic it generates — is
+    /// the dominant transient working set, so bounding it trades
+    /// iterations for peak memory. `None` (the default) keeps the paper's
+    /// unbounded behavior and bit-identical results.
+    pub frontier_budget: Option<u64>,
 }
 
 impl Default for NeConfig {
@@ -54,6 +62,7 @@ impl Default for NeConfig {
             stall_limit: 3,
             transport: None,
             collectives: None,
+            frontier_budget: None,
         }
     }
 }
@@ -108,6 +117,14 @@ impl NeConfig {
     /// was made, otherwise whatever `DNE_COLLECTIVES` says right now.
     pub fn resolved_collectives(&self) -> CollectiveTopology {
         self.collectives.unwrap_or_else(CollectiveTopology::from_env)
+    }
+
+    /// Cap the number of boundary vertices expanded per iteration (must be
+    /// at least 1). See [`NeConfig::frontier_budget`].
+    pub fn with_frontier_budget(mut self, budget: u64) -> Self {
+        assert!(budget >= 1, "frontier budget must be at least 1");
+        self.frontier_budget = Some(budget);
+        self
     }
 }
 

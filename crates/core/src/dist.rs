@@ -128,28 +128,47 @@ pub struct AllocatorPart {
 }
 
 impl AllocatorPart {
-    /// Build the subgraph of `rank` by scanning the full edge list for this
-    /// rank's 2D-hash share (test convenience; the partitioner pre-buckets
-    /// once and calls [`AllocatorPart::from_edges`]).
+    /// Build the subgraph of `rank` by scanning the full edge stream for
+    /// this rank's 2D-hash share (test convenience; the partitioner
+    /// pre-buckets once and calls [`AllocatorPart::from_owned_edges`]).
     pub fn build(g: &Graph, grid: &Grid2D, rank: u32, seed: u64) -> Self {
-        let mut local_edges: Vec<EdgeId> = Vec::new();
-        for e in 0..g.num_edges() {
-            let (u, v) = g.edge(e);
+        let mut local_edges: Vec<(EdgeId, VertexId, VertexId)> = Vec::new();
+        g.for_each_edge(|e, u, v| {
             if grid.owner(u, v) == rank {
-                local_edges.push(e);
+                local_edges.push((e, u, v));
             }
-        }
-        Self::from_edges(g, local_edges, rank, seed)
+        });
+        Self::from_owned_edges(local_edges, rank, seed)
     }
 
     /// Build the subgraph from a pre-bucketed list of owned global edge
-    /// ids. This is the "initial deployment" the paper excludes from
-    /// partitioning time.
+    /// ids, resolving endpoints through `g` (compatibility wrapper around
+    /// [`AllocatorPart::from_owned_edges`]).
     pub fn from_edges(g: &Graph, local_edges: Vec<EdgeId>, rank: u32, seed: u64) -> Self {
+        let owned = local_edges
+            .into_iter()
+            .map(|e| {
+                let (u, v) = g.edge(e);
+                (e, u, v)
+            })
+            .collect();
+        Self::from_owned_edges(owned, rank, seed)
+    }
+
+    /// Build the subgraph from this rank's pre-bucketed `(edge id, u, v)`
+    /// triplets — the "initial deployment" the paper excludes from
+    /// partitioning time. The triplets carry their own endpoints, so the
+    /// build never reads back through the input graph: one sequential
+    /// edge-stream pass over *any* storage backend (including the
+    /// chunk-streamed one) is enough to deploy all allocators.
+    pub fn from_owned_edges(
+        local_edges: Vec<(EdgeId, VertexId, VertexId)>,
+        rank: u32,
+        seed: u64,
+    ) -> Self {
         // Local vertex set.
         let mut verts: Vec<VertexId> = Vec::with_capacity(local_edges.len() * 2);
-        for &e in &local_edges {
-            let (u, v) = g.edge(e);
+        for &(_, u, v) in &local_edges {
             verts.push(u);
             verts.push(v);
         }
@@ -160,8 +179,7 @@ impl AllocatorPart {
         let n = verts.len();
         // Degrees → offsets.
         let mut deg = vec![0u64; n];
-        for &e in &local_edges {
-            let (u, v) = g.edge(e);
+        for &(_, u, v) in &local_edges {
             deg[local_of[&u] as usize] += 1;
             deg[local_of[&v] as usize] += 1;
         }
@@ -173,8 +191,7 @@ impl AllocatorPart {
         let mut adj_nbr = vec![0u32; slots];
         let mut adj_edge = vec![0u32; slots];
         let mut cursor = offsets.clone();
-        for (le, &e) in local_edges.iter().enumerate() {
-            let (u, v) = g.edge(e);
+        for (le, &(_, u, v)) in local_edges.iter().enumerate() {
             let (lu, lv) = (local_of[&u], local_of[&v]);
             let cu = cursor[lu as usize] as usize;
             adj_nbr[cu] = lv;
@@ -186,6 +203,7 @@ impl AllocatorPart {
             cursor[lv as usize] += 1;
         }
         let free_edges = local_edges.len() as u64;
+        let local_edges: Vec<EdgeId> = local_edges.into_iter().map(|(e, _, _)| e).collect();
         let mut scan_order: Vec<u32> = (0..n as u32).collect();
         let mut rng = SplitMix64::new(mix2(seed, rank as u64) ^ 0x41_4C4C_4F43); // "ALLOC"
         for i in (1..scan_order.len()).rev() {

@@ -51,12 +51,24 @@ pub struct ExpansionState {
     pub limit: u64,
     /// Expansion factor λ.
     pub lambda: f64,
+    /// Cap on boundary vertices expanded per iteration (`u64::MAX` =
+    /// unbounded, the paper's behavior). See
+    /// [`NeConfig::with_frontier_budget`](crate::NeConfig::with_frontier_budget).
+    pub frontier_budget: u64,
 }
 
 impl ExpansionState {
-    /// Fresh state for partition `part` with capacity `limit`.
+    /// Fresh state for partition `part` with capacity `limit` and an
+    /// unbounded frontier budget.
     pub fn new(part: Part, limit: u64, lambda: f64) -> Self {
-        Self { part, boundary: Boundary::new(), edges: Vec::new(), limit, lambda }
+        Self {
+            part,
+            boundary: Boundary::new(),
+            edges: Vec::new(),
+            limit,
+            lambda,
+            frontier_budget: u64::MAX,
+        }
     }
 
     /// Whether this partition reached its capacity (stops selecting; the
@@ -82,7 +94,7 @@ impl ExpansionState {
         }
         let budget = self.limit - self.size();
         if !self.boundary.is_empty() {
-            let vs = self.boundary.pop_lambda_capped(self.lambda, budget);
+            let vs = self.boundary.pop_lambda_capped(self.lambda, budget, self.frontier_budget);
             if !vs.is_empty() {
                 return SelectAction::Vertices(vs);
             }

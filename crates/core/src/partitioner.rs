@@ -24,6 +24,11 @@ pub struct DistributedNe {
     config: NeConfig,
 }
 
+/// One machine's initial-deployment bucket: `(global edge id, u, v)`
+/// triplets, self-contained so the machine never reads back through the
+/// (possibly out-of-core) graph.
+type EdgeBucket = Vec<(EdgeId, VertexId, VertexId)>;
+
 /// Per-rank result of one Distributed NE machine: the final edge set of
 /// the partition this rank expanded, plus per-rank timing counters.
 /// Returned by [`DistributedNe::run_rank`]; assembled into the global
@@ -73,15 +78,21 @@ impl DistributedNe {
             return (EdgeAssignment::new(vec![], k), stats);
         }
         let grid = Grid2D::new(k, self.config.seed);
-        // Initial deployment: bucket edges by their 2D-hash owner. The paper
-        // excludes this load phase from partitioning time; we do the same
-        // (the cluster clock starts below).
-        let mut buckets: Vec<Vec<EdgeId>> = vec![Vec::new(); k as usize];
-        for e in 0..m {
-            let (u, v) = g.edge(e);
-            buckets[grid.owner(u, v) as usize].push(e);
-        }
-        let cells: Vec<Mutex<Option<Vec<EdgeId>>>> =
+        // Initial deployment: bucket edges by their 2D-hash owner with ONE
+        // sequential pass over the edge stream — the only whole-graph
+        // access of the entire run, so any storage backend (in-memory,
+        // mmap, chunk-streamed) serves it at its best access pattern. The
+        // paper excludes this load phase from partitioning time; we do the
+        // same (the cluster clock starts below). Buckets carry (id, u, v)
+        // triplets so the machines never read back through the graph.
+        let mut buckets: Vec<EdgeBucket> = vec![Vec::new(); k as usize];
+        g.for_each_edge(|e, u, v| buckets[grid.owner(u, v) as usize].push((e, u, v)));
+        // Each simulated machine is charged its share of the graph's
+        // resident bytes: an in-memory CSR would really be distributed
+        // over the k machines, while out-of-core backends charge only
+        // their bounded buffers.
+        let graph_bytes = g.resident_bytes().div_ceil(k as usize);
+        let cells: Vec<Mutex<Option<EdgeBucket>>> =
             buckets.into_iter().map(|b| Mutex::new(Some(b))).collect();
         let outcome = Cluster::with_transport(k as usize, self.config.resolved_transport())
             .with_collectives(self.config.resolved_collectives())
@@ -90,7 +101,7 @@ impl DistributedNe {
                     cells[ctx.rank()].lock().take().expect("each rank takes its bucket once");
                 // In-process, a transport failure means a sibling machine
                 // thread died — nothing to recover; fail the run loudly.
-                self.run_machine(ctx, g, &grid, my_edges, k).unwrap_or_else(|e| {
+                self.run_machine(ctx, m, graph_bytes, &grid, my_edges, k).unwrap_or_else(|e| {
                     panic!("rank {}: transport failure during Distributed NE: {e}", ctx.rank())
                 })
             });
@@ -167,13 +178,14 @@ impl DistributedNe {
         let grid = Grid2D::new(k, self.config.seed);
         let rank = ctx.rank() as u32;
         let mut my_edges = Vec::new();
-        for e in 0..g.num_edges() {
-            let (u, v) = g.edge(e);
+        g.for_each_edge(|e, u, v| {
             if grid.owner(u, v) == rank {
-                my_edges.push(e);
+                my_edges.push((e, u, v));
             }
-        }
-        self.run_machine(ctx, g, &grid, my_edges, k)
+        });
+        // A real process holds its own copy of (or window into) the graph,
+        // so the whole resident footprint is charged to this rank.
+        self.run_machine(ctx, g.num_edges(), g.resident_bytes(), &grid, my_edges, k)
     }
 
     /// One simulated machine: expansion process for partition `rank` plus
@@ -181,18 +193,19 @@ impl DistributedNe {
     fn run_machine(
         &self,
         ctx: &mut Ctx<NeMsg>,
-        g: &Graph,
+        m: u64,
+        graph_bytes: usize,
         grid: &Grid2D,
-        my_edges: Vec<EdgeId>,
+        my_edges: Vec<(EdgeId, VertexId, VertexId)>,
         k: PartitionId,
     ) -> Result<RankRun, TransportError> {
         let rank = ctx.rank();
         let kk = k as usize;
-        let m = g.num_edges();
-        let mut alloc = AllocatorPart::from_edges(g, my_edges, rank as u32, self.config.seed);
+        let mut alloc = AllocatorPart::from_owned_edges(my_edges, rank as u32, self.config.seed);
         alloc.ensure_parts(kk);
         let limit = (self.config.alpha * m as f64 / k as f64).ceil() as u64;
         let mut exp = ExpansionState::new(rank as Part, limit, self.config.lambda);
+        exp.frontier_budget = self.config.frontier_budget.unwrap_or(u64::MAX);
         // Free-edge gossip, seeded by one initial all-gather and refreshed
         // by every Result round afterwards.
         let mut free_hints: Vec<u64> = ctx.try_all_gather_u64(alloc.free_edges)?;
@@ -316,7 +329,7 @@ impl DistributedNe {
             exp.absorb(&boundary_updates, &new_edges);
             selection_time += t3.elapsed();
             if self.config.track_memory {
-                ctx.report_memory(alloc.heap_bytes() + exp.heap_bytes());
+                ctx.report_memory(alloc.heap_bytes() + exp.heap_bytes() + graph_bytes);
             }
             // ---- Termination (Algorithm 1 l.14–15). The all-gather both
             // sums |E| for the stop test and refreshes the capacity gate.

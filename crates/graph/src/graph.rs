@@ -1,11 +1,16 @@
 //! The CSR graph type shared by every partitioner and application.
 
+use std::sync::Arc;
+
+use crate::storage::{GraphStorage, InMemoryCsr, StorageKind};
 use crate::types::{Edge, EdgeId, VertexId};
 use crate::HeapSize;
 
-/// An undirected, unweighted graph in compressed sparse row (CSR) form.
+/// An undirected, unweighted graph in compressed sparse row (CSR) form,
+/// served by a pluggable [`GraphStorage`] backend.
 ///
-/// Storage (paper §4: "the core components of the graph are stored in CSR"):
+/// Logical layout (paper §4: "the core components of the graph are stored
+/// in CSR") — identical across backends:
 ///
 /// * `edges[e]` — the canonical endpoint pair of edge `e` (`u < v`), sorted.
 /// * `offsets[v] .. offsets[v+1]` — the adjacency slice of vertex `v`.
@@ -19,20 +24,28 @@ use crate::HeapSize;
 ///   `offsets[n] == 2|E|`;
 /// * `adj_e[i]` always names an edge incident to the owning vertex.
 ///
-/// Equality compares every CSR component array, so two graphs compare equal
-/// exactly when they are byte-identical — the property the parallel
-/// ingestion tests assert against the sequential build.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Where those arrays *live* is the backend's business
+/// ([`StorageKind`]): on the heap (the default), in a read-only
+/// memory-mapped file, or never materialized at all (chunk-streamed).
+/// Backends are capability-graded — [`Self::edges`] needs a contiguous
+/// in-memory slice and the adjacency accessors need adjacency arrays;
+/// each documents the panic it raises on a backend that cannot serve it.
+/// The portable way to touch every edge on any backend is
+/// [`Self::edge_iter`] / [`Self::for_each_edge`].
+///
+/// Equality compares `|V|`, `|E|`, and the canonical edge streams, so two
+/// graphs compare equal exactly when they describe the same graph — CSR
+/// adjacency is a pure function of the canonical edge list, and backends
+/// are compared by content, not by representation. `Clone` shares the
+/// (immutable) backend instead of deep-copying it.
+#[derive(Clone)]
 pub struct Graph {
-    num_vertices: VertexId,
-    edges: Box<[Edge]>,
-    offsets: Box<[u64]>,
-    adj_v: Box<[VertexId]>,
-    adj_e: Box<[EdgeId]>,
+    storage: Arc<dyn GraphStorage>,
 }
 
 impl Graph {
-    /// Build from a canonical (sorted, deduplicated, loop-free) edge list.
+    /// Build from a canonical (sorted, deduplicated, loop-free) edge list
+    /// on the in-memory backend.
     ///
     /// Prefer [`crate::EdgeListBuilder`] which establishes those properties.
     ///
@@ -40,44 +53,7 @@ impl Graph {
     /// If an endpoint is out of range, a self loop is present, or the list is
     /// not strictly sorted.
     pub fn from_canonical_edges(num_vertices: VertexId, edges: Vec<Edge>) -> Self {
-        let n = num_vertices as usize;
-        let m = edges.len();
-        for w in edges.windows(2) {
-            assert!(w[0] < w[1], "edge list must be strictly sorted/deduplicated");
-        }
-        let mut degrees = vec![0u64; n];
-        for &(u, v) in &edges {
-            assert!(u < v, "edges must be canonical (u < v, no self loops)");
-            assert!((v as usize) < n, "endpoint {v} out of range (n = {n})");
-            degrees[u as usize] += 1;
-            degrees[v as usize] += 1;
-        }
-        let mut offsets = vec![0u64; n + 1];
-        for v in 0..n {
-            offsets[v + 1] = offsets[v] + degrees[v];
-        }
-        let total = offsets[n] as usize;
-        debug_assert_eq!(total, 2 * m);
-        let mut adj_v = vec![0 as VertexId; total];
-        let mut adj_e = vec![0 as EdgeId; total];
-        let mut cursor = offsets.clone();
-        for (eid, &(u, v)) in edges.iter().enumerate() {
-            let cu = cursor[u as usize] as usize;
-            adj_v[cu] = v;
-            adj_e[cu] = eid as EdgeId;
-            cursor[u as usize] += 1;
-            let cv = cursor[v as usize] as usize;
-            adj_v[cv] = u;
-            adj_e[cv] = eid as EdgeId;
-            cursor[v as usize] += 1;
-        }
-        Self {
-            num_vertices,
-            edges: edges.into_boxed_slice(),
-            offsets: offsets.into_boxed_slice(),
-            adj_v: adj_v.into_boxed_slice(),
-            adj_e: adj_e.into_boxed_slice(),
-        }
+        Self::from_storage(Arc::new(InMemoryCsr::from_canonical_edges(num_vertices, edges)))
     }
 
     /// Build from a canonical edge list like [`Self::from_canonical_edges`],
@@ -99,25 +75,61 @@ impl Graph {
             return Self::from_canonical_edges(num_vertices, edges);
         }
         let csr = crate::parallel::build_csr_parallel(num_vertices, &edges, threads);
-        Self {
+        Self::from_storage(Arc::new(InMemoryCsr {
             num_vertices,
             edges: edges.into_boxed_slice(),
             offsets: csr.offsets.into_boxed_slice(),
             adj_v: csr.adj_v.into_boxed_slice(),
             adj_e: csr.adj_e.into_boxed_slice(),
-        }
+        }))
+    }
+
+    /// Wrap an already-built storage backend. This is how the out-of-core
+    /// openers in [`crate::io`] construct graphs; it also lets downstream
+    /// code plug in its own [`GraphStorage`] implementation.
+    pub fn from_storage(storage: Arc<dyn GraphStorage>) -> Self {
+        Self { storage }
+    }
+
+    /// Which storage backend serves this graph.
+    #[inline]
+    pub fn storage_kind(&self) -> StorageKind {
+        self.storage.kind()
+    }
+
+    /// The backend itself (for capability probing or storage-aware code).
+    #[inline]
+    pub fn storage(&self) -> &Arc<dyn GraphStorage> {
+        &self.storage
+    }
+
+    /// Whether this backend can serve the adjacency accessors
+    /// ([`Self::neighbors`], [`Self::neighbor_vertices`],
+    /// [`Self::incident_edges`]). `false` only for chunk-streamed storage.
+    #[inline]
+    pub fn has_adjacency(&self) -> bool {
+        self.storage.has_adjacency()
+    }
+
+    /// Live heap bytes owned by the storage backend right now — what the
+    /// mem-score accounting charges for holding the graph. In-memory CSR
+    /// reports its full arrays; mmap reports 0 (pages belong to the OS);
+    /// chunk-streamed reports its frame index plus the one cached chunk.
+    #[inline]
+    pub fn resident_bytes(&self) -> usize {
+        self.storage.resident_bytes()
     }
 
     /// Number of vertices `|V|` (ids are `0..num_vertices`).
     #[inline]
     pub fn num_vertices(&self) -> VertexId {
-        self.num_vertices
+        self.storage.num_vertices()
     }
 
     /// Number of undirected edges `|E|`.
     #[inline]
     pub fn num_edges(&self) -> u64 {
-        self.edges.len() as u64
+        self.storage.num_edges()
     }
 
     /// Average number of edges per vertex (`|E| / |V|`, the paper's
@@ -126,64 +138,130 @@ impl Graph {
     /// post-dedup density here).
     #[inline]
     pub fn density(&self) -> f64 {
-        if self.num_vertices == 0 {
+        if self.num_vertices() == 0 {
             0.0
         } else {
-            self.num_edges() as f64 / self.num_vertices as f64
+            self.num_edges() as f64 / self.num_vertices() as f64
         }
     }
 
-    /// Degree of vertex `v`.
+    /// Degree of vertex `v`. Available on every backend (chunk-streamed
+    /// storage computes all degrees lazily with one extra pass).
     #[inline]
     pub fn degree(&self, v: VertexId) -> u64 {
-        self.offsets[v as usize + 1] - self.offsets[v as usize]
+        self.storage.degree(v)
     }
 
     /// The canonical endpoints of edge `e`.
     #[inline]
     pub fn edge(&self, e: EdgeId) -> Edge {
-        self.edges[e as usize]
+        self.storage.edge(e)
     }
 
     /// All edges in canonical order (edge id == slice index).
+    ///
+    /// # Panics
+    /// If the backend holds no contiguous in-memory edge array (mmap,
+    /// chunk-streamed). Use [`Self::edge_iter`] or
+    /// [`Self::for_each_edge`] for backend-agnostic edge scans.
     #[inline]
     pub fn edges(&self) -> &[Edge] {
-        &self.edges
+        self.storage.edge_slice().unwrap_or_else(|| {
+            panic!(
+                "Graph::edges() needs a contiguous in-memory edge slice, which {} storage \
+                 does not keep; use edge_iter()/for_each_edge() instead",
+                self.storage.kind()
+            )
+        })
+    }
+
+    /// Iterate every edge in canonical order on any backend. The iterator
+    /// pulls blocks of edges from the storage, so a chunk-streamed graph
+    /// is traversed with bounded memory.
+    ///
+    /// # Panics
+    /// On disk-backed storage, if the underlying file fails mid-iteration
+    /// (see the failure-semantics contract on [`GraphStorage`]). Use
+    /// [`Self::try_for_each_edge`] to observe I/O errors instead.
+    pub fn edge_iter(&self) -> EdgeIter<'_> {
+        EdgeIter {
+            storage: self.storage.as_ref(),
+            buf: Vec::new(),
+            pos: 0,
+            next_block: 0,
+            num_edges: self.num_edges(),
+        }
+    }
+
+    /// Visit every edge in canonical order as `f(edge_id, u, v)` on any
+    /// backend — the bulk-scan primitive the distributed partitioner uses.
+    ///
+    /// # Panics
+    /// On an I/O failure of disk-backed storage; use
+    /// [`Self::try_for_each_edge`] to handle that as an error.
+    pub fn for_each_edge(&self, f: impl FnMut(EdgeId, VertexId, VertexId)) {
+        self.try_for_each_edge(f)
+            .unwrap_or_else(|e| panic!("edge scan failed on {} storage: {e}", self.storage.kind()));
+    }
+
+    /// Fallible [`Self::for_each_edge`]: visits every edge in canonical
+    /// order, surfacing storage I/O problems as errors.
+    pub fn try_for_each_edge(
+        &self,
+        mut f: impl FnMut(EdgeId, VertexId, VertexId),
+    ) -> std::io::Result<()> {
+        self.storage.try_for_each_edge(&mut f)
     }
 
     /// Iterate `(neighbor, edge_id)` pairs incident to `v`.
+    ///
+    /// # Panics
+    /// On a backend without adjacency arrays (chunk-streamed); check
+    /// [`Self::has_adjacency`] first when the backend is caller-chosen.
     #[inline]
     pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, EdgeId)> + '_ {
-        let lo = self.offsets[v as usize] as usize;
-        let hi = self.offsets[v as usize + 1] as usize;
-        self.adj_v[lo..hi].iter().copied().zip(self.adj_e[lo..hi].iter().copied())
+        let (adj_v, adj_e) = self.adjacency_or_panic(v);
+        adj_v.iter().copied().zip(adj_e.iter().copied())
     }
 
     /// Neighbor vertex ids of `v` (no edge ids).
+    ///
+    /// # Panics
+    /// As [`Self::neighbors`].
     #[inline]
     pub fn neighbor_vertices(&self, v: VertexId) -> &[VertexId] {
-        let lo = self.offsets[v as usize] as usize;
-        let hi = self.offsets[v as usize + 1] as usize;
-        &self.adj_v[lo..hi]
+        self.adjacency_or_panic(v).0
     }
 
     /// Incident edge ids of `v`.
+    ///
+    /// # Panics
+    /// As [`Self::neighbors`].
     #[inline]
     pub fn incident_edges(&self, v: VertexId) -> &[EdgeId] {
-        let lo = self.offsets[v as usize] as usize;
-        let hi = self.offsets[v as usize + 1] as usize;
-        &self.adj_e[lo..hi]
+        self.adjacency_or_panic(v).1
+    }
+
+    #[inline]
+    fn adjacency_or_panic(&self, v: VertexId) -> (&[VertexId], &[EdgeId]) {
+        self.storage.adjacency(v).unwrap_or_else(|| {
+            panic!(
+                "adjacency of vertex {v} is unavailable: {} storage keeps no adjacency \
+                 arrays (check Graph::has_adjacency, or materialize the graph first)",
+                self.storage.kind()
+            )
+        })
     }
 
     /// Iterate all vertex ids.
     #[inline]
     pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
-        0..self.num_vertices
+        0..self.num_vertices()
     }
 
     /// Maximum degree over all vertices (0 for empty graphs).
     pub fn max_degree(&self) -> u64 {
-        (0..self.num_vertices).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.num_vertices()).map(|v| self.degree(v)).max().unwrap_or(0)
     }
 
     /// The other endpoint of edge `e` as seen from `v`.
@@ -202,12 +280,69 @@ impl Graph {
     }
 }
 
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Graph")
+            .field("storage", &self.storage.kind())
+            .field("num_vertices", &self.num_vertices())
+            .field("num_edges", &self.num_edges())
+            .finish()
+    }
+}
+
+impl PartialEq for Graph {
+    fn eq(&self, other: &Self) -> bool {
+        self.num_vertices() == other.num_vertices()
+            && self.num_edges() == other.num_edges()
+            && self.edge_iter().eq(other.edge_iter())
+    }
+}
+
+impl Eq for Graph {}
+
+/// Block-buffered iterator over a graph's canonical edge stream — the
+/// backend-agnostic counterpart of slicing [`Graph::edges`]. Created by
+/// [`Graph::edge_iter`].
+#[derive(Debug)]
+pub struct EdgeIter<'a> {
+    storage: &'a dyn GraphStorage,
+    buf: Vec<Edge>,
+    pos: usize,
+    next_block: EdgeId,
+    num_edges: u64,
+}
+
+impl Iterator for EdgeIter<'_> {
+    type Item = Edge;
+
+    fn next(&mut self) -> Option<Edge> {
+        loop {
+            if self.pos < self.buf.len() {
+                let e = self.buf[self.pos];
+                self.pos += 1;
+                return Some(e);
+            }
+            if self.next_block >= self.num_edges {
+                return None;
+            }
+            self.storage.read_edge_block(self.next_block, &mut self.buf);
+            debug_assert!(!self.buf.is_empty());
+            self.next_block += self.buf.len() as u64;
+            self.pos = 0;
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.buf.len() - self.pos) as u64 + (self.num_edges - self.next_block);
+        (left as usize, Some(left as usize))
+    }
+}
+
+impl ExactSizeIterator for EdgeIter<'_> {}
+
 impl HeapSize for Graph {
     fn heap_bytes(&self) -> usize {
-        self.edges.heap_bytes()
-            + self.offsets.heap_bytes()
-            + self.adj_v.heap_bytes()
-            + self.adj_e.heap_bytes()
+        self.storage.resident_bytes()
     }
 }
 
@@ -261,6 +396,7 @@ mod tests {
         assert_eq!(g.num_vertices(), 0);
         assert_eq!(g.num_edges(), 0);
         assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.edge_iter().count(), 0);
     }
 
     #[test]
@@ -288,5 +424,37 @@ mod tests {
     fn heap_bytes_is_positive_for_nonempty() {
         let g = triangle_plus_tail();
         assert!(g.heap_bytes() > 0);
+    }
+
+    #[test]
+    fn default_backend_is_in_memory_with_full_capabilities() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.storage_kind(), StorageKind::InMemory);
+        assert!(g.has_adjacency());
+        assert_eq!(g.resident_bytes(), g.heap_bytes());
+    }
+
+    #[test]
+    fn edge_iter_matches_edge_slice_and_scan() {
+        let g = triangle_plus_tail();
+        let from_iter: Vec<Edge> = g.edge_iter().collect();
+        assert_eq!(from_iter.as_slice(), g.edges());
+        assert_eq!(g.edge_iter().len(), g.num_edges() as usize);
+        let mut from_scan = Vec::new();
+        g.for_each_edge(|e, u, v| {
+            assert_eq!(e as usize, from_scan.len());
+            from_scan.push((u, v));
+        });
+        assert_eq!(from_scan, from_iter);
+    }
+
+    #[test]
+    fn clone_shares_storage_and_compares_equal() {
+        let g = triangle_plus_tail();
+        let c = g.clone();
+        assert!(Arc::ptr_eq(g.storage(), c.storage()));
+        assert_eq!(g, c);
+        let other = Graph::from_canonical_edges(4, vec![(0, 1), (1, 2)]);
+        assert_ne!(g, other);
     }
 }

@@ -8,7 +8,7 @@
 //! conventions respectively); an optional third weight column is accepted
 //! and explicitly ignored (the graph model is unweighted).
 //!
-//! Three on-disk formats:
+//! Four on-disk formats:
 //! * **text** ([`read_text_edge_list`] / [`write_text_edge_list`]) — for
 //!   interchange with published datasets;
 //! * **monolithic binary** ([`read_binary`] / [`write_binary`]) — magic +
@@ -16,12 +16,20 @@
 //! * **chunk-framed binary** ([`ChunkedGraphWriter`] / [`read_chunked`] /
 //!   [`read_chunked_parallel`]) — the streaming format: edges travel in
 //!   length-prefixed frames so writer and reader each hold at most one
-//!   chunk beyond the final edge array itself.
+//!   chunk beyond the final edge array itself;
+//! * **on-disk CSR** (`DNECSRF1`, [`write_csr`] / [`csr_from_chunked`] /
+//!   [`open_csr_mmap`]) — the full CSR arrays laid out for read-only
+//!   memory mapping; see [`crate::mmap`] for the layout.
+//!
+//! A chunked file is also the input of the out-of-core storage backends:
+//! [`open_chunked_with`] opens it under any [`StorageKind`] without the
+//! caller caring which on-disk shape backs the returned [`Graph`].
 
 use std::fs::File;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Seek, Write};
 use std::path::Path;
 
+use crate::storage::StorageKind;
 use crate::types::{Edge, VertexId};
 use crate::{EdgeListBuilder, Graph};
 
@@ -98,7 +106,7 @@ pub fn read_text_edge_list_from(reader: impl BufRead) -> io::Result<Graph> {
 pub fn write_text_edge_list(g: &Graph, path: impl AsRef<Path>) -> io::Result<()> {
     let mut w = BufWriter::new(File::create(path)?);
     writeln!(w, "# vertices {} edges {}", g.num_vertices(), g.num_edges())?;
-    for &(u, v) in g.edges() {
+    for (u, v) in g.edge_iter() {
         writeln!(w, "{u} {v}")?;
     }
     w.flush()
@@ -113,7 +121,7 @@ pub fn write_binary(g: &Graph, path: impl AsRef<Path>) -> io::Result<()> {
     w.write_all(BINARY_MAGIC)?;
     w.write_all(&g.num_vertices().to_le_bytes())?;
     w.write_all(&g.num_edges().to_le_bytes())?;
-    for &(u, v) in g.edges() {
+    for (u, v) in g.edge_iter() {
         w.write_all(&u.to_le_bytes())?;
         w.write_all(&v.to_le_bytes())?;
     }
@@ -231,9 +239,15 @@ impl ChunkedGraphWriter {
 /// Write a graph in the chunk-framed format, `chunk_edges` edges per frame.
 pub fn write_chunked(g: &Graph, path: impl AsRef<Path>, chunk_edges: usize) -> io::Result<()> {
     let mut w = ChunkedGraphWriter::create(path, g.num_vertices())?;
-    for chunk in g.edges().chunks(chunk_edges.max(1)) {
-        w.write_chunk(chunk)?;
+    let mut chunk = Vec::with_capacity(chunk_edges.clamp(1, 1 << 20));
+    for e in g.edge_iter() {
+        chunk.push(e);
+        if chunk.len() >= chunk_edges.max(1) {
+            w.write_chunk(&chunk)?;
+            chunk.clear();
+        }
     }
+    w.write_chunk(&chunk)?;
     w.finish()?;
     Ok(())
 }
@@ -262,14 +276,19 @@ fn read_frame_len(r: &mut impl Read) -> io::Result<Option<u64>> {
     Ok(Some(u64::from_le_bytes(buf)))
 }
 
-/// Read every frame of a chunked file into one canonical edge vector,
-/// returning it with the declared vertex count. The edge list is appended
-/// frame by frame into a single allocation — at no point do two copies of
-/// the graph coexist.
-fn read_chunked_edges(path: impl AsRef<Path>) -> io::Result<(VertexId, Vec<Edge>)> {
-    let file = File::open(path)?;
-    let file_len = file.metadata()?.len();
-    let mut r = BufReader::new(file);
+/// Parsed and validated `DNECHNK1` header.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ChunkedHeader {
+    /// Declared vertex count.
+    pub num_vertices: VertexId,
+    /// Patched edge count (never the unfinished sentinel).
+    pub declared_edges: u64,
+}
+
+/// Read and validate a chunked file's 24-byte header: magic, the
+/// finished-writer sentinel, and a declared count the file could
+/// physically hold (a corrupt count must not provoke a huge allocation).
+fn read_chunked_header(r: &mut impl Read, file_len: u64) -> io::Result<ChunkedHeader> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
     if &magic != CHUNKED_MAGIC {
@@ -289,28 +308,80 @@ fn read_chunked_edges(path: impl AsRef<Path>) -> io::Result<(VertexId, Vec<Edge>
             "unfinished chunked file (writer never ran finish; edge count unpatched)",
         ));
     }
-    // Reserve from the header, but never beyond what the file could
-    // actually hold — a corrupt count must not provoke a huge allocation.
-    let payload_cap = (file_len.saturating_sub(24) / 16) as usize;
-    if declared as usize > payload_cap {
+    let payload_cap = file_len.saturating_sub(24) / 16;
+    if declared > payload_cap {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
             format!("header declares {declared} edges but the file can hold {payload_cap}"),
         ));
     }
-    let mut edges: Vec<Edge> = Vec::with_capacity(declared as usize);
-    // Frames are decoded through a bounded scratch buffer so a corrupt
-    // frame header cannot provoke an absurd allocation.
-    let mut scratch = vec![0u8; 1 << 16];
-    while let Some(count) = read_frame_len(&mut r)? {
+    Ok(ChunkedHeader { num_vertices: n, declared_edges: declared })
+}
+
+/// Streaming frame-by-frame reader over a chunked file with full payload
+/// validation: every pair must be canonical for the declared `|V|`, the
+/// stream strictly ascending across frame boundaries, and the total frame
+/// count must match the header when end-of-file is reached. This is the
+/// one decode loop behind [`read_chunked`], the chunk-streamed storage
+/// backend's sequential scans, and the CSR converter's passes.
+#[derive(Debug)]
+pub(crate) struct ChunkedEdgeReader {
+    r: BufReader<File>,
+    header: ChunkedHeader,
+    read_so_far: u64,
+    last: Option<Edge>,
+    /// Frames are decoded through a bounded scratch buffer so a corrupt
+    /// frame header cannot provoke an absurd allocation.
+    scratch: Vec<u8>,
+}
+
+impl ChunkedEdgeReader {
+    /// Open `path` and validate its header.
+    pub(crate) fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        let file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        let mut r = BufReader::new(file);
+        let header = read_chunked_header(&mut r, file_len)?;
+        Ok(Self { r, header, read_so_far: 0, last: None, scratch: vec![0u8; 1 << 16] })
+    }
+
+    /// Declared vertex count.
+    pub(crate) fn num_vertices(&self) -> VertexId {
+        self.header.num_vertices
+    }
+
+    /// Declared (finished) edge count.
+    pub(crate) fn declared_edges(&self) -> u64 {
+        self.header.declared_edges
+    }
+
+    /// Decode the next frame into `out` (cleared first). Returns `false`
+    /// on clean end-of-file — at which point the total decoded count has
+    /// been checked against the header — and `Err` on any corruption.
+    pub(crate) fn next_chunk(&mut self, out: &mut Vec<Edge>) -> io::Result<bool> {
+        out.clear();
+        let Some(count) = read_frame_len(&mut self.r)? else {
+            if self.header.declared_edges != self.read_so_far {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "header declares {} edges, frames carry {}",
+                        self.header.declared_edges, self.read_so_far
+                    ),
+                ));
+            }
+            return Ok(false);
+        };
+        let n = self.header.num_vertices;
         let mut remaining = (count as usize)
             .checked_mul(16)
             .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "frame length overflow"))?;
+        out.reserve(count as usize);
         while remaining > 0 {
-            let take = remaining.min(scratch.len());
+            let take = remaining.min(self.scratch.len());
             // Whole pairs only: scratch is a multiple of 16 bytes.
-            r.read_exact(&mut scratch[..take])?;
-            for pair in scratch[..take].chunks_exact(16) {
+            self.r.read_exact(&mut self.scratch[..take])?;
+            for pair in self.scratch[..take].chunks_exact(16) {
                 let u = u64::from_le_bytes(pair[..8].try_into().unwrap());
                 let v = u64::from_le_bytes(pair[8..].try_into().unwrap());
                 // Validate while decoding so a corrupt payload surfaces as
@@ -322,24 +393,134 @@ fn read_chunked_edges(path: impl AsRef<Path>) -> io::Result<(VertexId, Vec<Edge>
                         format!("corrupt frame: ({u}, {v}) is not canonical for |V| = {n}"),
                     ));
                 }
-                if edges.last().is_some_and(|&last| last >= (u, v)) {
+                if self.last.is_some_and(|last| last >= (u, v)) {
                     return Err(io::Error::new(
                         io::ErrorKind::InvalidData,
                         format!("corrupt frame: ({u}, {v}) breaks the canonical edge order"),
                     ));
                 }
-                edges.push((u, v));
+                self.last = Some((u, v));
+                out.push((u, v));
             }
             remaining -= take;
         }
+        self.read_so_far += count;
+        Ok(true)
     }
-    if declared != edges.len() as u64 {
+}
+
+/// One frame's location within a chunked file, as indexed by
+/// [`scan_chunked_frames`].
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ChunkFrame {
+    /// Global id of the first edge in this frame.
+    pub first_edge: u64,
+    /// Number of edges in this frame.
+    pub count: u64,
+    /// Byte offset of the frame's payload (just past its count word).
+    pub payload_at: u64,
+}
+
+/// Index a chunked file's frame directory without decoding any payload:
+/// reads each frame's count word and seeks past its pairs, so the cost is
+/// `O(frames)` I/O regardless of `|E|`.
+///
+/// Beyond the header checks, this validates that every frame fits inside
+/// the file and — the check a seek-based scan would otherwise lose — that
+/// the **summed frame counts equal the header's declared `|E|`**, failing
+/// with an `InvalidData` error naming both counts.
+pub(crate) fn scan_chunked_frames(
+    path: impl AsRef<Path>,
+) -> io::Result<(ChunkedHeader, Vec<ChunkFrame>)> {
+    let mut f = File::open(path)?;
+    let file_len = f.metadata()?.len();
+    let header = read_chunked_header(&mut f, file_len)?;
+    let mut frames = Vec::new();
+    let mut pos = 24u64;
+    let mut total = 0u64;
+    while let Some(count) = read_frame_len(&mut f)? {
+        pos += 8;
+        let bytes = count
+            .checked_mul(16)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "frame length overflow"))?;
+        if pos.checked_add(bytes).is_none_or(|end| end > file_len) {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                format!("frame of {count} edges overruns the file"),
+            ));
+        }
+        frames.push(ChunkFrame { first_edge: total, count, payload_at: pos });
+        // Frames occupy disjoint file ranges, so `total` is bounded by
+        // `file_len / 16` and cannot overflow.
+        total += count;
+        pos += bytes;
+        f.seek(io::SeekFrom::Start(pos))?;
+    }
+    if total != header.declared_edges {
         return Err(io::Error::new(
             io::ErrorKind::InvalidData,
-            format!("header declares {declared} edges, frames carry {}", edges.len()),
+            format!(
+                "chunked file declares {} edges but its frames sum to {total}",
+                header.declared_edges
+            ),
         ));
     }
-    Ok((n, edges))
+    Ok((header, frames))
+}
+
+/// Decode one frame (located by [`scan_chunked_frames`]) into `out`,
+/// validating that each pair is canonical and the frame internally
+/// ascending. Cross-frame ordering is the sequential reader's job.
+pub(crate) fn read_frame_payload(
+    path: impl AsRef<Path>,
+    frame: &ChunkFrame,
+    num_vertices: VertexId,
+    out: &mut Vec<Edge>,
+) -> io::Result<()> {
+    out.clear();
+    out.reserve(frame.count as usize);
+    let mut f = File::open(path)?;
+    f.seek(io::SeekFrom::Start(frame.payload_at))?;
+    let mut r = BufReader::new(f);
+    let mut scratch = vec![0u8; 1 << 16];
+    let mut remaining = (frame.count as usize) * 16;
+    while remaining > 0 {
+        let take = remaining.min(scratch.len());
+        r.read_exact(&mut scratch[..take])?;
+        for pair in scratch[..take].chunks_exact(16) {
+            let u = u64::from_le_bytes(pair[..8].try_into().unwrap());
+            let v = u64::from_le_bytes(pair[8..].try_into().unwrap());
+            if u >= v || v >= num_vertices {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("corrupt frame: ({u}, {v}) is not canonical for |V| = {num_vertices}"),
+                ));
+            }
+            if out.last().is_some_and(|&last| last >= (u, v)) {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("corrupt frame: ({u}, {v}) breaks the canonical edge order"),
+                ));
+            }
+            out.push((u, v));
+        }
+        remaining -= take;
+    }
+    Ok(())
+}
+
+/// Read every frame of a chunked file into one canonical edge vector,
+/// returning it with the declared vertex count. The edge list is appended
+/// frame by frame into a single allocation — only one decoded chunk ever
+/// coexists with the growing edge array.
+fn read_chunked_edges(path: impl AsRef<Path>) -> io::Result<(VertexId, Vec<Edge>)> {
+    let mut r = ChunkedEdgeReader::open(path)?;
+    let mut edges: Vec<Edge> = Vec::with_capacity(r.declared_edges() as usize);
+    let mut chunk = Vec::new();
+    while r.next_chunk(&mut chunk)? {
+        edges.append(&mut chunk);
+    }
+    Ok((r.num_vertices(), edges))
 }
 
 /// Read a graph written in the chunk-framed format ([`ChunkedGraphWriter`]).
@@ -353,6 +534,193 @@ pub fn read_chunked(path: impl AsRef<Path>) -> io::Result<Graph> {
 pub fn read_chunked_parallel(path: impl AsRef<Path>, threads: usize) -> io::Result<Graph> {
     let (n, edges) = read_chunked_edges(path)?;
     Ok(Graph::from_canonical_edges_parallel(n, edges, threads))
+}
+
+/// Build a `DNECSRF1` on-disk CSR container (see [`crate::mmap`] for the
+/// layout) from a replayable edge stream, holding only `O(|V|)` heap.
+///
+/// `pass` must replay the same canonical edge stream each time it is
+/// called; it runs twice — once to count degrees, once to fill the
+/// memory-mapped arrays in place. The source must not change between the
+/// passes (a changed edge count is detected and rejected; a same-count
+/// mutation would silently corrupt the output, as with any two-pass
+/// converter).
+fn build_csr_file<F>(path: &Path, n: VertexId, m: u64, mut pass: F) -> io::Result<()>
+where
+    F: FnMut(&mut dyn FnMut(VertexId, VertexId)) -> io::Result<()>,
+{
+    let mut degrees = vec![0u64; n as usize];
+    let mut counted = 0u64;
+    pass(&mut |u, v| {
+        degrees[u as usize] += 1;
+        degrees[v as usize] += 1;
+        counted += 1;
+    })?;
+    if counted != m {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("edge stream carried {counted} edges, header promised {m}"),
+        ));
+    }
+    let mut offsets = vec![0u64; n as usize + 1];
+    for v in 0..n as usize {
+        offsets[v + 1] = offsets[v] + degrees[v];
+    }
+    drop(degrees);
+    let len = crate::mmap::csr_file_len(n, m).ok_or_else(|| {
+        io::Error::new(io::ErrorKind::InvalidData, "CSR section sizes overflow u64")
+    })?;
+    let file = std::fs::OpenOptions::new()
+        .read(true)
+        .write(true)
+        .create(true)
+        .truncate(true)
+        .open(path)?;
+    file.set_len(len)?;
+    // Fill through a shared read-write mapping: the adjacency fill is
+    // random-access (one cursor per vertex), which the page cache absorbs;
+    // the process heap stays at the O(|V|) offset/cursor arrays.
+    let mut region = crate::mmap::MmapRegion::map(&file, len, true)?;
+    {
+        let words = region.u64s_mut();
+        words[0] = u64::from_ne_bytes(*crate::mmap::CSR_MAGIC);
+        words[1] = n.to_le();
+        words[2] = m.to_le();
+        words[3] = 0;
+        let edges_at = (crate::mmap::CSR_HEADER_BYTES / 8) as usize;
+        let offsets_at = edges_at + 2 * m as usize;
+        let adj_v_at = offsets_at + n as usize + 1;
+        let adj_e_at = adj_v_at + 2 * m as usize;
+        for (i, &o) in offsets.iter().enumerate() {
+            words[offsets_at + i] = o.to_le();
+        }
+        let mut cursor = offsets;
+        let mut e = 0u64;
+        pass(&mut |u, v| {
+            words[edges_at + 2 * e as usize] = u.to_le();
+            words[edges_at + 2 * e as usize + 1] = v.to_le();
+            let cu = cursor[u as usize] as usize;
+            words[adj_v_at + cu] = v.to_le();
+            words[adj_e_at + cu] = e.to_le();
+            cursor[u as usize] += 1;
+            let cv = cursor[v as usize] as usize;
+            words[adj_v_at + cv] = u.to_le();
+            words[adj_e_at + cv] = e.to_le();
+            cursor[v as usize] += 1;
+            e += 1;
+        })?;
+        if e != m {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("edge stream changed between passes ({e} edges, first pass saw {m})"),
+            ));
+        }
+    }
+    drop(region); // munmap flushes the shared mapping
+    file.sync_all()
+}
+
+/// Write `g` as a `DNECSRF1` on-disk CSR container, openable with
+/// [`open_csr_mmap`]. Works for any storage backend of `g` (the graph is
+/// streamed, not sliced).
+pub fn write_csr(g: &Graph, path: impl AsRef<Path>) -> io::Result<()> {
+    build_csr_file(path.as_ref(), g.num_vertices(), g.num_edges(), |visit| {
+        g.try_for_each_edge(|_, u, v| visit(u, v))
+    })
+}
+
+/// Convert a finished `DNECHNK1` chunked file into a `DNECSRF1` CSR
+/// container without ever materializing the graph: two streaming passes
+/// over the chunks fill the memory-mapped output in place, so peak heap is
+/// `O(|V| + chunk)`. Returns the edge count.
+pub fn csr_from_chunked(src: impl AsRef<Path>, dst: impl AsRef<Path>) -> io::Result<u64> {
+    let src = src.as_ref();
+    let (n, m) = {
+        let r = ChunkedEdgeReader::open(src)?;
+        (r.num_vertices(), r.declared_edges())
+    };
+    build_csr_file(dst.as_ref(), n, m, |visit| {
+        let mut r = ChunkedEdgeReader::open(src)?;
+        let mut chunk = Vec::new();
+        while r.next_chunk(&mut chunk)? {
+            for &(u, v) in &chunk {
+                visit(u, v);
+            }
+        }
+        Ok(())
+    })?;
+    Ok(m)
+}
+
+/// Open a `DNECSRF1` container as a [`Graph`] on the memory-mapped
+/// storage backend ([`crate::mmap::MmapCsr`]).
+pub fn open_csr_mmap(path: impl AsRef<Path>) -> io::Result<Graph> {
+    Ok(Graph::from_storage(std::sync::Arc::new(crate::mmap::MmapCsr::open(path)?)))
+}
+
+/// Open a finished `DNECHNK1` file as a [`Graph`] on the chunk-streamed
+/// storage backend ([`crate::storage::ChunkStore`]) — no adjacency, no
+/// full edge materialization, bounded memory.
+pub fn open_chunk_streamed(path: impl AsRef<Path>) -> io::Result<Graph> {
+    Ok(Graph::from_storage(std::sync::Arc::new(crate::storage::ChunkStore::open(path)?)))
+}
+
+/// Sibling path where [`open_chunked_with`] caches the CSR container for
+/// the mmap backend: the chunked file's name with `.csr` appended.
+pub fn csr_cache_path(chunked: impl AsRef<Path>) -> std::path::PathBuf {
+    let mut os = chunked.as_ref().as_os_str().to_os_string();
+    os.push(".csr");
+    std::path::PathBuf::from(os)
+}
+
+/// Open a finished `DNECHNK1` file as a [`Graph`] on the requested
+/// storage backend:
+///
+/// * [`StorageKind::InMemory`] — decode every chunk and build the heap
+///   CSR ([`read_chunked`]);
+/// * [`StorageKind::Mmap`] — convert to a sibling `DNECSRF1` container
+///   (cached at [`csr_cache_path`], rebuilt when missing or older than
+///   the source) and map it read-only;
+/// * [`StorageKind::ChunkStreamed`] — stream the chunks directly.
+pub fn open_chunked_with(path: impl AsRef<Path>, kind: StorageKind) -> io::Result<Graph> {
+    let path = path.as_ref();
+    match kind {
+        StorageKind::InMemory => read_chunked(path),
+        StorageKind::ChunkStreamed => open_chunk_streamed(path),
+        StorageKind::Mmap => {
+            let (n, m) = {
+                let r = ChunkedEdgeReader::open(path)?;
+                (r.num_vertices(), r.declared_edges())
+            };
+            let csr = csr_cache_path(path);
+            let fresh = match (std::fs::metadata(&csr), std::fs::metadata(path)) {
+                (Ok(c), Ok(s)) => match (c.modified(), s.modified()) {
+                    (Ok(cm), Ok(sm)) => cm >= sm,
+                    _ => false,
+                },
+                _ => false,
+            };
+            if fresh {
+                // A stale or foreign cache file must never win over the
+                // source: accept it only if it opens cleanly and agrees on
+                // both counts.
+                if let Ok(g) = open_csr_mmap(&csr) {
+                    if g.num_vertices() == n && g.num_edges() == m {
+                        return Ok(g);
+                    }
+                }
+            }
+            csr_from_chunked(path, &csr)?;
+            open_csr_mmap(&csr)
+        }
+    }
+}
+
+/// [`open_chunked_with`] on the backend selected by the
+/// `DNE_GRAPH_STORAGE` environment variable (see
+/// [`StorageKind::from_env`], which panics on unrecognized values).
+pub fn open_chunked_env(path: impl AsRef<Path>) -> io::Result<Graph> {
+    open_chunked_with(path, StorageKind::from_env())
 }
 
 #[cfg(test)]
@@ -481,6 +849,33 @@ mod tests {
         std::fs::write(&p, &bytes).unwrap();
         let e = read_chunked(&p).unwrap_err();
         assert!(e.to_string().contains("can hold"), "got: {e}");
+    }
+
+    #[test]
+    fn chunked_reader_rejects_frame_sum_disagreeing_with_header() {
+        // A *modest* lie: the declared |E| fits the payload cap, but the
+        // frames sum to something else. Both the streaming reader and the
+        // seek-based frame scanner must reject it with a typed error
+        // naming both counts.
+        let g = gen::rmat(&gen::RmatConfig::graph500(7, 4, 8));
+        let m = g.num_edges();
+        for lie in [m - 1, m + 1] {
+            let p = tmp(&format!("count_lie_{lie}.chunked"));
+            write_chunked(&g, &p, 64).unwrap();
+            let mut bytes = std::fs::read(&p).unwrap();
+            bytes[16..24].copy_from_slice(&lie.to_le_bytes());
+            std::fs::write(&p, &bytes).unwrap();
+            let e = scan_chunked_frames(&p).unwrap_err();
+            assert_eq!(e.kind(), io::ErrorKind::InvalidData, "scan, lie={lie}");
+            assert!(
+                e.to_string().contains(&format!("declares {lie} edges"))
+                    && e.to_string().contains(&format!("sum to {m}")),
+                "scan must name both counts, got: {e}"
+            );
+            assert!(read_chunked(&p).is_err(), "streaming read, lie={lie}");
+            let e = open_chunk_streamed(&p).unwrap_err();
+            assert_eq!(e.kind(), io::ErrorKind::InvalidData, "open, lie={lie}");
+        }
     }
 
     #[test]

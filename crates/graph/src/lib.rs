@@ -1,12 +1,16 @@
 //! # dne-graph — graph substrate for Distributed NE
 //!
-//! This crate provides the in-memory graph representation and the synthetic
+//! This crate provides the graph representation and the synthetic
 //! graph generators used throughout the Distributed NE reproduction:
 //!
-//! * [`Graph`] — an undirected, unweighted graph stored in **compressed
-//!   sparse row (CSR)** form with globally numbered, deduplicated edges.
-//!   This mirrors the paper's storage choice (§4 "Data Structure"): the core
-//!   components are continuous arrays, no hash maps on the hot path.
+//! * [`Graph`] — an undirected, unweighted graph in **compressed sparse
+//!   row (CSR)** form with globally numbered, deduplicated edges,
+//!   mirroring the paper's storage choice (§4 "Data Structure"). `Graph`
+//!   is a facade over the pluggable [`GraphStorage`] seam: the default
+//!   backend keeps the CSR as continuous in-memory arrays, while the
+//!   `mmap` and `chunk-streamed` backends ([`storage`], [`mmap`]) serve
+//!   the same accessors from disk for graphs bigger than RAM
+//!   (`DNE_GRAPH_STORAGE` selects one at [`io::open_chunked_env`]).
 //! * [`EdgeListBuilder`] — canonicalizing edge-list builder (drops self
 //!   loops, deduplicates parallel edges, sorts) used by every generator and
 //!   by the IO layer.
@@ -16,9 +20,10 @@
 //!   Erdős–Rényi, Chung–Lu power-law, and small classic graphs for tests.
 //! * [`hash`] — fast non-cryptographic hashing (splitmix64-based) used for
 //!   1D/2D hash partitioning and for internal hash maps.
-//! * [`io`] — plain-text and binary edge-list readers/writers, including a
-//!   chunk-framed streaming binary format for graphs too large to buffer
-//!   twice.
+//! * [`io`] — plain-text and binary edge-list readers/writers, a
+//!   chunk-framed streaming binary format (`DNECHNK1`) for graphs too
+//!   large to buffer twice, and an on-disk CSR container (`DNECSRF1`)
+//!   built from it in two sequential O(|V|)-heap passes.
 //! * [`parallel`] — the parallel ingestion machinery behind
 //!   [`EdgeListBuilder::build_parallel`],
 //!   [`Graph::from_canonical_edges_parallel`] and the `gen::*_parallel`
@@ -58,12 +63,15 @@ pub mod gen;
 pub mod graph;
 pub mod hash;
 pub mod io;
+pub mod mmap;
 pub mod parallel;
+pub mod storage;
 pub mod transform;
 pub mod types;
 
 pub use edge_list::EdgeListBuilder;
-pub use graph::Graph;
+pub use graph::{EdgeIter, Graph};
+pub use storage::{GraphStorage, StorageKind};
 pub use types::{EdgeId, VertexId, INVALID_VERTEX};
 
 /// Types that can report (an estimate of) their owned heap allocation.

@@ -1,0 +1,552 @@
+//! The pluggable graph-storage seam: one trait, three backends.
+//!
+//! The paper's title promises trillion-edge graphs, but a `Graph` that
+//! always materializes its full CSR in RAM lower-bounds every memory
+//! metric by `O(|E|)` regardless of the algorithm. This module splits the
+//! *representation* of a graph from its *interface* so the partitioners
+//! can run over storage that pages or streams the edge set instead:
+//!
+//! * [`InMemoryCsr`] — the original heap-allocated CSR arrays. Fastest,
+//!   supports every accessor, costs `O(|E|)` heap.
+//! * `MmapCsr` (see [`crate::mmap`]) — an on-disk CSR container
+//!   ([`crate::io::write_csr`] / [`crate::io::csr_from_chunked`]) mapped
+//!   read-only; the OS pages adjacency in on demand, so live *heap* is
+//!   `O(1)` and resident set follows the access pattern.
+//! * [`ChunkStore`] — sequential passes over a `DNECHNK1` chunk-framed
+//!   file ([`crate::io::ChunkedGraphWriter`]); at most one chunk is
+//!   buffered at a time and no adjacency is ever built. Heap is
+//!   `O(chunk + frames)`, plus `O(|V|)` only if a caller asks for degrees.
+//!
+//! Backends differ in which accessors they can serve; the capability
+//! table lives on [`GraphStorage`] and the failure semantics are part of
+//! each method's contract. All backends expose the *same* canonical edge
+//! numbering, so every deterministic partitioner produces bit-identical
+//! assignments regardless of the storage backend — the property the
+//! `storage_equivalence` integration suite asserts.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, OnceLock};
+
+use crate::io::{read_frame_payload, scan_chunked_frames, ChunkFrame, ChunkedEdgeReader};
+use crate::types::{Edge, EdgeId, VertexId};
+use crate::HeapSize;
+
+/// The names [`StorageKind::from_str`] accepts, for error messages.
+const KIND_NAMES: &str = "\"in-memory\", \"mmap\", or \"chunk-streamed\"";
+
+/// Which storage backend a [`crate::Graph`] uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StorageKind {
+    /// Heap-allocated CSR arrays (the original representation).
+    #[default]
+    InMemory,
+    /// Read-only memory-mapped on-disk CSR container: the OS pages
+    /// adjacency in on demand; live heap is `O(1)`.
+    Mmap,
+    /// Sequential passes over a `DNECHNK1` chunk-framed file with one
+    /// buffered chunk; no adjacency arrays are ever built.
+    ChunkStreamed,
+}
+
+impl StorageKind {
+    /// Environment variable consulted by [`StorageKind::from_env`].
+    pub const ENV_VAR: &'static str = "DNE_GRAPH_STORAGE";
+
+    /// Every backend, in definition order — the canonical list the
+    /// equivalence suites iterate, so adding a backend cannot silently
+    /// drop it from a test matrix that hand-copied the roster.
+    pub const ALL: [StorageKind; 3] =
+        [StorageKind::InMemory, StorageKind::Mmap, StorageKind::ChunkStreamed];
+
+    /// Read the backend from `DNE_GRAPH_STORAGE` (`in-memory` | `mmap` |
+    /// `chunk-streamed`, case-insensitive, surrounding whitespace
+    /// ignored). Unset or empty means [`StorageKind::InMemory`].
+    ///
+    /// # Panics
+    /// Panics on an unrecognized or non-Unicode value, naming the valid
+    /// backends — a misconfigured run (`DNE_GRAPH_STORAGE=mmaped`) must
+    /// fail loudly before it silently measures the wrong backend.
+    pub fn from_env() -> Self {
+        match std::env::var(Self::ENV_VAR) {
+            Ok(v) if !v.trim().is_empty() => {
+                v.parse().unwrap_or_else(|e| panic!("invalid {}: {e}", Self::ENV_VAR))
+            }
+            Err(std::env::VarError::NotUnicode(raw)) => {
+                panic!(
+                    "invalid {}: non-Unicode value {raw:?} (expected {KIND_NAMES})",
+                    Self::ENV_VAR
+                )
+            }
+            _ => StorageKind::InMemory,
+        }
+    }
+}
+
+impl std::str::FromStr for StorageKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "in-memory" | "inmemory" | "in_memory" => Ok(StorageKind::InMemory),
+            "mmap" => Ok(StorageKind::Mmap),
+            "chunk-streamed" | "chunkstreamed" | "chunk_streamed" | "streamed" => {
+                Ok(StorageKind::ChunkStreamed)
+            }
+            other => {
+                Err(format!("unknown graph storage backend {other:?} (expected {KIND_NAMES})"))
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for StorageKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            StorageKind::InMemory => "in-memory",
+            StorageKind::Mmap => "mmap",
+            StorageKind::ChunkStreamed => "chunk-streamed",
+        })
+    }
+}
+
+/// Number of edges [`Graph::edge_iter`](crate::Graph::edge_iter) pulls
+/// from the backend per block.
+pub(crate) const EDGE_ITER_BLOCK: u64 = 4096;
+
+/// Storage backend of a [`crate::Graph`]: the seam between the graph's
+/// *interface* (canonical edge ids, adjacency) and its *representation*
+/// (heap arrays, a mapped file, a streamed chunk file).
+///
+/// ## Capability table
+///
+/// | accessor            | in-memory | mmap | chunk-streamed |
+/// |---------------------|-----------|------|----------------|
+/// | `edge` / `for_each` | yes       | yes  | yes (chunk cache / stream) |
+/// | `degree`            | yes       | yes  | yes (lazy `O(V)` degree pass) |
+/// | `adjacency`         | yes       | yes  | **no** (`None`) |
+/// | `edge_slice`        | yes       | no   | no             |
+///
+/// ## Failure semantics
+///
+/// Infallible accessors (`edge`, `degree`, `read_edge_block`) on
+/// disk-backed storage **panic** on an environmental I/O failure (file
+/// deleted mid-run, disk error) — by construction they can only be
+/// reached after the file validated at open time, so an error there is a
+/// torn environment, not an input condition. Anything that is an *input*
+/// condition (corrupt frame, wrong magic, count mismatch) is a typed
+/// `io::Error` from the open/convert entry points in [`crate::io`] or
+/// from [`GraphStorage::try_for_each_edge`].
+pub trait GraphStorage: std::fmt::Debug + Send + Sync {
+    /// Which backend this is.
+    fn kind(&self) -> StorageKind;
+
+    /// Number of vertices `|V|`.
+    fn num_vertices(&self) -> VertexId;
+
+    /// Number of undirected edges `|E|`.
+    fn num_edges(&self) -> u64;
+
+    /// The canonical endpoints of edge `e` (`e < num_edges`).
+    fn edge(&self, e: EdgeId) -> Edge;
+
+    /// Degree of vertex `v`. The chunk-streamed backend computes all
+    /// degrees with one `O(|E|)` pass on first use and caches the
+    /// `O(|V|)` array.
+    fn degree(&self, v: VertexId) -> u64;
+
+    /// Adjacency of `v` as `(neighbor vertices, incident edge ids)` slice
+    /// pair, or `None` if this backend keeps no adjacency arrays
+    /// (chunk-streamed).
+    fn adjacency(&self, v: VertexId) -> Option<(&[VertexId], &[EdgeId])>;
+
+    /// Whether [`GraphStorage::adjacency`] returns `Some` on this backend.
+    fn has_adjacency(&self) -> bool {
+        true
+    }
+
+    /// The full canonical edge array as a slice, if this backend holds
+    /// one in addressable memory with the layout of `[Edge]` (only
+    /// in-memory does).
+    fn edge_slice(&self) -> Option<&[Edge]>;
+
+    /// Visit every edge in canonical ascending order as
+    /// `f(edge_id, u, v)` — the sequential scan every backend serves at
+    /// its best: slice iteration (in-memory), a linear page-in (mmap), or
+    /// one buffered chunk at a time (chunk-streamed).
+    fn try_for_each_edge(&self, f: &mut dyn FnMut(EdgeId, VertexId, VertexId)) -> io::Result<()>;
+
+    /// Copy the block of edges `[start, min(start + EDGE_ITER_BLOCK, m))`
+    /// into `out` (cleared first). Powers [`crate::Graph::edge_iter`].
+    fn read_edge_block(&self, start: EdgeId, out: &mut Vec<Edge>);
+
+    /// Live *heap* bytes owned by this storage right now — what the
+    /// mem-score tracker charges. File-backed pages (mmap) are the OS's,
+    /// not the process heap, and are deliberately excluded; the
+    /// `fig9_memory` peak-RSS column measures those externally.
+    fn resident_bytes(&self) -> usize;
+}
+
+// ---------------------------------------------------------------------------
+// In-memory backend
+// ---------------------------------------------------------------------------
+
+/// The original heap-allocated CSR arrays (see [`crate::Graph`] for the
+/// invariants); the zero-regression default backend.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InMemoryCsr {
+    pub(crate) num_vertices: VertexId,
+    pub(crate) edges: Box<[Edge]>,
+    pub(crate) offsets: Box<[u64]>,
+    pub(crate) adj_v: Box<[VertexId]>,
+    pub(crate) adj_e: Box<[EdgeId]>,
+}
+
+impl InMemoryCsr {
+    /// Build from a canonical (sorted, deduplicated, loop-free) edge
+    /// list; panics exactly like
+    /// [`crate::Graph::from_canonical_edges`].
+    pub fn from_canonical_edges(num_vertices: VertexId, edges: Vec<Edge>) -> Self {
+        let n = num_vertices as usize;
+        let m = edges.len();
+        for w in edges.windows(2) {
+            assert!(w[0] < w[1], "edge list must be strictly sorted/deduplicated");
+        }
+        let mut degrees = vec![0u64; n];
+        for &(u, v) in &edges {
+            assert!(u < v, "edges must be canonical (u < v, no self loops)");
+            assert!((v as usize) < n, "endpoint {v} out of range (n = {n})");
+            degrees[u as usize] += 1;
+            degrees[v as usize] += 1;
+        }
+        let mut offsets = vec![0u64; n + 1];
+        for v in 0..n {
+            offsets[v + 1] = offsets[v] + degrees[v];
+        }
+        let total = offsets[n] as usize;
+        debug_assert_eq!(total, 2 * m);
+        let mut adj_v = vec![0 as VertexId; total];
+        let mut adj_e = vec![0 as EdgeId; total];
+        let mut cursor = offsets.clone();
+        for (eid, &(u, v)) in edges.iter().enumerate() {
+            let cu = cursor[u as usize] as usize;
+            adj_v[cu] = v;
+            adj_e[cu] = eid as EdgeId;
+            cursor[u as usize] += 1;
+            let cv = cursor[v as usize] as usize;
+            adj_v[cv] = u;
+            adj_e[cv] = eid as EdgeId;
+            cursor[v as usize] += 1;
+        }
+        Self {
+            num_vertices,
+            edges: edges.into_boxed_slice(),
+            offsets: offsets.into_boxed_slice(),
+            adj_v: adj_v.into_boxed_slice(),
+            adj_e: adj_e.into_boxed_slice(),
+        }
+    }
+}
+
+impl GraphStorage for InMemoryCsr {
+    fn kind(&self) -> StorageKind {
+        StorageKind::InMemory
+    }
+
+    fn num_vertices(&self) -> VertexId {
+        self.num_vertices
+    }
+
+    fn num_edges(&self) -> u64 {
+        self.edges.len() as u64
+    }
+
+    #[inline]
+    fn edge(&self, e: EdgeId) -> Edge {
+        self.edges[e as usize]
+    }
+
+    #[inline]
+    fn degree(&self, v: VertexId) -> u64 {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    #[inline]
+    fn adjacency(&self, v: VertexId) -> Option<(&[VertexId], &[EdgeId])> {
+        let lo = self.offsets[v as usize] as usize;
+        let hi = self.offsets[v as usize + 1] as usize;
+        Some((&self.adj_v[lo..hi], &self.adj_e[lo..hi]))
+    }
+
+    fn edge_slice(&self) -> Option<&[Edge]> {
+        Some(&self.edges)
+    }
+
+    fn try_for_each_edge(&self, f: &mut dyn FnMut(EdgeId, VertexId, VertexId)) -> io::Result<()> {
+        for (e, &(u, v)) in self.edges.iter().enumerate() {
+            f(e as EdgeId, u, v);
+        }
+        Ok(())
+    }
+
+    fn read_edge_block(&self, start: EdgeId, out: &mut Vec<Edge>) {
+        out.clear();
+        let lo = start.min(self.edges.len() as u64) as usize;
+        let hi = (start + EDGE_ITER_BLOCK).min(self.edges.len() as u64) as usize;
+        out.extend_from_slice(&self.edges[lo..hi]);
+    }
+
+    fn resident_bytes(&self) -> usize {
+        self.edges.heap_bytes()
+            + self.offsets.heap_bytes()
+            + self.adj_v.heap_bytes()
+            + self.adj_e.heap_bytes()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Chunk-streamed backend
+// ---------------------------------------------------------------------------
+
+/// Chunk-streamed storage over a `DNECHNK1` file: the frame directory is
+/// indexed at open (validating that the summed frame counts match the
+/// header's `|E|`), after which sequential scans re-stream the file and
+/// random `edge(e)` lookups page one frame at a time through a
+/// single-frame cache. No adjacency is ever built; degrees are computed
+/// lazily with one extra pass only if asked for.
+#[derive(Debug)]
+pub struct ChunkStore {
+    path: PathBuf,
+    num_vertices: VertexId,
+    num_edges: u64,
+    frames: Vec<ChunkFrame>,
+    cache: Mutex<Option<(usize, Vec<Edge>)>>,
+    degrees: OnceLock<Vec<u64>>,
+}
+
+impl ChunkStore {
+    /// Open a finished `DNECHNK1` file and index its frames.
+    ///
+    /// Fails with a typed `InvalidData` error on a wrong magic, an
+    /// unfinished header, or a frame directory whose summed edge counts
+    /// disagree with the header's `|E|` (naming both counts).
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let (header, frames) = scan_chunked_frames(&path)?;
+        Ok(Self {
+            path,
+            num_vertices: header.num_vertices,
+            num_edges: header.declared_edges,
+            frames,
+            cache: Mutex::new(None),
+            degrees: OnceLock::new(),
+        })
+    }
+
+    /// The chunked file this store streams from.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Index of the frame containing edge `e`.
+    fn frame_of(&self, e: EdgeId) -> usize {
+        debug_assert!(e < self.num_edges);
+        self.frames.partition_point(|fr| fr.first_edge + fr.count <= e)
+    }
+
+    /// Run `f` over the cached copy of frame `idx`, loading it if needed.
+    fn with_frame<R>(&self, idx: usize, f: impl FnOnce(&[Edge]) -> R) -> R {
+        let mut cache = self.cache.lock().expect("chunk cache poisoned");
+        match *cache {
+            Some((held, ref buf)) if held == idx => f(buf),
+            _ => {
+                let mut buf = Vec::new();
+                read_frame_payload(&self.path, &self.frames[idx], self.num_vertices, &mut buf)
+                    .unwrap_or_else(|e| {
+                        panic!(
+                            "chunk-streamed storage: failed to re-read frame {idx} of {}: {e}",
+                            self.path.display()
+                        )
+                    });
+                let r = f(&buf);
+                *cache = Some((idx, buf));
+                r
+            }
+        }
+    }
+}
+
+impl GraphStorage for ChunkStore {
+    fn kind(&self) -> StorageKind {
+        StorageKind::ChunkStreamed
+    }
+
+    fn num_vertices(&self) -> VertexId {
+        self.num_vertices
+    }
+
+    fn num_edges(&self) -> u64 {
+        self.num_edges
+    }
+
+    fn edge(&self, e: EdgeId) -> Edge {
+        assert!(e < self.num_edges, "edge id {e} out of range (|E| = {})", self.num_edges);
+        let idx = self.frame_of(e);
+        let off = (e - self.frames[idx].first_edge) as usize;
+        self.with_frame(idx, |buf| buf[off])
+    }
+
+    fn degree(&self, v: VertexId) -> u64 {
+        let degrees = self.degrees.get_or_init(|| {
+            let mut deg = vec![0u64; self.num_vertices as usize];
+            self.try_for_each_edge(&mut |_, u, w| {
+                deg[u as usize] += 1;
+                deg[w as usize] += 1;
+            })
+            .unwrap_or_else(|e| {
+                panic!(
+                    "chunk-streamed storage: degree pass over {} failed: {e}",
+                    self.path.display()
+                )
+            });
+            deg
+        });
+        degrees[v as usize]
+    }
+
+    fn adjacency(&self, _v: VertexId) -> Option<(&[VertexId], &[EdgeId])> {
+        None
+    }
+
+    fn has_adjacency(&self) -> bool {
+        false
+    }
+
+    fn edge_slice(&self) -> Option<&[Edge]> {
+        None
+    }
+
+    fn try_for_each_edge(&self, f: &mut dyn FnMut(EdgeId, VertexId, VertexId)) -> io::Result<()> {
+        let mut r = ChunkedEdgeReader::open(&self.path)?;
+        let mut buf = Vec::new();
+        let mut e: EdgeId = 0;
+        while r.next_chunk(&mut buf)? {
+            for &(u, v) in &buf {
+                f(e, u, v);
+                e += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn read_edge_block(&self, start: EdgeId, out: &mut Vec<Edge>) {
+        out.clear();
+        let mut e = start.min(self.num_edges);
+        let end = (start + EDGE_ITER_BLOCK).min(self.num_edges);
+        while e < end {
+            let idx = self.frame_of(e);
+            let fr_first = self.frames[idx].first_edge;
+            let fr_count = self.frames[idx].count;
+            let lo = (e - fr_first) as usize;
+            let hi = ((end - fr_first).min(fr_count)) as usize;
+            self.with_frame(idx, |buf| out.extend_from_slice(&buf[lo..hi]));
+            e = fr_first + hi as u64;
+        }
+    }
+
+    fn resident_bytes(&self) -> usize {
+        let cached = self
+            .cache
+            .lock()
+            .map(|c| c.as_ref().map_or(0, |(_, buf)| buf.capacity() * 16))
+            .unwrap_or(0);
+        let degrees = self.degrees.get().map_or(0, |d| d.capacity() * 8);
+        self.frames.capacity() * std::mem::size_of::<ChunkFrame>() + cached + degrees
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("dne_graph_storage_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{}_{name}", std::process::id()))
+    }
+
+    #[test]
+    fn kind_parses_all_names_and_rejects_typos() {
+        for kind in StorageKind::ALL {
+            let rt: StorageKind = kind.to_string().parse().unwrap();
+            assert_eq!(rt, kind);
+        }
+        assert_eq!(" MMAP ".parse::<StorageKind>().unwrap(), StorageKind::Mmap);
+        assert_eq!("In-Memory".parse::<StorageKind>().unwrap(), StorageKind::InMemory);
+        let e = "mmaped".parse::<StorageKind>().unwrap_err();
+        assert!(e.contains("in-memory"), "error must name valid backends: {e}");
+        assert!(e.contains("chunk-streamed"), "error must name valid backends: {e}");
+    }
+
+    #[test]
+    fn chunk_store_matches_in_memory_accessors() {
+        let g = gen::rmat(&gen::RmatConfig::graph500(8, 6, 7));
+        let p = tmp("store.chunked");
+        crate::io::write_chunked(&g, &p, 100).unwrap();
+        let s = ChunkStore::open(&p).unwrap();
+        assert_eq!(s.num_vertices(), g.num_vertices());
+        assert_eq!(s.num_edges(), g.num_edges());
+        // Random access through the frame cache, in a cache-hostile order.
+        for e in (0..g.num_edges()).rev() {
+            assert_eq!(s.edge(e), g.edge(e));
+        }
+        for v in 0..g.num_vertices() {
+            assert_eq!(s.degree(v), g.degree(v));
+        }
+        assert!(s.adjacency(0).is_none());
+        assert!(s.edge_slice().is_none());
+        // Sequential scan sees every edge in canonical order.
+        let mut seen = Vec::new();
+        s.try_for_each_edge(&mut |e, u, v| seen.push((e, u, v))).unwrap();
+        assert_eq!(seen.len() as u64, g.num_edges());
+        for (e, u, v) in seen {
+            assert_eq!(g.edge(e), (u, v));
+        }
+        assert!(s.resident_bytes() > 0, "cache + degree array are live heap");
+        assert!(
+            s.resident_bytes() < g.heap_bytes(),
+            "streamed residency must undercut the full CSR"
+        );
+    }
+
+    #[test]
+    fn read_edge_block_crosses_frames() {
+        let g = gen::rmat(&gen::RmatConfig::graph500(7, 4, 2));
+        let p = tmp("blocks.chunked");
+        crate::io::write_chunked(&g, &p, 17).unwrap(); // many tiny frames
+        let s = ChunkStore::open(&p).unwrap();
+        let mut buf = Vec::new();
+        let mut all = Vec::new();
+        let mut start = 0;
+        loop {
+            s.read_edge_block(start, &mut buf);
+            if buf.is_empty() {
+                break;
+            }
+            start += buf.len() as u64;
+            all.extend_from_slice(&buf);
+        }
+        assert_eq!(all.as_slice(), g.edges());
+    }
+
+    #[test]
+    fn chunk_store_rejects_unfinished_file() {
+        let g = gen::rmat(&gen::RmatConfig::graph500(6, 4, 3));
+        let p = tmp("unfinished.chunked");
+        let mut w = crate::io::ChunkedGraphWriter::create(&p, g.num_vertices()).unwrap();
+        w.write_chunk(g.edges()).unwrap();
+        drop(w);
+        assert!(ChunkStore::open(&p).is_err());
+    }
+}

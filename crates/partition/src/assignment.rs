@@ -87,6 +87,20 @@ impl EdgeAssignment {
     pub fn is_valid_for(&self, g: &Graph) -> bool {
         self.parts.len() as u64 == g.num_edges()
     }
+
+    /// Order-sensitive 64-bit fingerprint of the full assignment
+    /// (partition count and every edge's partition, in edge-id order).
+    /// Two assignments compare equal iff they fingerprint equal, up to
+    /// hash collisions — the equivalence suites use this to compare runs
+    /// across storage and transport backends without shipping whole
+    /// vectors around.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = dne_graph::hash::mix64(self.num_partitions as u64 ^ self.parts.len() as u64);
+        for &p in &self.parts {
+            h = dne_graph::hash::mix2(h, p as u64);
+        }
+        h
+    }
 }
 
 impl HeapSize for EdgeAssignment {
@@ -118,6 +132,17 @@ mod tests {
         assert_eq!(a.part_of(0), 0);
         assert_eq!(a.part_of(3), 1);
         assert_eq!(a.num_edges(), 4);
+    }
+
+    #[test]
+    fn fingerprint_is_order_sensitive_and_stable() {
+        let a = EdgeAssignment::new(vec![0, 1, 2], 3);
+        let b = EdgeAssignment::new(vec![0, 1, 2], 3);
+        let c = EdgeAssignment::new(vec![2, 1, 0], 3);
+        let d = EdgeAssignment::new(vec![0, 1, 2], 4);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        assert_ne!(a.fingerprint(), d.fingerprint());
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! hash sets — no allocation in the inner loop.
 
 use crate::assignment::EdgeAssignment;
+use dne_graph::hash::FastSet;
 use dne_graph::Graph;
 
 /// Quality summary of one edge partitioning.
@@ -42,18 +43,38 @@ impl PartitionQuality {
             edge_counts[p as usize] += 1;
         }
         // |V(E_p)|: for each vertex, count each distinct incident partition
-        // once. stamp[p] == v+1 marks "already counted for this vertex".
+        // once.
         let mut vertex_counts = vec![0u64; k];
-        let mut stamp = vec![0u64; k];
-        for v in g.vertices() {
-            let marker = v + 1;
-            for &e in g.incident_edges(v) {
-                let p = assignment.part_of(e) as usize;
-                if stamp[p] != marker {
-                    stamp[p] = marker;
-                    vertex_counts[p] += 1;
+        if g.has_adjacency() {
+            // Adjacency walk: edges of a vertex are visited consecutively,
+            // so stamp[p] == v+1 marks "already counted for this vertex" —
+            // no allocation in the inner loop.
+            let mut stamp = vec![0u64; k];
+            for v in g.vertices() {
+                let marker = v + 1;
+                for &e in g.incident_edges(v) {
+                    let p = assignment.part_of(e) as usize;
+                    if stamp[p] != marker {
+                        stamp[p] = marker;
+                        vertex_counts[p] += 1;
+                    }
                 }
             }
+        } else {
+            // Adjacency-free storage (chunk-streamed): one sequential edge
+            // scan, deduplicating (vertex, partition) pairs in a hash set.
+            // O(total replicas) memory instead of the adjacency arrays the
+            // out-of-core backend deliberately avoids.
+            let mut seen: FastSet<(u64, u32)> = FastSet::default();
+            g.for_each_edge(|e, u, v| {
+                let p = assignment.part_of(e);
+                if seen.insert((u, p)) {
+                    vertex_counts[p as usize] += 1;
+                }
+                if seen.insert((v, p)) {
+                    vertex_counts[p as usize] += 1;
+                }
+            });
         }
         let total_replicas: u64 = vertex_counts.iter().sum();
         let nv = g.num_vertices();
@@ -135,6 +156,23 @@ mod tests {
         let q2 = PartitionQuality::measure(&g, &skewed);
         assert!(!q2.satisfies_balance(1.1));
         assert!(q2.edge_balance > 2.0);
+    }
+
+    #[test]
+    fn streamed_storage_measures_identically() {
+        // The adjacency-free scan path must agree exactly with the stamp
+        // walk. Round-trip the graph through a chunked file opened with
+        // the chunk-streamed backend (no adjacency arrays) and re-measure.
+        let g = gen::rmat(&gen::RmatConfig::graph500(6, 6, 11));
+        let a = EdgeAssignment::from_fn(&g, 5, |e| (e % 5) as u32);
+        let q = PartitionQuality::measure(&g, &a);
+        let dir = std::env::temp_dir().join("dne_partition_quality_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = dir.join("streamed.chunks");
+        dne_graph::io::write_chunked(&g, &p, 7).unwrap();
+        let s = dne_graph::io::open_chunk_streamed(&p).unwrap();
+        assert!(!s.has_adjacency());
+        assert_eq!(PartitionQuality::measure(&s, &a), q);
     }
 
     #[test]

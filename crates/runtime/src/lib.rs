@@ -93,7 +93,7 @@ pub mod wire;
 
 pub use cluster::{Cluster, ClusterOutcome, Ctx};
 pub use collectives::{CollMsg, CollectiveTopology, Collectives};
-pub use memory::{MemoryReport, MemoryTracker};
+pub use memory::{peak_rss_bytes, reset_peak_rss, MemoryReport, MemoryTracker};
 pub use stats::CommStats;
 pub use tcp::{TcpProcessCluster, TcpSession, TcpTransport};
 pub use transport::{BytesTransport, LoopbackTransport, Transport, TransportError, TransportKind};

@@ -72,6 +72,29 @@ impl MemoryTracker {
     }
 }
 
+/// True peak resident set size of the *whole process* in bytes (`VmHWM`
+/// from `/proc/self/status`), as an external cross-check of the logical
+/// accounting above: the logical tracker counts partitioning state only,
+/// while the kernel's high-water mark also sees allocator slack, code,
+/// and whatever else the process touched. Returns `None` where procfs is
+/// unavailable (non-Linux).
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// Reset the kernel's resident-set high-water mark (write `5` to
+/// `/proc/self/clear_refs`), so a following [`peak_rss_bytes`] reflects
+/// only allocations made *after* the reset. `VmHWM` is monotonic over a
+/// process's lifetime; without this reset, back-to-back measurements of
+/// several runs would all report the largest one. Returns `false` where
+/// the reset is unsupported.
+pub fn reset_peak_rss() -> bool {
+    std::fs::write("/proc/self/clear_refs", b"5").is_ok()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -100,5 +123,18 @@ mod tests {
         let t = MemoryTracker::new(3);
         assert_eq!(t.peak_total_bytes(), 0);
         assert_eq!(t.report_summary().peak_total_bytes, 0);
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn peak_rss_reads_vm_hwm() {
+        // Any live Linux process has touched at least a page.
+        let peak = peak_rss_bytes().expect("procfs should be readable on Linux");
+        assert!(peak > 0);
+        // After a reset the high-water mark restarts from the *current*
+        // RSS, which can only be <= the old peak.
+        if reset_peak_rss() {
+            assert!(peak_rss_bytes().expect("still readable") <= peak);
+        }
     }
 }

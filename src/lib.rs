@@ -38,6 +38,6 @@ pub mod prelude {
     pub use dne_core::{DistributedNe, NeConfig};
     pub use dne_graph::gen::{rmat, rmat_parallel, road_grid, RmatConfig};
     pub use dne_graph::parallel::default_ingest_threads;
-    pub use dne_graph::{EdgeListBuilder, Graph, VertexId};
+    pub use dne_graph::{EdgeListBuilder, Graph, GraphStorage, StorageKind, VertexId};
     pub use dne_partition::{EdgeAssignment, EdgePartitioner, PartitionQuality};
 }
