@@ -1,10 +1,11 @@
 #![deny(missing_docs)]
 //! # dne-apps — distributed graph applications over edge partitions
 //!
-//! Reproduces the paper's §7.6 evaluation: the effect of partitioning
-//! quality on distributed graph applications. The paper runs SSSP, WCC and
-//! PageRank on PowerLyra (a PowerGraph fork) over 64 machines; here the
-//! same three applications run on an in-repo **vertex-cut engine**
+//! Reproduces the paper's §7.6 evaluation — the effect of partitioning
+//! quality on distributed graph applications — and extends it into an
+//! LDBC-Graphalytics-style six-kernel suite. The paper runs SSSP, WCC and
+//! PageRank on PowerLyra (a PowerGraph fork) over 64 machines; here six
+//! applications run on an in-repo **vertex-cut engine**
 //! ([`engine::Engine`]) with the master–mirror synchronization scheme that
 //! vertex-cut systems share:
 //!
@@ -18,12 +19,19 @@
 //! The causal chain the paper demonstrates — lower replication factor ⇒
 //! fewer mirror messages ⇒ less communication ⇒ faster supersteps — is
 //! structural in this engine: both sync rounds move exactly one message per
-//! (replica, superstep) pair with live updates.
+//! (replica, superstep) pair with live updates, and the adjacency kernels
+//! ship one neighbor-list copy per replica.
 //!
-//! Applications ([`apps`]): SSSP (light communication), WCC (medium),
-//! PageRank (heavy, all-vertices-active) — the three workload classes of
-//! Table 5 — each with a sequential reference implementation used by the
-//! correctness tests.
+//! The kernel roster ([`apps`]): **BFS** and **SSSP** (light
+//! communication), **WCC** (medium), **PageRank** (heavy,
+//! all-vertices-active) as f64 vertex programs, plus **triangle counting**
+//! and **LCC** as exact-arithmetic adjacency-exchange kernels — each with
+//! a sequential reference implementation. [`verify`] names the roster as
+//! data ([`Kernel`]), states each kernel's tolerance contract
+//! (bit-identical where exact, an asserted ULP bound where
+//! floating-point), and checks distributed runs against the references —
+//! the machinery behind the `app_suite` integration tests and bench
+//! binary.
 //!
 //! ## Quick start
 //!
@@ -38,10 +46,22 @@
 //! let run = Engine::new(&g, &assignment).wcc();
 //! // Partitioning changes performance, never answers.
 //! assert_eq!(run.values, wcc_reference(&g));
+//!
+//! // Or drive the whole verified suite through the roster:
+//! use dne_apps::verify::{verify_kernel, Kernel};
+//! let engine = Engine::new(&g, &assignment);
+//! for kernel in Kernel::suite() {
+//!     verify_kernel(kernel, &engine, &g).expect("kernel must match its reference");
+//! }
 //! ```
 
 pub mod apps;
 pub mod engine;
+pub mod verify;
 
-pub use apps::{pagerank_reference, sssp_reference, wcc_reference};
-pub use engine::{AppRun, Engine};
+pub use apps::{
+    bfs_reference, lcc_reference, pagerank_reference, sssp_reference, triangle_total,
+    triangles_reference, wcc_reference,
+};
+pub use engine::{AdjMsg, AppMsg, AppRun, Engine, RankRun, TriangleRankRun};
+pub use verify::{ulp_distance, CheckReport, Kernel, Tolerance};

@@ -37,6 +37,7 @@ fn main() {
         "fig10_time",
         "table4_sequential",
         "table5_apps",
+        "app_suite",
         "table6_roads",
         // Multi-process acceptance gate: spawns real worker processes and
         // asserts tcp == bytes == loopback on all non-timing columns.

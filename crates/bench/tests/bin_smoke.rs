@@ -33,6 +33,12 @@ fn tcp_worker_compare_quick_agrees_across_backends() {
 }
 
 #[test]
+#[ignore = "six kernels over four mid-size graphs (~minutes in debug); CI runs it in release"]
+fn app_suite_quick_completes() {
+    run(env!("CARGO_BIN_EXE_app_suite"), &["quick"]);
+}
+
+#[test]
 #[ignore = "runs every table/figure binary (~minutes in debug); CI runs it in release"]
 fn run_all_quick_completes() {
     run(env!("CARGO_BIN_EXE_run_all"), &[]);

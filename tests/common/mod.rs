@@ -32,6 +32,25 @@ pub fn storage_transport_pairs() -> Vec<(StorageKind, TransportKind)> {
     STORAGES.into_iter().flat_map(|s| TRANSPORTS.into_iter().map(move |t| (s, t))).collect()
 }
 
+/// A Latin-square sample of the full (transport × topology × storage)
+/// cube: all 9 (transport, topology) pairs, with the storage axis rotated
+/// so that every (transport, storage) and every (topology, storage) pair
+/// also appears exactly once. 9 cells cover all 27 pairwise interactions
+/// of the 3×3×3 matrix — the sampling that keeps the app-suite cell count
+/// tractable in CI while leaving no two-axis combination untested.
+pub fn matrix_cells() -> Vec<(TransportKind, CollectiveTopology, StorageKind)> {
+    TRANSPORTS
+        .into_iter()
+        .enumerate()
+        .flat_map(|(ti, kind)| {
+            TOPOLOGIES
+                .into_iter()
+                .enumerate()
+                .map(move |(pi, topo)| (kind, topo, STORAGES[(ti + pi) % STORAGES.len()]))
+        })
+        .collect()
+}
+
 /// Write `g` as a DNECHNK1 chunked file under a per-`label` scratch
 /// directory and return the path. `label` must be unique per call site —
 /// suites run concurrently inside one test binary, and the mmap backend
