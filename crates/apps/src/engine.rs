@@ -5,7 +5,7 @@ use std::time::Duration;
 use dne_graph::hash::mix2;
 use dne_graph::{EdgeId, Graph, VertexId};
 use dne_partition::{EdgeAssignment, PartitionId};
-use dne_runtime::{Cluster, CollectiveTopology, Ctx, TransportError, TransportKind};
+use dne_runtime::{BatchConfig, Cluster, CollectiveTopology, Ctx, TransportError, TransportKind};
 
 /// How partial accumulators combine (the `⊕` of the GAS gather phase).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -126,6 +126,11 @@ pub struct Engine<'g> {
     /// `DNE_COLLECTIVES` at run time. Application results are
     /// bit-identical under every topology.
     collectives: Option<CollectiveTopology>,
+    /// Envelope-coalescing policy of the point-to-point fabric; `None`
+    /// resolves `DNE_COMM_BATCH` at run time. Application results and
+    /// logical message/byte accounting are bit-identical with coalescing
+    /// on or off — only the physical frame count changes.
+    comm_batch: Option<BatchConfig>,
 }
 
 impl<'g> Engine<'g> {
@@ -167,7 +172,16 @@ impl<'g> Engine<'g> {
                 }
             })
             .collect();
-        Self { g, assignment, replicas, masters, edges_by_part, transport: None, collectives: None }
+        Self {
+            g,
+            assignment,
+            replicas,
+            masters,
+            edges_by_part,
+            transport: None,
+            collectives: None,
+            comm_batch: None,
+        }
     }
 
     /// Select the transport backend explicitly (overrides `DNE_TRANSPORT`;
@@ -186,6 +200,14 @@ impl<'g> Engine<'g> {
         self
     }
 
+    /// Select the envelope-coalescing policy explicitly (overrides
+    /// `DNE_COMM_BATCH`; application results and logical comm accounting
+    /// are bit-identical with coalescing on or off).
+    pub fn with_comm_batch(mut self, batch: BatchConfig) -> Self {
+        self.comm_batch = Some(batch);
+        self
+    }
+
     /// Replication factor as the engine sees it (sanity hook for tests).
     pub fn replication_factor(&self) -> f64 {
         let total: usize = self.replicas.iter().map(|r| r.len()).sum();
@@ -198,7 +220,8 @@ impl<'g> Engine<'g> {
         let k = self.assignment.num_partitions() as usize;
         let transport = self.transport.unwrap_or_else(TransportKind::from_env);
         let collectives = self.collectives.unwrap_or_else(CollectiveTopology::from_env);
-        Cluster::with_transport(k, transport).with_collectives(collectives)
+        let batch = self.comm_batch.unwrap_or_else(BatchConfig::from_env);
+        Cluster::with_transport(k, transport).with_collectives(collectives).with_comm_batch(batch)
     }
 
     /// The local vertex table of `rank`: the sorted distinct endpoints of
@@ -275,6 +298,11 @@ impl<'g> Engine<'g> {
                 }
             }
             busy += t0.elapsed();
+            // Frames from machines that are ahead of us arrived while we
+            // were gathering; move them into the per-source queues so the
+            // blocking exchange starts warm (same below, before every
+            // blocking call that follows a compute section).
+            let _ = ctx.try_drain_ready()?;
             let incoming = ctx.try_exchange(|dst| std::mem::take(&mut partials[dst]))?;
             let t1 = t_busy();
             for msg in incoming {
@@ -312,6 +340,7 @@ impl<'g> Engine<'g> {
                 }
             }
             busy += t1.elapsed();
+            let _ = ctx.try_drain_ready()?;
             let incoming = ctx.try_exchange(|dst| std::mem::take(&mut updates[dst]))?;
             let t2 = t_busy();
             for msg in incoming {
@@ -423,6 +452,9 @@ impl<'g> Engine<'g> {
             }
         }
         busy += t0.elapsed();
+        // As in `run_rank`: drain frames that arrived during the compute
+        // section before each blocking exchange.
+        let _ = ctx.try_drain_ready()?;
         let incoming = ctx.try_exchange(|dst| std::mem::take(&mut partials[dst]))?;
         let t1 = t_busy();
         for msg in incoming {
@@ -447,6 +479,7 @@ impl<'g> Engine<'g> {
             }
         }
         busy += t1.elapsed();
+        let _ = ctx.try_drain_ready()?;
         let incoming = ctx.try_exchange(|dst| std::mem::take(&mut updates[dst]))?;
         let t2 = t_busy();
         for msg in incoming {
@@ -475,6 +508,7 @@ impl<'g> Engine<'g> {
             }
         }
         busy += t2.elapsed();
+        let _ = ctx.try_drain_ready()?;
         let incoming = ctx.try_exchange(|dst| std::mem::take(&mut partials[dst]))?;
         let t3 = t_busy();
         for msg in incoming {

@@ -5,7 +5,9 @@
 //! Distributed NE?
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use dne_runtime::{Cluster, CollectiveTopology, TransportKind, WireDecode, WireEncode};
+use dne_runtime::{
+    BatchConfig, Cluster, CollectiveTopology, TransportKind, WireDecode, WireEncode,
+};
 use std::hint::black_box;
 
 /// Lock-step all-to-all of `Vec<u64>` payloads — the dominant traffic
@@ -25,6 +27,43 @@ fn bench_exchange_backends(c: &mut Criterion) {
                             black_box(got);
                         }
                     })
+                })
+            });
+        }
+        group.finish();
+    }
+}
+
+/// The frame-coalescing sweep over real sockets: every rank pushes a
+/// fixed stream of small envelopes to every peer, with `DNE_COMM_BATCH`
+/// auto-flushing every 1 (off) / 8 / 64 / 512 envelopes. Logical traffic
+/// is identical across the sweep — only the physical frame count (and
+/// with it the per-frame write/read/syscall overhead) changes, so the
+/// wall-clock spread is the price of one-envelope-per-frame framing. The
+/// per-destination stream shrinks with P (`2048 / P` envelopes) to keep
+/// the total socket traffic roughly constant as the mesh widens.
+fn bench_coalescing_sweep(c: &mut Criterion) {
+    for p in [4usize, 16, 64] {
+        let per_dst = 2048 / p;
+        let mut group = c.benchmark_group(format!("coalesce_tcp_p{p}"));
+        group.sample_size(10);
+        group.throughput(Throughput::Elements((per_dst * (p - 1) * p) as u64));
+        for batch in [1usize, 8, 64, 512] {
+            group.bench_function(BenchmarkId::from_parameter(batch), |b| {
+                b.iter(|| {
+                    Cluster::with_transport(p, TransportKind::Tcp)
+                        .with_comm_batch(BatchConfig::msgs(batch))
+                        .run::<Vec<u64>, _, _>(|ctx| {
+                            let payload: Vec<u64> = (0..8u64).collect();
+                            for dst in (0..p).filter(|&d| d != ctx.rank()) {
+                                for _ in 0..per_dst {
+                                    ctx.send(dst, payload.clone());
+                                }
+                            }
+                            for _ in 0..per_dst * (p - 1) {
+                                black_box(ctx.recv());
+                            }
+                        })
                 })
             });
         }
@@ -100,6 +139,7 @@ fn bench_codec(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_exchange_backends,
+    bench_coalescing_sweep,
     bench_collectives_backends,
     bench_collective_topologies,
     bench_codec

@@ -9,7 +9,10 @@
 //! identical under all backends — `bytes` round-trips every message
 //! through the real wire codec, `tcp` additionally carries the frames
 //! over real localhost sockets; both report exact (rather than estimated)
-//! comm volumes.
+//! comm volumes. `DNE_COMM_BATCH` (`off` | envelope count) additionally
+//! coalesces small same-destination envelopes into multi-message frames —
+//! results and logical accounting are identical, only the physical frame
+//! count changes.
 //!
 //! The suite ends with the `dne-tcp-worker` compare step: a real
 //! multi-process TCP partition whose non-timing TSV columns are asserted
@@ -17,18 +20,23 @@
 
 use std::process::Command;
 
-use dne_runtime::{CollectiveTopology, TransportKind};
+use dne_runtime::{BatchConfig, CollectiveTopology, TransportKind};
 
 fn main() {
     let full = std::env::args().any(|a| a == "full");
     let mode = if full { "full" } else { "quick" };
-    // Validate DNE_TRANSPORT and DNE_COLLECTIVES up front so a typo fails
-    // before, not after, an hours-long sweep; children inherit the
-    // environment unchanged.
+    // Validate DNE_TRANSPORT, DNE_COLLECTIVES, and DNE_COMM_BATCH up
+    // front so a typo fails before, not after, an hours-long sweep;
+    // children inherit the environment unchanged.
     let transport = TransportKind::from_env();
     let collectives = CollectiveTopology::from_env();
+    let batch = BatchConfig::from_env();
     println!("transport: {transport}");
     println!("collectives: {collectives}");
+    println!(
+        "comm batch: {}",
+        if batch.enabled() { format!("{} msgs/frame", batch.max_msgs) } else { "off".into() }
+    );
     let bins = [
         "table1_bounds",
         "fig6_lambda",

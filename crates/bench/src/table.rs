@@ -73,20 +73,23 @@ pub fn secs(d: std::time::Duration) -> String {
 
 /// Parse the common `quick`/`full` mode argument (default quick) and
 /// report the run configuration: the transport backend selected via
-/// `DNE_TRANSPORT` and the graph-storage backend selected via
+/// `DNE_TRANSPORT`, the envelope-coalescing policy selected via
+/// `DNE_COMM_BATCH`, and the graph-storage backend selected via
 /// `DNE_GRAPH_STORAGE` (every simulated cluster / chunked-file opener in
 /// the binaries honors them).
 pub fn parse_mode() -> bool {
     let quick = !std::env::args().any(|a| a == "full");
     let transport = dne_runtime::TransportKind::from_env();
+    let batch = dne_runtime::BatchConfig::from_env();
+    let batch = if batch.enabled() { format!("{}", batch.max_msgs) } else { "off".into() };
     let storage = dne_graph::StorageKind::from_env();
     if quick {
         eprintln!(
-            "[mode: quick — pass `full` for the paper-scale sweep | transport: {transport} | storage: {storage}]"
+            "[mode: quick — pass `full` for the paper-scale sweep | transport: {transport} | batch: {batch} | storage: {storage}]"
         );
     } else {
         eprintln!(
-            "[mode: full — this can take a while | transport: {transport} | storage: {storage}]"
+            "[mode: full — this can take a while | transport: {transport} | batch: {batch} | storage: {storage}]"
         );
     }
     quick

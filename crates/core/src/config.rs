@@ -1,6 +1,6 @@
 //! Configuration of a Distributed NE run.
 
-use dne_runtime::{CollectiveTopology, TransportKind};
+use dne_runtime::{BatchConfig, CollectiveTopology, TransportKind};
 
 /// Tunable parameters of Distributed NE. Defaults follow the paper's
 /// experimental setting (§7.1): imbalance factor `α = 1.1`, expansion factor
@@ -42,6 +42,14 @@ pub struct NeConfig {
     /// `None` (the default) resolves the `DNE_COLLECTIVES` environment
     /// variable at partition time (flat when unset).
     pub collectives: Option<CollectiveTopology>,
+    /// Coalescing policy for point-to-point envelopes: small
+    /// same-destination messages are packed into multi-message frames,
+    /// cutting the physical frame (and syscall) count without changing
+    /// logical message/byte accounting or results. `None` (the default)
+    /// resolves the `DNE_COMM_BATCH` environment variable at partition
+    /// time (disabled when unset), so constructing a config never touches
+    /// the environment.
+    pub comm_batch: Option<BatchConfig>,
     /// Cap on boundary vertices expanded per iteration (the frontier
     /// budget). Multi-expansion normally pops `⌈λ·|B_p|⌉` vertices; on a
     /// memory-constrained machine running out-of-core storage that
@@ -62,6 +70,7 @@ impl Default for NeConfig {
             stall_limit: 3,
             transport: None,
             collectives: None,
+            comm_batch: None,
             frontier_budget: None,
         }
     }
@@ -119,6 +128,20 @@ impl NeConfig {
         self.collectives.unwrap_or_else(CollectiveTopology::from_env)
     }
 
+    /// Select the envelope-coalescing policy explicitly (overrides
+    /// `DNE_COMM_BATCH`). Pass [`BatchConfig::disabled`] to force classic
+    /// one-frame-per-envelope behavior regardless of the environment.
+    pub fn with_comm_batch(mut self, batch: BatchConfig) -> Self {
+        self.comm_batch = Some(batch);
+        self
+    }
+
+    /// The coalescing policy a run will use: the explicit choice if one
+    /// was made, otherwise whatever `DNE_COMM_BATCH` says right now.
+    pub fn resolved_comm_batch(&self) -> BatchConfig {
+        self.comm_batch.unwrap_or_else(BatchConfig::from_env)
+    }
+
     /// Cap the number of boundary vertices expanded per iteration (must be
     /// at least 1). See [`NeConfig::frontier_budget`].
     pub fn with_frontier_budget(mut self, budget: u64) -> Self {
@@ -158,7 +181,8 @@ mod tests {
             .with_alpha(1.2)
             .with_lambda(1.0)
             .with_transport(TransportKind::Bytes)
-            .with_collectives(CollectiveTopology::Binomial);
+            .with_collectives(CollectiveTopology::Binomial)
+            .with_comm_batch(BatchConfig::msgs(64));
         assert_eq!(c.seed, 9);
         assert_eq!(c.alpha, 1.2);
         assert_eq!(c.lambda, 1.0);
@@ -166,6 +190,8 @@ mod tests {
         assert_eq!(c.resolved_transport(), TransportKind::Bytes);
         assert_eq!(c.collectives, Some(CollectiveTopology::Binomial));
         assert_eq!(c.resolved_collectives(), CollectiveTopology::Binomial);
+        assert_eq!(c.comm_batch, Some(BatchConfig::msgs(64)));
+        assert_eq!(c.resolved_comm_batch(), BatchConfig::msgs(64));
     }
 
     #[test]
@@ -174,5 +200,6 @@ mod tests {
         // run resolves the backend/topology, never at construction.
         assert_eq!(NeConfig::default().transport, None);
         assert_eq!(NeConfig::default().collectives, None);
+        assert_eq!(NeConfig::default().comm_batch, None);
     }
 }

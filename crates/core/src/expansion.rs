@@ -83,6 +83,13 @@ impl ExpansionState {
     ///
     /// `local_free` is the colocated allocator's free-edge count;
     /// `free_hints` the last-known free counts of all allocators (gossip).
+    ///
+    /// The only state this mutates is the boundary queue (the popped
+    /// frontier vertices), and it never reads or writes `edges` — the
+    /// driver relies on this to *speculate* the next round's selection
+    /// while the termination all-gather of [`ExpansionState::size`] is
+    /// still in flight, without perturbing the gathered value or the
+    /// final edge set.
     pub fn select(
         &mut self,
         local_rank: usize,

@@ -69,6 +69,7 @@ impl DistributedNe {
                 elapsed: Duration::ZERO,
                 comm_bytes: 0,
                 comm_msgs: 0,
+                comm_frames: 0,
                 collective_rounds: 0,
                 peak_memory_bytes: 0,
                 mem_score: 0.0,
@@ -96,6 +97,7 @@ impl DistributedNe {
             buckets.into_iter().map(|b| Mutex::new(Some(b))).collect();
         let outcome = Cluster::with_transport(k as usize, self.config.resolved_transport())
             .with_collectives(self.config.resolved_collectives())
+            .with_comm_batch(self.config.resolved_comm_batch())
             .run::<NeMsg, RankRun, _>(|ctx| {
                 let my_edges =
                     cells[ctx.rank()].lock().take().expect("each rank takes its bucket once");
@@ -124,6 +126,7 @@ impl DistributedNe {
             elapsed: outcome.elapsed,
             comm_bytes: outcome.comm.total_bytes(),
             comm_msgs: outcome.comm.total_msgs(),
+            comm_frames: outcome.comm.total_frames(),
             collective_rounds: {
                 let total = outcome.comm.total_collective_rounds();
                 debug_assert_eq!(total % k as u64, 0, "lock-step ranks share a round count");
@@ -217,11 +220,19 @@ impl DistributedNe {
         let mut stall = 0u32;
         let mut selection_time = Duration::ZERO;
         let mut allocation_time = Duration::ZERO;
+        // Round k+1's vertex selection, computed while round k's
+        // termination all-gather was still in flight (see the split gather
+        // at the bottom of the loop). `None` on the first round and
+        // whenever speculation was skipped.
+        let mut next_select: Option<SelectAction> = None;
         loop {
             iterations += 1;
             // ---- Phase 1: vertex selection (Algorithm 1 l.3–8 / Alg. 4).
             let t0 = Instant::now();
-            let action = exp.select(rank, alloc.free_edges, &free_hints);
+            let action = match next_select.take() {
+                Some(a) => a,
+                None => exp.select(rank, alloc.free_edges, &free_hints),
+            };
             let mut sel_buckets: Vec<Vec<VertexId>> = vec![Vec::new(); kk];
             let mut random_req: Option<(usize, u64)> = None;
             match action {
@@ -333,7 +344,23 @@ impl DistributedNe {
             }
             // ---- Termination (Algorithm 1 l.14–15). The all-gather both
             // sums |E| for the stop test and refreshes the capacity gate.
-            global_sizes = ctx.try_all_gather_u64(exp.size())?;
+            // It is split so the next round's vertex selection overlaps the
+            // in-flight collective (the §7.4 bottleneck): `select` reads
+            // exactly the state the next loop-top call would — nothing
+            // mutates the expansion or allocator between here and there —
+            // and never touches `exp.edges`/`exp.size()`, so the gathered
+            // value and the final edge set are unaffected even when the
+            // speculation is discarded by a break. Speculation is skipped
+            // whenever this round could enter the leftover trickle — the
+            // run is ending, so there is no next round to pre-compute.
+            let pending = ctx.try_start_all_gather_u64(exp.size())?;
+            if stall + 1 < self.config.stall_limit {
+                let t4 = Instant::now();
+                next_select = Some(exp.select(rank, alloc.free_edges, &free_hints));
+                selection_time += t4.elapsed();
+            }
+            let _ = ctx.try_drain_ready()?;
+            global_sizes = ctx.try_finish_all_gather_u64(pending)?;
             let total: u64 = global_sizes.iter().sum();
             if total == m {
                 break;

@@ -19,6 +19,12 @@ pub struct NeStats {
     pub comm_bytes: u64,
     /// Total messages crossing the simulated interconnect.
     pub comm_msgs: u64,
+    /// Physical frames carrying those messages. Without coalescing this
+    /// equals `comm_msgs` minus self-sends (one frame per remote
+    /// envelope); with `DNE_COMM_BATCH` it drops as small envelopes share
+    /// multi-message frames. Results and the two counters above are
+    /// bit-identical either way.
+    pub comm_frames: u64,
     /// Collective rounds (barrier / all-gather / all-reduce) each rank
     /// executed — identical across ranks by the lock-step structure. With
     /// `CollectiveTopology::total_traffic` this turns `comm_bytes` into an
@@ -63,6 +69,7 @@ mod tests {
             elapsed: Duration::from_millis(10),
             comm_bytes: 1000,
             comm_msgs: 10,
+            comm_frames: 8,
             collective_rounds: 6,
             peak_memory_bytes: 4096,
             mem_score: 40.96,
@@ -81,6 +88,7 @@ mod tests {
             elapsed: Duration::ZERO,
             comm_bytes: 0,
             comm_msgs: 0,
+            comm_frames: 0,
             collective_rounds: 0,
             peak_memory_bytes: 0,
             mem_score: 0.0,

@@ -4,11 +4,11 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crate::collectives::{CollectiveTopology, Collectives};
+use crate::collectives::{CollectiveTopology, Collectives, PendingGather};
 use crate::comm::CommEndpoint;
 use crate::memory::{MemoryReport, MemoryTracker};
 use crate::stats::CommStats;
-use crate::transport::{TransportError, TransportKind};
+use crate::transport::{BatchConfig, TransportError, TransportKind};
 use crate::wire::{WireDecode, WireEncode};
 
 /// Handle given to each simulated machine: its rank, the interconnect, the
@@ -73,6 +73,47 @@ impl<M: Send + WireEncode + WireDecode + 'static> Ctx<M> {
     #[inline]
     pub fn recv(&self) -> (usize, M) {
         self.try_recv().unwrap_or_else(|e| self.bail(e))
+    }
+
+    /// Push every buffered (coalesced) point-to-point envelope onto the
+    /// wire now. A no-op when `DNE_COMM_BATCH` is off; every blocking
+    /// receive primitive flushes implicitly, so explicit calls are only
+    /// needed when a round's sends must depart before unrelated local
+    /// work.
+    #[inline]
+    pub fn try_flush(&self) -> Result<(), TransportError> {
+        self.comm.flush()
+    }
+
+    /// Drain every already-deliverable inbound envelope — point-to-point
+    /// *and* collective — into this rank's buffers without blocking,
+    /// returning how many arrived. The eager-recv half of an overlapped
+    /// round: call it mid-computation so frames are decoded while the CPU
+    /// would otherwise idle in the next blocking collect.
+    pub fn try_drain_ready(&mut self) -> Result<usize, TransportError> {
+        Ok(self.comm.drain_ready()? + self.coll.drain_ready()?)
+    }
+
+    /// Begin an all-gather without collecting it (see
+    /// [`Collectives::start_all_gather_u64`]): the send phase departs now,
+    /// the caller computes while peers' contributions arrive, then calls
+    /// [`Ctx::try_finish_all_gather_u64`]. Results and accounting are
+    /// bit-identical to the one-shot [`Ctx::try_all_gather_u64`].
+    #[inline]
+    pub fn try_start_all_gather_u64(
+        &mut self,
+        value: u64,
+    ) -> Result<PendingGather, TransportError> {
+        self.coll.start_all_gather_u64(value)
+    }
+
+    /// Complete an all-gather begun by [`Ctx::try_start_all_gather_u64`].
+    #[inline]
+    pub fn try_finish_all_gather_u64(
+        &mut self,
+        pending: PendingGather,
+    ) -> Result<Vec<u64>, TransportError> {
+        self.coll.finish_all_gather_u64(pending)
     }
 
     /// Lock-step all-to-all: send one message to every rank (produced by
@@ -214,6 +255,11 @@ pub struct Cluster {
     /// so an explicit [`Cluster::with_collectives`] choice never touches
     /// (and can never be broken by) the environment.
     collectives: Option<CollectiveTopology>,
+    /// `None` resolves `DNE_COMM_BATCH` lazily at [`Cluster::run`] time —
+    /// the same pattern as `collectives`. Applies to the point-to-point
+    /// fabric only; collectives always run unbatched (their cost model is
+    /// exact per-message).
+    comm_batch: Option<BatchConfig>,
 }
 
 impl Cluster {
@@ -231,7 +277,7 @@ impl Cluster {
     /// time; override it with [`Cluster::with_collectives`].
     pub fn with_transport(nprocs: usize, transport: TransportKind) -> Self {
         assert!(nprocs >= 1, "cluster needs at least one machine");
-        Self { nprocs, transport, collectives: None }
+        Self { nprocs, transport, collectives: None, comm_batch: None }
     }
 
     /// Select the collective aggregation topology explicitly (overrides
@@ -259,6 +305,22 @@ impl Cluster {
         self.collectives.unwrap_or_else(CollectiveTopology::from_env)
     }
 
+    /// Select the point-to-point send-coalescing policy explicitly
+    /// (overrides `DNE_COMM_BATCH`, which is then never consulted).
+    /// Results — and logical message/byte accounting — are bit-identical
+    /// with batching on or off; only physical frame counts (and wall
+    /// time) change.
+    pub fn with_comm_batch(mut self, batch: BatchConfig) -> Self {
+        self.comm_batch = Some(batch);
+        self
+    }
+
+    /// The coalescing policy a run will use: the explicit choice if one
+    /// was made, otherwise whatever `DNE_COMM_BATCH` says right now.
+    pub fn comm_batch(&self) -> BatchConfig {
+        self.comm_batch.unwrap_or_else(BatchConfig::from_env)
+    }
+
     /// Run `f` on every machine in parallel and join the results.
     ///
     /// `M` is the message type of the run's interconnect; `f` receives a
@@ -276,7 +338,12 @@ impl Cluster {
     {
         let stats = CommStats::new(self.nprocs);
         let mem = MemoryTracker::new(self.nprocs);
-        let endpoints = CommEndpoint::<M>::fabric(self.transport, self.nprocs, Arc::clone(&stats));
+        let endpoints = CommEndpoint::<M>::fabric(
+            self.transport,
+            self.nprocs,
+            self.comm_batch(),
+            Arc::clone(&stats),
+        );
         let collectives = Collectives::fabric(
             self.transport,
             self.collectives(),
@@ -424,6 +491,74 @@ mod tests {
         assert!(totals[0] > 0);
         assert_eq!(totals[0], totals[1], "loopback estimate must equal bytes actual");
         assert_eq!(totals[0], totals[2], "loopback estimate must equal tcp actual");
+    }
+
+    #[test]
+    fn comm_batch_keeps_accounting_and_results_identical() {
+        // The same program under an explicit batch policy: identical
+        // results, logical msgs, and bytes; strictly fewer frames. The
+        // program sends ten envelopes per destination before its first
+        // receive (the flush point), which is the traffic shape
+        // coalescing exists for.
+        for kind in ALL {
+            let run = |batch: BatchConfig| {
+                Cluster::with_transport(3, kind)
+                    .with_collectives(CollectiveTopology::Flat)
+                    .with_comm_batch(batch)
+                    .run::<u64, _, _>(|ctx| {
+                        let rank = ctx.rank() as u64;
+                        let me = ctx.rank();
+                        for dst in (0..ctx.nprocs()).filter(|&d| d != me) {
+                            for i in 0..10u64 {
+                                ctx.send(dst, rank * 1000 + i);
+                            }
+                        }
+                        let mut acc = 0;
+                        for _ in 0..10 * (ctx.nprocs() - 1) {
+                            let (_, v) = ctx.recv();
+                            acc += v;
+                        }
+                        ctx.all_reduce_sum_u64(acc)
+                    })
+            };
+            let plain = run(BatchConfig::disabled());
+            let batched = run(BatchConfig::msgs(64));
+            assert_eq!(plain.results, batched.results, "{kind}: results invariant");
+            assert_eq!(plain.comm.total_msgs(), batched.comm.total_msgs(), "{kind}: msgs");
+            assert_eq!(plain.comm.total_bytes(), batched.comm.total_bytes(), "{kind}: bytes");
+            assert!(
+                batched.comm.total_frames() < plain.comm.total_frames(),
+                "{kind}: coalescing must reduce physical frames \
+                 ({} vs {})",
+                batched.comm.total_frames(),
+                plain.comm.total_frames()
+            );
+        }
+    }
+
+    #[test]
+    fn split_gather_overlaps_inside_a_run() {
+        for kind in ALL {
+            for topo in TOPOLOGIES {
+                let out = Cluster::with_transport(3, kind).with_collectives(topo).run::<u64, _, _>(
+                    |ctx| {
+                        let mut total = 0;
+                        for round in 0..5u64 {
+                            let pending =
+                                ctx.try_start_all_gather_u64(ctx.rank() as u64 + round).unwrap();
+                            // Overlapped "computation" with an eager drain.
+                            let _ = ctx.try_drain_ready().unwrap();
+                            let got = ctx.try_finish_all_gather_u64(pending).unwrap();
+                            total += got.iter().sum::<u64>();
+                        }
+                        total
+                    },
+                );
+                // Per round: (0+1+2) + 3*round, summed over rounds 0..5.
+                let want = (0..5u64).map(|r| 3 + 3 * r).sum::<u64>();
+                assert!(out.results.iter().all(|&t| t == want), "{kind}/{topo}");
+            }
+        }
     }
 
     #[test]

@@ -68,7 +68,7 @@ use std::sync::Arc;
 
 use crate::comm::CommEndpoint;
 use crate::stats::CommStats;
-use crate::transport::{Transport, TransportError, TransportKind};
+use crate::transport::{BatchConfig, Transport, TransportError, TransportKind};
 use crate::wire::{WireDecode, WireEncode, WireError, WireReader, WireSize};
 
 /// Wire message of the collectives fabric: a packed block of `u64` words
@@ -287,6 +287,19 @@ fn expect_words(msg: CollMsg, want: usize, src: usize) -> Result<Vec<u64>, Trans
     Ok(msg.0)
 }
 
+/// An all-gather whose send phase has been posted but whose collect has
+/// not run yet — the in-flight handle of an overlapped (double-buffered)
+/// round. Produced by [`Collectives::start_all_gather_u64`], consumed by
+/// [`Collectives::finish_all_gather_u64`].
+#[derive(Debug)]
+#[must_use = "an in-flight all-gather must be finished or the next collective will misalign"]
+pub struct PendingGather {
+    value: u64,
+    /// Whether the send phase already ran at `start` time (flat
+    /// topology); if not, `finish` runs the whole schedule.
+    sent: bool,
+}
+
 /// Per-rank collective-communication endpoint for one cluster run.
 pub struct Collectives {
     comm: CommEndpoint<CollMsg>,
@@ -303,7 +316,10 @@ impl Collectives {
         n: usize,
         stats: Arc<CommStats>,
     ) -> Vec<Collectives> {
-        CommEndpoint::fabric(kind, n, Arc::clone(&stats))
+        // Collectives always run unbatched: their cost model publishes
+        // exact per-rank frame-per-message traffic, and a one-word block
+        // gains nothing from coalescing anyway.
+        CommEndpoint::fabric(kind, n, BatchConfig::disabled(), Arc::clone(&stats))
             .into_iter()
             .map(|comm| Collectives { comm, topology, stats: Arc::clone(&stats) })
             .collect()
@@ -345,12 +361,60 @@ impl Collectives {
     /// All-gather: contribute `value`, receive the full vector of
     /// contributions indexed by rank — identical under every topology.
     pub fn all_gather_u64(&mut self, value: u64) -> Result<Vec<u64>, TransportError> {
+        let pending = self.start_all_gather_u64(value)?;
+        self.finish_all_gather_u64(pending)
+    }
+
+    /// Begin an all-gather without collecting it: the collective round is
+    /// recorded and every send the schedule can post *before any receive*
+    /// goes out now — the whole send phase on the flat topology; nothing
+    /// on the tree schedules, whose first sends depend on received
+    /// blocks. The caller overlaps computation with the in-flight round,
+    /// then calls [`Collectives::finish_all_gather_u64`]. One `start`
+    /// must be finished before the next collective begins; results and
+    /// accounting are bit-identical to the one-shot
+    /// [`Collectives::all_gather_u64`] (which is itself start + finish).
+    pub fn start_all_gather_u64(&mut self, value: u64) -> Result<PendingGather, TransportError> {
         self.stats.record_collective(self.rank());
-        match self.topology {
-            CollectiveTopology::Flat => self.flat_all_gather(value),
-            CollectiveTopology::Binomial => self.binomial_all_gather(value),
-            CollectiveTopology::RecursiveDoubling => self.rd_all_gather(value),
+        let sent = match self.topology {
+            CollectiveTopology::Flat => {
+                for dst in 0..self.nprocs() {
+                    self.comm.send(dst, CollMsg(vec![value]))?;
+                }
+                self.comm.flush()?;
+                true
+            }
+            _ => false,
+        };
+        Ok(PendingGather { value, sent })
+    }
+
+    /// Complete an all-gather begun by
+    /// [`Collectives::start_all_gather_u64`], returning the rank-indexed
+    /// contribution vector.
+    pub fn finish_all_gather_u64(
+        &mut self,
+        pending: PendingGather,
+    ) -> Result<Vec<u64>, TransportError> {
+        if pending.sent {
+            let mut out = Vec::with_capacity(self.nprocs());
+            for (src, msg) in self.comm.recv_one_from_each()?.into_iter().enumerate() {
+                out.push(expect_words(msg, 1, src)?[0]);
+            }
+            return Ok(out);
         }
+        match self.topology {
+            CollectiveTopology::Flat => self.flat_all_gather(pending.value),
+            CollectiveTopology::Binomial => self.binomial_all_gather(pending.value),
+            CollectiveTopology::RecursiveDoubling => self.rd_all_gather(pending.value),
+        }
+    }
+
+    /// Drain whatever collective traffic is already deliverable into this
+    /// endpoint's buffers without blocking — the eager-recv half of an
+    /// overlapped round; returns how many blocks arrived.
+    pub fn drain_ready(&mut self) -> Result<usize, TransportError> {
+        self.comm.drain_ready()
     }
 
     /// Flat reference schedule: one word to every peer, one from each.
@@ -613,6 +677,49 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn split_all_gather_matches_one_shot_with_overlapped_work() {
+        // start → (local work + eager drain) → finish must return exactly
+        // what the one-shot gather returns, on every pair and at awkward
+        // P, including back-to-back overlapped rounds.
+        for n in [1, 2, 3, 5] {
+            all(n, |rank, coll| {
+                for round in 0..10u64 {
+                    let pending = coll.start_all_gather_u64(round * 100 + rank as u64).unwrap();
+                    // "Computation" while the round is in flight, plus an
+                    // eager drain of whatever already arrived.
+                    let _ = coll.drain_ready().unwrap();
+                    let got = coll.finish_all_gather_u64(pending).unwrap();
+                    let want: Vec<u64> =
+                        (0..coll.nprocs() as u64).map(|r| round * 100 + r).collect();
+                    assert_eq!(got, want, "P={n} round {round} {}", coll.topology());
+                }
+            });
+        }
+    }
+
+    #[test]
+    fn split_all_gather_charges_exactly_one_collective_round() {
+        let stats = CommStats::new(3);
+        let fabric = Collectives::fabric(
+            TransportKind::Loopback,
+            CollectiveTopology::Flat,
+            3,
+            stats.clone(),
+        );
+        std::thread::scope(|s| {
+            for mut coll in fabric {
+                s.spawn(move || {
+                    let pending = coll.start_all_gather_u64(1).unwrap();
+                    coll.finish_all_gather_u64(pending).unwrap();
+                });
+            }
+        });
+        assert_eq!(stats.total_collective_rounds(), 3, "one round per rank, recorded at start");
+        let (bytes, msgs) = CollectiveTopology::Flat.total_traffic(3);
+        assert_eq!((stats.total_bytes(), stats.total_msgs()), (bytes, msgs));
     }
 
     #[test]

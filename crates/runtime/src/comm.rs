@@ -18,7 +18,7 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use crate::stats::CommStats;
-use crate::transport::{Transport, TransportError, TransportKind};
+use crate::transport::{BatchConfig, Transport, TransportError, TransportKind};
 use crate::wire::{WireDecode, WireEncode};
 
 /// The per-process endpoint of the simulated interconnect.
@@ -31,13 +31,15 @@ pub struct CommEndpoint<M> {
 }
 
 impl<M: Send + WireEncode + WireDecode + 'static> CommEndpoint<M> {
-    /// Build all `n` connected endpoints of the chosen backend at once.
+    /// Build all `n` connected endpoints of the chosen backend at once,
+    /// coalescing small sends per `batch`.
     pub(crate) fn fabric(
         kind: TransportKind,
         n: usize,
+        batch: BatchConfig,
         stats: Arc<CommStats>,
     ) -> Vec<CommEndpoint<M>> {
-        kind.fabric(n)
+        kind.fabric(n, batch, Arc::clone(&stats))
             .into_iter()
             .map(|link| CommEndpoint::from_transport(link, Arc::clone(&stats)))
             .collect()
@@ -76,8 +78,36 @@ impl<M: Send + WireEncode + WireDecode + 'static> CommEndpoint<M> {
     }
 
     /// Blocking receive of the next message from any source.
+    ///
+    /// Flushes this endpoint's own coalescing buffers first — blocking on
+    /// a receive while holding unsent envelopes a peer is waiting for
+    /// would deadlock the round.
     pub fn recv(&self) -> Result<(usize, M), TransportError> {
+        self.link.flush()?;
         self.link.recv()
+    }
+
+    /// Push every buffered (coalesced) envelope onto the wire now. A
+    /// no-op when `DNE_COMM_BATCH` is off; called automatically before
+    /// every blocking receive.
+    pub fn flush(&self) -> Result<(), TransportError> {
+        self.link.flush()
+    }
+
+    /// Drain every envelope the transport can deliver *without blocking*
+    /// into the per-source pending queues, returning how many arrived.
+    /// Overlapped rounds call this mid-computation so inbound frames are
+    /// decoded while the CPU would otherwise idle in the next blocking
+    /// collect; the drained envelopes are served (in per-link FIFO order)
+    /// by the next [`CommEndpoint::recv_from`] /
+    /// [`CommEndpoint::recv_one_from_each`].
+    pub fn drain_ready(&mut self) -> Result<usize, TransportError> {
+        let mut drained = 0;
+        while let Some((src, msg)) = self.link.try_recv()? {
+            self.pending[src].push_back(msg);
+            drained += 1;
+        }
+        Ok(drained)
     }
 
     /// Blocking receive of the next message from a *specific* source,
@@ -90,8 +120,9 @@ impl<M: Send + WireEncode + WireDecode + 'static> CommEndpoint<M> {
         if let Some(m) = self.pending[src].pop_front() {
             return Ok(m);
         }
+        self.link.flush()?;
         loop {
-            let (from, msg) = self.recv()?;
+            let (from, msg) = self.link.recv()?;
             if from == src {
                 return Ok(msg);
             }
@@ -117,8 +148,9 @@ impl<M: Send + WireEncode + WireDecode + 'static> CommEndpoint<M> {
                 }
             }
         }
+        self.link.flush()?;
         while filled < n {
-            let (src, msg) = self.recv()?;
+            let (src, msg) = self.link.recv()?;
             if slots[src].is_none() {
                 slots[src] = Some(msg);
                 filled += 1;
@@ -130,6 +162,22 @@ impl<M: Send + WireEncode + WireDecode + 'static> CommEndpoint<M> {
     }
 }
 
+impl<M> Drop for CommEndpoint<M> {
+    /// Flush any still-coalescing envelopes when the endpoint goes away.
+    /// Unbatched sends hit the wire inside [`CommEndpoint::send`], so a
+    /// rank that fires off a message and returns without ever blocking on
+    /// a receive still delivers it — batched runs must behave identically
+    /// or that pattern deadlocks the receiving peer. Flush errors at
+    /// teardown are logged, not propagated (same policy as the tcp
+    /// goodbye frame): the messages are already undeliverable.
+    fn drop(&mut self) {
+        if let Err(e) = self.link.flush() {
+            let rank = self.link.rank();
+            eprintln!("dne-runtime: rank {rank}: flush at endpoint teardown failed: {e}");
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -138,7 +186,7 @@ mod tests {
 
     fn fabric_of(kind: TransportKind, n: usize) -> (Vec<CommEndpoint<u64>>, Arc<CommStats>) {
         let stats = CommStats::new(n);
-        (CommEndpoint::fabric(kind, n, stats.clone()), stats)
+        (CommEndpoint::fabric(kind, n, BatchConfig::disabled(), stats.clone()), stats)
     }
 
     #[test]
@@ -224,7 +272,8 @@ mod tests {
         // on both really-serializing backends.
         for kind in [TransportKind::Bytes, TransportKind::Tcp] {
             let stats = CommStats::new(2);
-            let mut eps = CommEndpoint::<Vec<u64>>::fabric(kind, 2, stats.clone());
+            let mut eps =
+                CommEndpoint::<Vec<u64>>::fabric(kind, 2, BatchConfig::disabled(), stats.clone());
             let b = eps.pop().unwrap();
             let a = eps.pop().unwrap();
             let mut expected = 0u64;
@@ -248,13 +297,102 @@ mod tests {
     }
 
     #[test]
+    fn batched_endpoint_charges_per_logical_envelope() {
+        // With coalescing on, msgs/bytes must be exactly what the
+        // unbatched run charges; only the frame count shrinks.
+        for kind in ALL {
+            let plain = CommStats::new(2);
+            let batched = CommStats::new(2);
+            for (stats, batch) in
+                [(&plain, BatchConfig::disabled()), (&batched, BatchConfig::msgs(16))]
+            {
+                let mut eps = CommEndpoint::<u64>::fabric(kind, 2, batch, Arc::clone(stats));
+                let b = eps.pop().unwrap();
+                let mut a = eps.pop().unwrap();
+                std::thread::scope(|s| {
+                    s.spawn(move || {
+                        let mut b = b;
+                        for _ in 0..20 {
+                            b.send(0, 5).unwrap();
+                        }
+                        b.send(1, 6).unwrap(); // self, so the collect below completes
+                        let got = b.recv_one_from_each().unwrap();
+                        assert_eq!(got.len(), 2);
+                    });
+                    for i in 0..20u64 {
+                        a.send(1, i).unwrap();
+                    }
+                    a.send(0, 99).unwrap();
+                    a.send(1, 100).unwrap();
+                    let got = a.recv_one_from_each().unwrap();
+                    assert_eq!(got[0], 99);
+                    for _ in 0..19 {
+                        a.recv_from(1).unwrap();
+                    }
+                });
+            }
+            assert_eq!(plain.total_msgs(), batched.total_msgs(), "{kind}: msgs invariant");
+            assert_eq!(plain.total_bytes(), batched.total_bytes(), "{kind}: bytes invariant");
+            assert_eq!(plain.total_frames(), 41, "{kind}: one frame per inter-rank envelope");
+            assert!(
+                batched.total_frames() <= 4,
+                "{kind}: 41 envelopes must coalesce into a handful of frames, got {}",
+                batched.total_frames()
+            );
+        }
+    }
+
+    #[test]
+    fn batched_fire_and_forget_send_is_delivered_at_endpoint_drop() {
+        // A rank that sends and returns without ever blocking on a
+        // receive never reaches an implicit flush point; the envelope
+        // must still arrive when its endpoint is torn down, exactly as
+        // it would have under the unbatched wire behavior.
+        for kind in ALL {
+            let stats = CommStats::new(2);
+            let mut eps = CommEndpoint::<u64>::fabric(kind, 2, BatchConfig::msgs(64), stats);
+            let b = eps.pop().unwrap();
+            let a = eps.pop().unwrap();
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    a.send(1, 7).unwrap();
+                    // `a` drops here with the envelope still coalescing.
+                });
+                assert_eq!(b.recv().unwrap(), (0, 7), "{kind}");
+            });
+        }
+    }
+
+    #[test]
+    fn drain_ready_feeds_the_next_round_collect() {
+        for kind in ALL {
+            let (mut eps, _) = fabric_of(kind, 2);
+            let b = eps.pop().unwrap();
+            let mut a = eps.pop().unwrap();
+            b.send(0, 7).unwrap();
+            b.flush().unwrap();
+            // Wait until the envelope is actually drainable (tcp delivers
+            // asynchronously), then collect the round from pending + self.
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+            let mut drained = 0;
+            while drained == 0 && std::time::Instant::now() < deadline {
+                drained = a.drain_ready().unwrap();
+            }
+            assert_eq!(drained, 1, "{kind}");
+            a.send(0, 1).unwrap();
+            let round = a.recv_one_from_each().unwrap();
+            assert_eq!(round, vec![1, 7], "{kind}: drained envelope serves the collect");
+        }
+    }
+
+    #[test]
     fn interleaved_sends_from_many_sources_keep_per_link_order() {
         // Two producers interleave their streams into one consumer; each
         // link's own order must survive arbitrary interleaving — on both
         // serializing backends.
         for kind in [TransportKind::Bytes, TransportKind::Tcp] {
             let stats = CommStats::new(3);
-            let eps = CommEndpoint::<u64>::fabric(kind, 3, stats);
+            let eps = CommEndpoint::<u64>::fabric(kind, 3, BatchConfig::disabled(), stats);
             let mut it = eps.into_iter();
             let c = it.next().unwrap(); // rank 0 consumes
             let a = it.next().unwrap(); // rank 1 produces odd tags

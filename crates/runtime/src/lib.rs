@@ -23,7 +23,12 @@
 //!   it. Select with [`Cluster::with_transport`] or the `DNE_TRANSPORT`
 //!   environment variable (`loopback` | `bytes` | `tcp`). Transport
 //!   failures (a dead peer, an undecodable frame) surface as typed
-//!   [`TransportError`]s, not panics;
+//!   [`TransportError`]s, not panics. Small same-destination envelopes
+//!   can be coalesced into multi-message frames ([`BatchConfig`], the
+//!   `DNE_COMM_BATCH` environment variable): logical message/byte
+//!   accounting and results are bit-identical with batching on or off,
+//!   only the physical frame count ([`CommStats::total_frames`]) and
+//!   syscall count change;
 //! * **collectives** (barrier, all-gather, all-reduce over `u64`/`f64`)
 //!   match the MPI primitives the paper's pseudo-code uses (`Barrier()` in
 //!   Algorithm 1 line 9, `AllGatherSum` in line 14) and are themselves
@@ -92,9 +97,12 @@ pub mod transport;
 pub mod wire;
 
 pub use cluster::{Cluster, ClusterOutcome, Ctx};
-pub use collectives::{CollMsg, CollectiveTopology, Collectives};
+pub use collectives::{CollMsg, CollectiveTopology, Collectives, PendingGather};
 pub use memory::{peak_rss_bytes, reset_peak_rss, MemoryReport, MemoryTracker};
 pub use stats::CommStats;
 pub use tcp::{TcpProcessCluster, TcpSession, TcpTransport};
-pub use transport::{BytesTransport, LoopbackTransport, Transport, TransportError, TransportKind};
+pub use transport::{
+    BatchConfig, BytesTransport, LoopbackTransport, Transport, TransportError, TransportKind,
+    DEFAULT_BATCH_BYTES,
+};
 pub use wire::{WireDecode, WireEncode, WireError, WireReader, WireSize};

@@ -19,6 +19,12 @@ pub struct CommStats {
     /// what lets tests turn a measured byte total into an exact
     /// per-topology expectation.
     collective_rounds: Vec<AtomicU64>,
+    /// Physical wire frames emitted per rank. Without coalescing every
+    /// inter-rank envelope is its own frame, so `frames == msgs`; with
+    /// `DNE_COMM_BATCH` many envelopes share one multi-message frame and
+    /// this counter falls while `msgs_sent` keeps counting logical
+    /// envelopes. Self-sends never cross a wire and are never counted.
+    frames_sent: Vec<AtomicU64>,
 }
 
 impl CommStats {
@@ -28,6 +34,7 @@ impl CommStats {
             bytes_sent: (0..nprocs).map(|_| AtomicU64::new(0)).collect(),
             msgs_sent: (0..nprocs).map(|_| AtomicU64::new(0)).collect(),
             collective_rounds: (0..nprocs).map(|_| AtomicU64::new(0)).collect(),
+            frames_sent: (0..nprocs).map(|_| AtomicU64::new(0)).collect(),
         })
     }
 
@@ -56,6 +63,24 @@ impl CommStats {
     /// Total messages sent across all ranks.
     pub fn total_msgs(&self) -> u64 {
         self.msgs_sent.iter().map(|a| a.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Record `frames` physical wire frames emitted by `rank`. Called by
+    /// the transports themselves (never by `CommEndpoint`): only the
+    /// backend knows when envelopes were coalesced into one frame.
+    #[inline]
+    pub fn record_frames(&self, rank: usize, frames: u64) {
+        self.frames_sent[rank].fetch_add(frames, Ordering::Relaxed);
+    }
+
+    /// Physical frames emitted by `rank` so far.
+    pub fn frames_by(&self, rank: usize) -> u64 {
+        self.frames_sent[rank].load(Ordering::Relaxed)
+    }
+
+    /// Total physical frames emitted across all ranks.
+    pub fn total_frames(&self) -> u64 {
+        self.frames_sent.iter().map(|a| a.load(Ordering::Relaxed)).sum()
     }
 
     /// Record one collective round initiated by `rank`.
@@ -104,6 +129,21 @@ mod tests {
         assert_eq!(s.total_msgs(), 3);
         assert_eq!(s.msgs_sent_by(0), 2);
         assert_eq!(s.per_rank_bytes(), vec![150, 0, 8]);
+    }
+
+    #[test]
+    fn frames_count_independently_of_messages() {
+        // 5 logical envelopes coalesced into 2 physical frames: msgs keeps
+        // counting envelopes, frames counts what actually hit the wire.
+        let s = CommStats::new(2);
+        for _ in 0..5 {
+            s.record_send(1, 10);
+        }
+        s.record_frames(1, 2);
+        assert_eq!(s.msgs_sent_by(1), 5);
+        assert_eq!(s.frames_by(1), 2);
+        assert_eq!(s.frames_by(0), 0);
+        assert_eq!(s.total_frames(), 2);
     }
 
     #[test]

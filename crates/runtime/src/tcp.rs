@@ -32,26 +32,51 @@
 //! # Framing
 //!
 //! Data frames are exactly the bytes-backend format:
-//! `[u64 payload len][u32 src][payload]`, little-endian. The
-//! [`FramedReader`] reassembles them from the byte stream, immune to
-//! short reads and coalesced frames, bounding the length prefix by
-//! [`MAX_FRAME_PAYLOAD`] and by the bytes that actually arrive (a
-//! truncated connection is a typed error, never an unbounded allocation
-//! or a forever-block). A length prefix of `u64::MAX` is the *goodbye
-//! frame*: endpoints send it on every link when dropped, which is how
-//! peers distinguish a graceful teardown (reader retires silently) from
-//! a killed process (EOF without goodbye ⇒
-//! [`TransportError::Disconnected`] surfaces from `recv`).
+//! `[u64 payload len][u32 src][payload]`, little-endian, plus the shared
+//! multi-message layout (`BATCH_FLAG` set in the length prefix, body
+//! `[u32 count][(u32 sublen)(payload)]…`) when coalescing is enabled.
+//! The push-based `FrameAssembler` reassembles frames from whatever
+//! byte slices the poll loop reads, immune to short reads and coalesced
+//! arrivals, bounding the length prefix by [`MAX_FRAME_PAYLOAD`] and by
+//! the bytes that actually arrive (a truncated connection is a typed
+//! error, never an unbounded allocation or a forever-block). The
+//! pull-based [`FramedReader`] remains for blocking-stream callers. A
+//! length prefix of `u64::MAX` is the *goodbye frame*: endpoints send it
+//! on every link when dropped, which is how peers distinguish a graceful
+//! teardown (the link retires silently) from a killed process (EOF
+//! without goodbye ⇒ [`TransportError::Disconnected`] surfaces from
+//! `recv`).
+//!
+//! # Event-driven endpoint
+//!
+//! Each endpoint runs **one** io thread, not one thread per peer: after
+//! the blocking rendezvous bootstrap every mesh socket is switched to
+//! nonblocking mode and handed to a `poll(2)` loop (a small FFI shim,
+//! like the mmap shim in the graph crate) that multiplexes reads across
+//! all peers and drains per-peer write-backpressure queues. `send` and
+//! `flush` only *enqueue* encoded frames and wake the loop through a
+//! self-pipe, so the caller overlaps its own compute with the kernel's
+//! socket work; `try_recv` surfaces already-decoded envelopes without
+//! blocking, which is what `CommEndpoint::drain_ready` builds on.
 //!
 //! # Accounting
 //!
 //! `send` reports the encoded payload length exactly like the bytes
 //! backend, so `comm_bytes`/`comm_msgs` are identical across loopback,
 //! bytes, and tcp for identical traffic — the cross-transport equality
-//! tests assert this end-to-end.
+//! tests assert this end-to-end. Physical frames (one per classic
+//! envelope, one per coalesced flush) are counted by
+//! [`CommStats::record_frames`] at enqueue time, exactly as the
+//! in-process backends count theirs.
 
-use std::io::{self, BufReader, Read, Write};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::io::AsRawFd;
+#[cfg(unix)]
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -63,7 +88,10 @@ use crate::collectives::{CollMsg, CollectiveTopology, Collectives};
 use crate::comm::CommEndpoint;
 use crate::memory::MemoryTracker;
 use crate::stats::CommStats;
-use crate::transport::{decode_frame, encode_frame, Transport, TransportError, FRAME_HEADER_BYTES};
+use crate::transport::{
+    check_payload_bound, decode_frames, encode_batch_frame, BatchConfig, Transport, TransportError,
+    BATCH_FLAG, FRAME_HEADER_BYTES,
+};
 
 pub use crate::transport::MAX_FRAME_PAYLOAD;
 use crate::wire::{WireDecode, WireEncode};
@@ -255,6 +283,81 @@ fn bye_frame(src: usize) -> [u8; FRAME_HEADER_BYTES] {
     f
 }
 
+/// One complete item extracted by the [`FrameAssembler`].
+#[derive(Debug, PartialEq, Eq)]
+enum Assembled {
+    /// A complete encoded frame, header included — single-message or
+    /// multi-message; `decode_frames` understands both.
+    Frame(Vec<u8>),
+    /// The goodbye marker of a graceful shutdown.
+    Bye,
+}
+
+/// Incremental, push-based frame reassembly for the poll loop.
+///
+/// The poll loop reads whatever bytes are ready and pushes them in;
+/// complete frames come out, partial ones wait for the next readable
+/// event. Only bytes that actually arrived are ever buffered, so an
+/// absurd length prefix cannot drive allocation ahead of the stream —
+/// prefixes beyond [`MAX_FRAME_PAYLOAD`] are rejected as soon as the
+/// header is complete.
+struct FrameAssembler {
+    buf: Vec<u8>,
+}
+
+impl FrameAssembler {
+    fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    /// Whether the stream currently ends inside an unfinished frame
+    /// (distinguishes a mid-frame truncation from a clean disconnect).
+    fn mid_frame(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Append freshly-read bytes and return every item they complete,
+    /// in arrival order. `peer` only labels errors.
+    fn push(&mut self, bytes: &[u8], peer: usize) -> Result<Vec<Assembled>, TransportError> {
+        self.buf.extend_from_slice(bytes);
+        let mut out = Vec::new();
+        let mut pos = 0;
+        loop {
+            let rest = &self.buf[pos..];
+            if rest.len() < FRAME_HEADER_BYTES {
+                break;
+            }
+            let len = u64::from_le_bytes(rest[0..8].try_into().expect("8-byte slice"));
+            // The goodbye sentinel has every bit set, so it must be
+            // recognized before the batch flag is interpreted.
+            if len == BYE_LEN {
+                out.push(Assembled::Bye);
+                pos += FRAME_HEADER_BYTES;
+                continue;
+            }
+            let body = len & !BATCH_FLAG;
+            if body > MAX_FRAME_PAYLOAD {
+                return Err(TransportError::Frame {
+                    src: Some(peer),
+                    detail: format!(
+                        "length prefix {body} exceeds the {MAX_FRAME_PAYLOAD}-byte frame bound"
+                    ),
+                });
+            }
+            let total = FRAME_HEADER_BYTES + body as usize;
+            if rest.len() < total {
+                break;
+            }
+            out.push(Assembled::Frame(rest[..total].to_vec()));
+            pos += total;
+        }
+        if pos > 0 {
+            self.buf.drain(..pos);
+        }
+        Ok(out)
+    }
+}
+
 // -------------------------------------------------------------- bootstrap --
 
 /// Hello: `[u32 magic][u8 fabric][u32 rank][u16 listen port]`.
@@ -429,12 +532,14 @@ fn host_endpoint<M>(
     rv: &mut TcpRendezvous,
     fabric: u8,
     nprocs: usize,
+    batch: BatchConfig,
+    stats: Arc<CommStats>,
 ) -> Result<TcpTransport<M>, TransportError>
 where
     M: Send + WireEncode + WireDecode + 'static,
 {
     if nprocs == 1 {
-        return Ok(TcpTransport::solo());
+        return Ok(TcpTransport::solo(batch, stats));
     }
     let peers = rv.collect(fabric, nprocs)?;
     let ports: Vec<u16> = peers.iter().map(|&(_, port, _)| port).collect();
@@ -443,7 +548,7 @@ where
         write_roster(&mut stream, nprocs, &ports).map_err(|e| io_err("sending roster", e))?;
         links[rank as usize] = Some(stream);
     }
-    Ok(TcpTransport::from_links(0, nprocs, links))
+    Ok(TcpTransport::from_links(0, nprocs, links, batch, stats))
 }
 
 /// Dial `addr` until it accepts or the bootstrap deadline passes.
@@ -470,6 +575,8 @@ fn connect_endpoint<M>(
     fabric: u8,
     rank: usize,
     nprocs: usize,
+    batch: BatchConfig,
+    stats: Arc<CommStats>,
 ) -> Result<TcpTransport<M>, TransportError>
 where
     M: Send + WireEncode + WireDecode + 'static,
@@ -544,12 +651,56 @@ where
         }
         links[peer] = Some(s);
     }
-    Ok(TcpTransport::from_links(rank, nprocs, links))
+    Ok(TcpTransport::from_links(rank, nprocs, links, batch, stats))
 }
 
 // -------------------------------------------------------------- endpoint --
 
-/// What a link's reader thread delivers into the endpoint's event queue.
+/// How long a graceful drop may spend draining queued frames and writing
+/// goodbye frames before it gives up and slams the links (a peer that
+/// stopped reading must not be able to wedge this process's teardown).
+const GOODBYE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Raw `poll(2)` bindings, kept in one `cfg`-gated corner (the same
+/// pattern as the graph crate's mmap shim).
+#[cfg(unix)]
+mod sys {
+    use std::io;
+
+    pub(super) const POLLIN: i16 = 0x1;
+    pub(super) const POLLOUT: i16 = 0x4;
+    pub(super) const POLLERR: i16 = 0x8;
+    pub(super) const POLLHUP: i16 = 0x10;
+
+    /// `struct pollfd` from `<poll.h>`.
+    #[repr(C)]
+    pub(super) struct PollFd {
+        pub(super) fd: i32,
+        pub(super) events: i16,
+        pub(super) revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: core::ffi::c_ulong, timeout: i32) -> i32;
+    }
+
+    /// Wait until any fd is ready or `timeout_ms` passes (`-1` = forever),
+    /// retrying transparently on `EINTR`.
+    pub(super) fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+        loop {
+            let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as core::ffi::c_ulong, timeout_ms) };
+            if rc >= 0 {
+                return Ok(rc as usize);
+            }
+            let e = io::Error::last_os_error();
+            if e.kind() != io::ErrorKind::Interrupted {
+                return Err(e);
+            }
+        }
+    }
+}
+
+/// What the io thread delivers into the endpoint's event queue.
 enum Event<M> {
     /// A decoded envelope from a peer (or a self-send).
     Frame(usize, M),
@@ -559,33 +710,81 @@ enum Event<M> {
     Fault(TransportError),
 }
 
-/// `Read` over a shared socket (both halves use the same fd; `&TcpStream`
-/// implements `Read`/`Write`, so no descriptor duplication is needed).
-struct ArcRead(Arc<TcpStream>);
+/// Encoded frames awaiting the io thread's writable window on one link.
+#[derive(Default)]
+struct WriteQueue {
+    /// Whole frames, oldest first.
+    frames: VecDeque<Vec<u8>>,
+    /// Bytes of `frames[0]` already written (partial-write resume point).
+    offset: usize,
+}
 
-impl Read for ArcRead {
-    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-        (&*self.0).read(buf)
+/// State shared between an endpoint handle and its io thread.
+struct Shared {
+    /// Graceful teardown requested: drain queues, say goodbye, exit.
+    shutdown: AtomicBool,
+    /// Abnormal teardown requested: slam every link, exit immediately.
+    slam: AtomicBool,
+    /// Per-peer write-backpressure queues (`None` at the self index).
+    queues: Vec<Option<Mutex<WriteQueue>>>,
+}
+
+impl Shared {
+    fn queue_empty(&self, peer: usize) -> bool {
+        self.queues[peer].as_ref().is_none_or(|q| q.lock().frames.is_empty())
     }
+}
+
+/// Same-destination payloads waiting to be coalesced into one frame.
+#[derive(Default)]
+struct TcpBatch {
+    payloads: Vec<Vec<u8>>,
+    bytes: usize,
+}
+
+/// The classic single-message frame around an already-encoded payload.
+fn classic_frame(src: usize, payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    frame.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    frame.extend_from_slice(&(src as u32).to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
 }
 
 /// One endpoint of the TCP socket fabric.
 ///
-/// Holds the write half of one `TcpStream` per peer; a detached reader
-/// thread per link reassembles frames (via [`FramedReader`]), decodes
-/// them, and queues `(src, msg)` envelopes. `recv` surfaces a peer that
-/// died without its goodbye frame as [`TransportError::Disconnected`]
-/// instead of blocking forever, and returns the same error when every
-/// peer is gone and nothing remains queued.
+/// One io thread per endpoint multiplexes every mesh link through a
+/// `poll(2)` loop: it reassembles incoming frames (via
+/// `FrameAssembler`), decodes them into `(src, msg)` envelopes, and
+/// drains per-peer write queues that `send`/`flush` fill. `recv`
+/// surfaces a peer that died without its goodbye frame as
+/// [`TransportError::Disconnected`] instead of blocking forever, and
+/// returns the same error when every peer is gone and nothing remains
+/// queued.
 pub struct TcpTransport<M> {
     rank: usize,
     nprocs: usize,
-    /// Write half per peer (`None` at the self index).
-    writers: Vec<Option<Mutex<Arc<TcpStream>>>>,
+    /// Flags and write queues shared with the io thread.
+    shared: Arc<Shared>,
+    /// The mesh sockets (`None` at the self index) — kept so `abort` can
+    /// slam them from the handle side.
+    socks: Vec<Option<Arc<TcpStream>>>,
+    /// Coalescing policy for small same-destination envelopes.
+    batch: BatchConfig,
+    /// Per-destination payloads buffered until a flush point.
+    outbox: Vec<Mutex<TcpBatch>>,
+    /// Physical frame accounting (logical msgs/bytes are charged by the
+    /// `CommEndpoint` layer, exactly like the in-process backends).
+    stats: Arc<CommStats>,
     events_tx: Sender<Event<M>>,
     events_rx: Receiver<Event<M>>,
-    /// Links whose reader is still delivering (decremented per Bye/Fault).
+    /// Links still delivering (decremented per Bye/Fault).
     live: Mutex<usize>,
+    /// Write half of the self-pipe that wakes the io thread's poll.
+    #[cfg(unix)]
+    wake: Option<UnixStream>,
+    /// The io thread, joined on graceful drop.
+    io: Option<std::thread::JoinHandle<()>>,
 }
 
 impl<M> TcpTransport<M>
@@ -607,19 +806,39 @@ where
 
     /// Fallible variant of [`TcpTransport::fabric`].
     pub fn try_fabric(n: usize) -> Result<Vec<Self>, TransportError> {
+        Self::try_fabric_with(n, BatchConfig::disabled(), CommStats::new(n))
+    }
+
+    /// Build the fabric with an explicit coalescing policy, recording
+    /// physical frame counts into `stats`; panics on environment failure
+    /// exactly like [`TcpTransport::fabric`].
+    pub fn fabric_with(n: usize, batch: BatchConfig, stats: Arc<CommStats>) -> Vec<Self> {
+        Self::try_fabric_with(n, batch, stats)
+            .unwrap_or_else(|e| panic!("failed to build localhost TCP fabric: {e}"))
+    }
+
+    /// Fallible variant of [`TcpTransport::fabric_with`].
+    pub fn try_fabric_with(
+        n: usize,
+        batch: BatchConfig,
+        stats: Arc<CommStats>,
+    ) -> Result<Vec<Self>, TransportError> {
         assert!(n >= 1, "fabric needs at least one endpoint");
         if n == 1 {
-            return Ok(vec![Self::solo()]);
+            return Ok(vec![Self::solo(batch, stats)]);
         }
         let mut rv = TcpRendezvous::bind("127.0.0.1:0")
             .map_err(|e| io_err("binding in-process rendezvous", e))?;
         let addr = rv.local_addr();
         std::thread::scope(|scope| {
             let dialers: Vec<_> = (1..n)
-                .map(|r| scope.spawn(move || connect_endpoint::<M>(addr, FABRIC_P2P, r, n)))
+                .map(|r| {
+                    let stats = Arc::clone(&stats);
+                    scope.spawn(move || connect_endpoint::<M>(addr, FABRIC_P2P, r, n, batch, stats))
+                })
                 .collect();
             let mut out = Vec::with_capacity(n);
-            out.push(host_endpoint::<M>(&mut rv, FABRIC_P2P, n)?);
+            out.push(host_endpoint::<M>(&mut rv, FABRIC_P2P, n, batch, Arc::clone(&stats))?);
             for d in dialers {
                 out.push(
                     d.join()
@@ -630,36 +849,138 @@ where
         })
     }
 
-    /// The trivial 1-endpoint fabric: no sockets, self-sends only.
-    fn solo() -> Self {
+    /// The trivial 1-endpoint fabric: no sockets, no io thread,
+    /// self-sends only.
+    fn solo(batch: BatchConfig, stats: Arc<CommStats>) -> Self {
         let (events_tx, events_rx) = unbounded();
-        Self { rank: 0, nprocs: 1, writers: vec![None], events_tx, events_rx, live: Mutex::new(0) }
+        Self {
+            rank: 0,
+            nprocs: 1,
+            shared: Arc::new(Shared {
+                shutdown: AtomicBool::new(false),
+                slam: AtomicBool::new(false),
+                queues: vec![None],
+            }),
+            socks: vec![None],
+            batch,
+            outbox: vec![Mutex::new(TcpBatch::default())],
+            stats,
+            events_tx,
+            events_rx,
+            live: Mutex::new(0),
+            #[cfg(unix)]
+            wake: None,
+            io: None,
+        }
     }
 
-    /// Assemble an endpoint from its bootstrapped mesh links, spawning
-    /// one detached reader thread per link.
-    fn from_links(rank: usize, nprocs: usize, links: Vec<Option<TcpStream>>) -> Self {
+    /// Assemble an endpoint from its bootstrapped mesh links: switch the
+    /// sockets to nonblocking mode and hand them all to one io thread's
+    /// poll loop.
+    #[cfg(unix)]
+    fn from_links(
+        rank: usize,
+        nprocs: usize,
+        links: Vec<Option<TcpStream>>,
+        batch: BatchConfig,
+        stats: Arc<CommStats>,
+    ) -> Self {
         let (events_tx, events_rx) = unbounded();
-        let mut live = 0;
-        let writers = links
+        let mut live = 0usize;
+        let socks: Vec<Option<Arc<TcpStream>>> = links
             .into_iter()
-            .enumerate()
-            .map(|(peer, link)| {
+            .map(|link| {
                 link.map(|stream| {
                     let _ = stream.set_nodelay(true);
-                    let shared = Arc::new(stream);
-                    let tx = events_tx.clone();
-                    let read_half = Arc::clone(&shared);
+                    stream.set_nonblocking(true).expect("marking mesh socket nonblocking");
                     live += 1;
-                    std::thread::Builder::new()
-                        .name(format!("dne-tcp-{rank}<-{peer}"))
-                        .spawn(move || reader_loop(peer, read_half, tx))
-                        .expect("spawning tcp reader thread");
-                    Mutex::new(shared)
+                    Arc::new(stream)
                 })
             })
             .collect();
-        Self { rank, nprocs, writers, events_tx, events_rx, live: Mutex::new(live) }
+        let shared = Arc::new(Shared {
+            shutdown: AtomicBool::new(false),
+            slam: AtomicBool::new(false),
+            queues: socks
+                .iter()
+                .map(|s| s.as_ref().map(|_| Mutex::new(WriteQueue::default())))
+                .collect(),
+        });
+        let (wake_rx, wake_tx) = UnixStream::pair().expect("creating io wake pipe");
+        wake_rx.set_nonblocking(true).expect("marking wake pipe nonblocking");
+        wake_tx.set_nonblocking(true).expect("marking wake pipe nonblocking");
+        let io = {
+            let socks = socks.clone();
+            let shared = Arc::clone(&shared);
+            let tx = events_tx.clone();
+            std::thread::Builder::new()
+                .name(format!("dne-tcp-io-{rank}"))
+                .spawn(move || io_loop::<M>(rank, socks, shared, wake_rx, tx))
+                .expect("spawning tcp io thread")
+        };
+        Self {
+            rank,
+            nprocs,
+            shared,
+            socks,
+            batch,
+            outbox: (0..nprocs).map(|_| Mutex::new(TcpBatch::default())).collect(),
+            stats,
+            events_tx,
+            events_rx,
+            live: Mutex::new(live),
+            wake: Some(wake_tx),
+            io: Some(io),
+        }
+    }
+
+    /// Non-unix stub: the poll-based fabric needs `poll(2)`, so every
+    /// link faults with a typed `Unsupported` error instead of hanging.
+    #[cfg(not(unix))]
+    fn from_links(
+        rank: usize,
+        nprocs: usize,
+        links: Vec<Option<TcpStream>>,
+        batch: BatchConfig,
+        stats: Arc<CommStats>,
+    ) -> Self {
+        let (events_tx, events_rx) = unbounded();
+        let mut live = 0usize;
+        let socks: Vec<Option<Arc<TcpStream>>> = links
+            .into_iter()
+            .map(|link| {
+                link.map(|stream| {
+                    live += 1;
+                    Arc::new(stream)
+                })
+            })
+            .collect();
+        for _ in 0..live {
+            let _ = events_tx.send(Event::Fault(TransportError::Io {
+                context: "the poll-based tcp fabric needs poll(2)".into(),
+                error: io::Error::new(io::ErrorKind::Unsupported, "unsupported platform"),
+            }));
+        }
+        Self {
+            rank,
+            nprocs,
+            shared: Arc::new(Shared {
+                shutdown: AtomicBool::new(false),
+                slam: AtomicBool::new(false),
+                queues: socks
+                    .iter()
+                    .map(|s| s.as_ref().map(|_| Mutex::new(WriteQueue::default())))
+                    .collect(),
+            }),
+            socks,
+            batch,
+            outbox: (0..nprocs).map(|_| Mutex::new(TcpBatch::default())).collect(),
+            stats,
+            events_tx,
+            events_rx,
+            live: Mutex::new(live),
+            io: None,
+        }
     }
 }
 
@@ -668,45 +989,356 @@ impl<M> TcpTransport<M> {
     /// link shut (no goodbye frames), exactly as a killed process would.
     /// Peers observe [`TransportError::Disconnected`] from `recv`.
     pub fn abort(&self) {
-        for w in self.writers.iter().flatten() {
-            let _ = w.lock().shutdown(Shutdown::Both);
+        self.shared.slam.store(true, Ordering::SeqCst);
+        for s in self.socks.iter().flatten() {
+            let _ = s.shutdown(Shutdown::Both);
+        }
+        self.wake_io();
+    }
+
+    /// Nudge the io thread out of its poll so it notices fresh queue
+    /// contents or a freshly-set flag.
+    #[cfg(unix)]
+    fn wake_io(&self) {
+        if let Some(w) = &self.wake {
+            // A full pipe means a wake is already pending — good enough.
+            let _ = (&*w).write(&[1]);
+        }
+    }
+
+    #[cfg(not(unix))]
+    fn wake_io(&self) {}
+
+    /// Hand one encoded frame to the io thread and count it.
+    fn enqueue_frame(&self, dst: usize, frame: Vec<u8>) {
+        if let Some(q) = &self.shared.queues[dst] {
+            q.lock().frames.push_back(frame);
+        }
+        self.stats.record_frames(self.rank, 1);
+        self.wake_io();
+    }
+
+    /// Coalesce and enqueue everything buffered for `dst`.
+    fn flush_dst(&self, dst: usize) {
+        let payloads = {
+            let mut buf = self.outbox[dst].lock();
+            if buf.payloads.is_empty() {
+                return;
+            }
+            buf.bytes = 0;
+            std::mem::take(&mut buf.payloads)
+        };
+        self.enqueue_frame(dst, encode_batch_frame(self.rank, &payloads));
+    }
+}
+
+/// Per-link io state of the poll loop.
+#[cfg(unix)]
+struct PeerLink {
+    sock: Arc<TcpStream>,
+    assembler: FrameAssembler,
+    /// Still expecting bytes (no Bye/Fault observed yet).
+    reading: bool,
+    /// Still allowed to write (no write fault yet).
+    writing: bool,
+    /// Terminal event already emitted — never emit a second, so the
+    /// endpoint's live-link count stays exact.
+    done: bool,
+}
+
+#[cfg(unix)]
+impl PeerLink {
+    fn new(sock: Arc<TcpStream>) -> Self {
+        Self { sock, assembler: FrameAssembler::new(), reading: true, writing: true, done: false }
+    }
+
+    /// The link failed: retire both directions and emit the one fault.
+    fn fault<M>(&mut self, tx: &Sender<Event<M>>, err: TransportError) {
+        self.reading = false;
+        self.writing = false;
+        if !self.done {
+            self.done = true;
+            let _ = tx.send(Event::Fault(err));
+        }
+    }
+
+    /// The peer said goodbye: stop reading (its write half is closed),
+    /// keep writing (its read half drains until its process exits).
+    fn bye<M>(&mut self, tx: &Sender<Event<M>>) {
+        self.reading = false;
+        if !self.done {
+            self.done = true;
+            let _ = tx.send(Event::Bye);
         }
     }
 }
 
-/// Per-link reader: reassemble frames, decode, queue. Exits on goodbye,
-/// fault, or when the owning endpoint is dropped (queue disconnect).
-fn reader_loop<M: Send + WireDecode>(peer: usize, stream: Arc<TcpStream>, tx: Sender<Event<M>>) {
-    let mut frames = FramedReader::new(BufReader::with_capacity(64 << 10, ArcRead(stream)));
+/// The io thread: one `poll(2)` loop multiplexing every mesh link.
+///
+/// Reads ready bytes into each peer's [`FrameAssembler`] and queues the
+/// decoded envelopes; drains each peer's [`WriteQueue`] whenever its
+/// socket is writable, resuming partial writes at the recorded offset.
+/// On graceful shutdown it drains all queues, appends goodbye frames,
+/// *logs* (rather than discards) goodbye write failures, half-closes the
+/// links, and exits; on slam it shuts every socket down hard and exits
+/// at once.
+#[cfg(unix)]
+fn io_loop<M: Send + WireDecode>(
+    rank: usize,
+    socks: Vec<Option<Arc<TcpStream>>>,
+    shared: Arc<Shared>,
+    wake: UnixStream,
+    tx: Sender<Event<M>>,
+) {
+    let mut peers: Vec<Option<PeerLink>> =
+        socks.into_iter().map(|s| s.map(PeerLink::new)).collect();
+    let mut scratch = vec![0u8; 64 << 10];
+    // Once a graceful shutdown begins, the deadline after which queued
+    // frames and goodbyes are abandoned.
+    let mut goodbye: Option<Instant> = None;
+
     loop {
-        let event = match frames.read_frame() {
-            Ok(FrameItem::Frame { src, payload }) => {
-                if src as usize != peer {
-                    Event::Fault(TransportError::Frame {
-                        src: Some(peer),
-                        detail: format!(
-                            "frame claims source rank {src} on the link from rank {peer}"
-                        ),
-                    })
-                } else {
-                    match M::from_wire(&payload) {
-                        Ok(msg) => Event::Frame(peer, msg),
-                        Err(error) => Event::Fault(TransportError::Decode { src: peer, error }),
+        if shared.slam.load(Ordering::SeqCst) {
+            for p in peers.iter().flatten() {
+                let _ = p.sock.shutdown(Shutdown::Both);
+            }
+            return;
+        }
+        if goodbye.is_none() && shared.shutdown.load(Ordering::SeqCst) {
+            goodbye = Some(Instant::now() + GOODBYE_TIMEOUT);
+            for (i, p) in peers.iter().enumerate() {
+                if let Some(p) = p {
+                    if p.writing {
+                        if let Some(q) = &shared.queues[i] {
+                            q.lock().frames.push_back(bye_frame(rank).to_vec());
+                        }
                     }
                 }
             }
-            Ok(FrameItem::Bye { .. }) => Event::Bye,
-            Err(TransportError::Disconnected { .. }) => {
-                Event::Fault(TransportError::Disconnected { peer: Some(peer) })
+        }
+        if let Some(deadline) = goodbye {
+            let drained = peers
+                .iter()
+                .enumerate()
+                .all(|(i, p)| p.as_ref().is_none_or(|p| !p.writing || shared.queue_empty(i)));
+            if drained {
+                for p in peers.iter().flatten() {
+                    if p.writing {
+                        let _ = p.sock.shutdown(Shutdown::Write);
+                    }
+                }
+                return;
             }
-            Err(TransportError::Frame { detail, .. }) => {
-                Event::Fault(TransportError::Frame { src: Some(peer), detail })
+            if Instant::now() > deadline {
+                eprintln!(
+                    "dne-tcp[{rank}]: goodbye writes timed out after {GOODBYE_TIMEOUT:?}; \
+                     closing links hard"
+                );
+                for p in peers.iter().flatten() {
+                    let _ = p.sock.shutdown(Shutdown::Both);
+                }
+                return;
             }
-            Err(e) => Event::Fault(e),
+        }
+
+        // Build the poll set: the wake pipe first, then every link that
+        // still wants to read or has queued bytes to write.
+        let mut fds = vec![sys::PollFd { fd: wake.as_raw_fd(), events: sys::POLLIN, revents: 0 }];
+        let mut idx = Vec::with_capacity(peers.len());
+        for (i, p) in peers.iter().enumerate() {
+            let Some(p) = p else { continue };
+            let mut events = 0i16;
+            if p.reading {
+                events |= sys::POLLIN;
+            }
+            if p.writing && !shared.queue_empty(i) {
+                events |= sys::POLLOUT;
+            }
+            if events != 0 {
+                fds.push(sys::PollFd { fd: p.sock.as_raw_fd(), events, revents: 0 });
+                idx.push(i);
+            }
+        }
+        let timeout = match goodbye {
+            // Re-check the drain condition at least every 50ms while
+            // saying goodbye, even if poll reports nothing.
+            Some(_) => 50,
+            None => -1,
         };
-        let stop = matches!(event, Event::Bye | Event::Fault(_));
-        if tx.send(event).is_err() || stop {
+        if let Err(e) = sys::poll_fds(&mut fds, timeout) {
+            // poll itself failing is unrecoverable for the whole
+            // endpoint: fault every remaining link so recv cannot hang.
+            for p in peers.iter_mut().flatten() {
+                let error = io::Error::new(e.kind(), e.to_string());
+                p.fault(
+                    &tx,
+                    TransportError::Io { context: "polling the socket fabric".into(), error },
+                );
+                let _ = p.sock.shutdown(Shutdown::Both);
+            }
             return;
+        }
+
+        if fds[0].revents != 0 {
+            // Drain the wake pipe; its only payload is the nudge itself.
+            loop {
+                match (&wake).read(&mut scratch) {
+                    Ok(0) => break,
+                    Ok(_) => continue,
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                    Err(_) => break,
+                }
+            }
+        }
+
+        for (k, &i) in idx.iter().enumerate() {
+            let revents = fds[k + 1].revents;
+            if revents == 0 {
+                continue;
+            }
+            let p = peers[i].as_mut().expect("polled peers exist");
+            let closing = revents & (sys::POLLERR | sys::POLLHUP) != 0;
+            if p.writing && (revents & sys::POLLOUT != 0 || closing) {
+                write_ready(rank, i, p, &shared, &tx, goodbye.is_some());
+            }
+            if p.reading && (revents & sys::POLLIN != 0 || closing) {
+                read_ready(i, p, &mut scratch, &tx);
+            }
+        }
+    }
+}
+
+/// Drain one peer's write queue until it empties or the socket pushes
+/// back. A write error faults the link (or, during the goodbye drain, is
+/// logged — never silently discarded).
+#[cfg(unix)]
+fn write_ready<M>(
+    rank: usize,
+    peer: usize,
+    p: &mut PeerLink,
+    shared: &Shared,
+    tx: &Sender<Event<M>>,
+    in_goodbye: bool,
+) {
+    let Some(queue) = &shared.queues[peer] else { return };
+    loop {
+        let mut q = queue.lock();
+        let Some(front) = q.frames.front() else { break };
+        let front_len = front.len();
+        let offset = q.offset;
+        match (&*p.sock).write(&front[offset..]) {
+            Ok(n) => {
+                q.offset += n;
+                if q.offset == front_len {
+                    q.frames.pop_front();
+                    q.offset = 0;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => {
+                q.frames.clear();
+                q.offset = 0;
+                drop(q);
+                if in_goodbye {
+                    // The goodbye path has no receiver left to surface a
+                    // fault to — log instead of discarding the error.
+                    p.writing = false;
+                    eprintln!("dne-tcp[{rank}]: goodbye to rank {peer} failed: {e}");
+                } else {
+                    p.fault(
+                        tx,
+                        TransportError::Io { context: format!("sending to rank {peer}"), error: e },
+                    );
+                }
+                let _ = p.sock.shutdown(Shutdown::Both);
+                break;
+            }
+        }
+    }
+}
+
+/// Read one peer's ready bytes into its assembler and deliver every
+/// completed envelope; EOF and malformed streams fault the link with the
+/// same typed errors the blocking reader produced.
+#[cfg(unix)]
+fn read_ready<M: WireDecode>(
+    peer: usize,
+    p: &mut PeerLink,
+    scratch: &mut [u8],
+    tx: &Sender<Event<M>>,
+) {
+    // Bound the reads per readable event so one firehose peer cannot
+    // starve the rest of the mesh of service.
+    for _ in 0..16 {
+        match (&*p.sock).read(scratch) {
+            Ok(0) => {
+                let err = if p.assembler.mid_frame() {
+                    TransportError::Frame {
+                        src: Some(peer),
+                        detail: "stream ended mid-frame".into(),
+                    }
+                } else {
+                    TransportError::Disconnected { peer: Some(peer) }
+                };
+                p.fault(tx, err);
+                return;
+            }
+            Ok(n) => {
+                let items = match p.assembler.push(&scratch[..n], peer) {
+                    Ok(items) => items,
+                    Err(e) => {
+                        p.fault(tx, e);
+                        return;
+                    }
+                };
+                for item in items {
+                    match item {
+                        Assembled::Bye => {
+                            p.bye(tx);
+                            return;
+                        }
+                        Assembled::Frame(frame) => {
+                            let claimed =
+                                u32::from_le_bytes(frame[8..12].try_into().expect("4-byte slice"))
+                                    as usize;
+                            if claimed != peer {
+                                p.fault(
+                                    tx,
+                                    TransportError::Frame {
+                                        src: Some(peer),
+                                        detail: format!(
+                                            "frame claims source rank {claimed} on the link \
+                                             from rank {peer}"
+                                        ),
+                                    },
+                                );
+                                return;
+                            }
+                            match decode_frames::<M>(&frame) {
+                                Ok((_, msgs)) => {
+                                    for msg in msgs {
+                                        let _ = tx.send(Event::Frame(peer, msg));
+                                    }
+                                }
+                                Err(e) => {
+                                    p.fault(tx, e);
+                                    return;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => {
+                p.fault(
+                    tx,
+                    TransportError::Io { context: format!("receiving from rank {peer}"), error: e },
+                );
+                return;
+            }
         }
     }
 }
@@ -726,30 +1358,68 @@ where
     }
 
     fn send(&self, dst: usize, msg: M) -> Result<usize, TransportError> {
-        let frame = encode_frame(self.rank, &msg);
-        let wire = frame.len() - FRAME_HEADER_BYTES;
+        let payload = msg.to_wire();
+        let wire = payload.len();
         // Enforce the frame bound at the sender (as every backend does):
         // shipping a gigabyte only for the receiver to reject it as
         // stream corruption would waste the transfer and misattribute a
         // legitimate (if oversized) message.
-        crate::transport::check_payload_bound(wire, self.rank)?;
+        check_payload_bound(wire, self.rank)?;
         if dst == self.rank {
             // Self-sends round-trip through the codec like any other
-            // envelope (matching the bytes backend) but skip the socket.
-            let envelope = decode_frame(&frame)?;
+            // envelope (matching the bytes backend) but skip the socket —
+            // and are therefore never buffered and never frames.
+            let msg = M::from_wire(&payload)
+                .map_err(|error| TransportError::Decode { src: self.rank, error })?;
             self.events_tx
-                .send(Event::Frame(envelope.0, envelope.1))
+                .send(Event::Frame(self.rank, msg))
                 .expect("own event queue outlives the endpoint");
-        } else {
-            let writer = self.writers[dst].as_ref().expect("non-self destinations have links");
-            let guard = writer.lock();
-            let mut w: &TcpStream = &guard;
-            w.write_all(&frame).map_err(|error| TransportError::Io {
-                context: format!("sending {}-byte frame to rank {dst}", frame.len()),
-                error,
-            })?;
+            return Ok(wire);
+        }
+        if !self.batch.enabled() {
+            self.enqueue_frame(dst, classic_frame(self.rank, &payload));
+            return Ok(wire);
+        }
+        if wire >= self.batch.max_bytes {
+            // Too big to coalesce: flush what's buffered first (FIFO
+            // order is preserved), then ship it as its own frame.
+            self.flush_dst(dst);
+            self.enqueue_frame(dst, classic_frame(self.rank, &payload));
+            return Ok(wire);
+        }
+        let full = {
+            let mut buf = self.outbox[dst].lock();
+            buf.payloads.push(payload);
+            buf.bytes += wire;
+            buf.payloads.len() >= self.batch.max_msgs || buf.bytes >= self.batch.max_bytes
+        };
+        if full {
+            self.flush_dst(dst);
         }
         Ok(wire)
+    }
+
+    fn flush(&self) -> Result<(), TransportError> {
+        for dst in 0..self.nprocs {
+            if dst != self.rank {
+                self.flush_dst(dst);
+            }
+        }
+        Ok(())
+    }
+
+    fn try_recv(&self) -> Result<Option<(usize, M)>, TransportError> {
+        loop {
+            match self.events_rx.try_recv() {
+                Ok(Event::Frame(src, msg)) => return Ok(Some((src, msg))),
+                Ok(Event::Bye) => *self.live.lock() -= 1,
+                Ok(Event::Fault(e)) => {
+                    *self.live.lock() -= 1;
+                    return Err(e);
+                }
+                Err(_) => return Ok(None),
+            }
+        }
     }
 
     fn recv(&self) -> Result<(usize, M), TransportError> {
@@ -779,22 +1449,27 @@ where
 
 impl<M> Drop for TcpTransport<M> {
     fn drop(&mut self) {
-        // Graceful teardown: a goodbye frame then a write-side FIN on
-        // every link, so peers can tell this shutdown from a crash. A
-        // drop that happens while this thread is *panicking* is a crash,
-        // not a shutdown — skip the goodbye and slam the links, so peers
-        // observe a typed disconnect instead of blocking on a machine
-        // that will never speak again.
+        // Graceful teardown: the io thread drains every queued frame,
+        // writes a goodbye frame, then a write-side FIN on every link, so
+        // peers can tell this shutdown from a crash. A drop that happens
+        // while this thread is *panicking* is a crash, not a shutdown —
+        // skip the goodbye and slam the links, so peers observe a typed
+        // disconnect instead of blocking on a machine that will never
+        // speak again. (Envelopes still coalesced in the outbox are
+        // dropped without being sent, exactly like the in-process
+        // backends: a flush point must precede any drop that expects
+        // delivery, and `CommEndpoint` flushes before every receive.)
         if std::thread::panicking() {
             self.abort();
+            // The io thread exits promptly on the slam flag; joining it
+            // mid-unwind would only compound the panic.
+            drop(self.io.take());
             return;
         }
-        let bye = bye_frame(self.rank);
-        for w in self.writers.iter().flatten() {
-            let guard = w.lock();
-            let mut s: &TcpStream = &guard;
-            let _ = s.write_all(&bye);
-            let _ = guard.shutdown(Shutdown::Write);
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.wake_io();
+        if let Some(io) = self.io.take() {
+            let _ = io.join();
         }
     }
 }
@@ -872,6 +1547,22 @@ impl TcpProcessCluster {
         self.connect_with_collectives(CollectiveTopology::from_env())
     }
 
+    /// [`TcpProcessCluster::connect`] with an explicit coalescing policy
+    /// for the point-to-point mesh (overrides `DNE_COMM_BATCH`; the
+    /// collectives mesh always runs unbatched). Results and logical
+    /// message/byte accounting are identical with batching on or off —
+    /// only the physical frame count changes, so processes need not agree
+    /// on the policy.
+    pub fn connect_with_comm_batch<M>(
+        self,
+        batch: BatchConfig,
+    ) -> Result<TcpSession<M>, TransportError>
+    where
+        M: Send + WireEncode + WireDecode + 'static,
+    {
+        self.connect_full(CollectiveTopology::from_env(), batch)
+    }
+
     /// [`TcpProcessCluster::connect`] with an explicit collective
     /// topology. Every process of the cluster must pass the same value:
     /// the topology is baked into the collectives mesh's fabric id, so a
@@ -879,8 +1570,23 @@ impl TcpProcessCluster {
     /// [`TransportError::Bootstrap`] naming both topologies instead of
     /// deadlocking at the first barrier.
     pub fn connect_with_collectives<M>(
+        self,
+        topology: CollectiveTopology,
+    ) -> Result<TcpSession<M>, TransportError>
+    where
+        M: Send + WireEncode + WireDecode + 'static,
+    {
+        // The point-to-point mesh honors `DNE_COMM_BATCH` (inherited by
+        // every worker's environment); the collectives mesh always runs
+        // unbatched, exactly like in-process clusters, so the published
+        // per-rank collective traffic stays exact.
+        self.connect_full(topology, BatchConfig::from_env())
+    }
+
+    fn connect_full<M>(
         mut self,
         topology: CollectiveTopology,
+        batch: BatchConfig,
     ) -> Result<TcpSession<M>, TransportError>
     where
         M: Send + WireEncode + WireDecode + 'static,
@@ -890,12 +1596,32 @@ impl TcpProcessCluster {
         let coll_id = coll_fabric(topology);
         let (p2p, coll): (TcpTransport<M>, TcpTransport<CollMsg>) = match self.rendezvous.as_mut() {
             Some(rv) => (
-                host_endpoint(rv, FABRIC_P2P, self.nprocs)?,
-                host_endpoint(rv, coll_id, self.nprocs)?,
+                host_endpoint(rv, FABRIC_P2P, self.nprocs, batch, Arc::clone(&stats))?,
+                host_endpoint(
+                    rv,
+                    coll_id,
+                    self.nprocs,
+                    BatchConfig::disabled(),
+                    Arc::clone(&stats),
+                )?,
             ),
             None => (
-                connect_endpoint(self.addr, FABRIC_P2P, self.rank, self.nprocs)?,
-                connect_endpoint(self.addr, coll_id, self.rank, self.nprocs)?,
+                connect_endpoint(
+                    self.addr,
+                    FABRIC_P2P,
+                    self.rank,
+                    self.nprocs,
+                    batch,
+                    Arc::clone(&stats),
+                )?,
+                connect_endpoint(
+                    self.addr,
+                    coll_id,
+                    self.rank,
+                    self.nprocs,
+                    BatchConfig::disabled(),
+                    Arc::clone(&stats),
+                )?,
             ),
         };
         let comm = CommEndpoint::from_transport(Box::new(p2p), Arc::clone(&stats));
@@ -919,6 +1645,7 @@ pub struct TcpSession<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::transport::encode_frame;
     use crate::wire::WireSize;
 
     // ------------------------------------------------- framed reader --
@@ -1026,7 +1753,72 @@ mod tests {
         assert!(matches!(err, TransportError::Frame { .. }), "{err}");
     }
 
+    // ------------------------------------------------- frame assembler --
+
+    #[test]
+    fn assembler_reassembles_split_and_coalesced_frames() {
+        // One classic frame, one multi-message frame, and a goodbye,
+        // trickled in one byte at a time — the worst short-read schedule.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&encode_frame(3, &7u64));
+        bytes.extend_from_slice(&encode_batch_frame(3, &[vec![1, 2], vec![3]]));
+        bytes.extend_from_slice(&bye_frame(3));
+        let mut a = FrameAssembler::new();
+        let mut items = Vec::new();
+        for b in &bytes {
+            items.extend(a.push(std::slice::from_ref(b), 3).unwrap());
+        }
+        assert_eq!(
+            items,
+            vec![
+                Assembled::Frame(encode_frame(3, &7u64)),
+                Assembled::Frame(encode_batch_frame(3, &[vec![1, 2], vec![3]])),
+                Assembled::Bye,
+            ]
+        );
+        assert!(!a.mid_frame(), "everything consumed");
+    }
+
+    #[test]
+    fn assembler_tracks_mid_frame_truncation() {
+        let frame = encode_frame(0, &5u64);
+        let mut a = FrameAssembler::new();
+        assert!(a.push(&frame[..frame.len() - 3], 0).unwrap().is_empty());
+        assert!(a.mid_frame(), "a truncated stream must be distinguishable from a clean EOF");
+        assert_eq!(a.push(&frame[frame.len() - 3..], 0).unwrap().len(), 1);
+        assert!(!a.mid_frame());
+    }
+
+    #[test]
+    fn assembler_bounds_the_length_prefix() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(MAX_FRAME_PAYLOAD + 1).to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        match FrameAssembler::new().push(&bytes, 2).unwrap_err() {
+            TransportError::Frame { src: Some(2), detail } => {
+                assert!(detail.contains("exceeds"), "{detail}");
+            }
+            other => panic!("expected framing error, got {other:?}"),
+        }
+    }
+
     // ---------------------------------------------------- socket fabric --
+
+    #[test]
+    fn coalesced_envelopes_cross_the_socket_as_one_frame() {
+        let stats = CommStats::new(2);
+        let mut eps = TcpTransport::<u64>::fabric_with(2, BatchConfig::msgs(8), Arc::clone(&stats));
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        for i in 0..5u64 {
+            a.send(1, i).unwrap();
+        }
+        a.flush().unwrap();
+        for i in 0..5u64 {
+            assert_eq!(b.recv().unwrap(), (0, i));
+        }
+        assert_eq!(stats.frames_by(0), 1, "five coalesced envelopes are one physical frame");
+    }
 
     #[test]
     fn fabric_delivers_with_exact_accounting() {
