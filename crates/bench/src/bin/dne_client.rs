@@ -1,0 +1,345 @@
+//! `dne-client` — load generator and verification harness for
+//! `dne-server`.
+//!
+//! ```text
+//! dne-client [quick|full]                    # spawn a sibling dne-server, bench, verify
+//! dne-client bench <addr> <scale> <degree> <seed> <parts> [lookups-per-conn]
+//! ```
+//!
+//! The default mode spawns `dne-server serve` (the binary next to this
+//! one), waits for its address/fingerprint markers, then drives
+//! `DNE_CLIENT_CONNS` concurrent connections × a per-connection lookup
+//! count with a pipelined request window. Every response is compared
+//! **byte-for-byte** against the answer of an offline
+//! [`AssignmentService`] built from the same deterministic spec — the
+//! same code path the server answers from — so a single flipped bit
+//! anywhere in the partition, index, codec, framing, or transport fails
+//! the run. `bench` skips the spawn and drives an already-running server
+//! (the spec arguments must match the server's).
+//!
+//! Output: a latency/throughput row (p50/p99 microseconds, aggregate
+//! lookups/s) printed and written to `bench_results/lookup_service.tsv`.
+//! Exit status is non-zero on any mismatch, making the binary its own
+//! acceptance gate — CI runs it as the server smoke step.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, BufReader};
+use std::process::{Child, Command, Stdio};
+use std::time::Instant;
+
+use dne_bench::lookup::{conns_from_env, AssignmentService, LookupRequest, LookupResponse};
+use dne_bench::table::Table;
+use dne_core::{DistributedNe, NeConfig};
+use dne_graph::hash::mix2;
+use dne_graph::{gen, Graph};
+use dne_partition::{shards_from_env, PartitionId, ShardedAssignmentIndex};
+use dne_runtime::{WireClient, WireEncode};
+
+/// Stdout markers printed by `dne-server` (scraped by the launcher).
+const ADDR_TAG: &str = "DNE_SERVER_ADDR";
+const FPRINT_TAG: &str = "DNE_SERVER_FPRINT";
+
+/// In-flight requests per connection: deep enough to hide the socket
+/// round trip, shallow enough that tail latency stays meaningful.
+const WINDOW: usize = 64;
+
+/// Benchmark spec: the graph/partition parameters (which must match the
+/// server's) plus the per-connection lookup count.
+#[derive(Clone, Copy)]
+struct Spec {
+    scale: u32,
+    degree: u32,
+    seed: u64,
+    parts: u32,
+    lookups_per_conn: u64,
+}
+
+impl Spec {
+    /// The acceptance-gate preset: scale-16 RMAT, ≥ 8 connections.
+    fn quick() -> Self {
+        Spec { scale: 16, degree: 8, seed: 42, parts: 4, lookups_per_conn: 25_000 }
+    }
+
+    fn full() -> Self {
+        Spec { scale: 18, degree: 8, seed: 42, parts: 8, lookups_per_conn: 50_000 }
+    }
+
+    fn graph(&self) -> Graph {
+        gen::rmat(&gen::RmatConfig::graph500(self.scale, self.degree as u64, self.seed))
+    }
+}
+
+/// The deterministic request stream of connection `conn`: a mix of edge
+/// lookups (mostly hits), vertex replica sets, per-part stats (including
+/// out-of-range parts), and guaranteed-miss probes. Both sides of the
+/// verification derive the stream from `(seed, conn, i)` alone.
+fn request(spec: &Spec, g: &Graph, conn: u64, i: u64) -> LookupRequest {
+    let r = mix2(mix2(spec.seed, conn), i);
+    let pick = r >> 3;
+    match r % 8 {
+        0..=4 => {
+            let (u, v) = g.edge(pick % g.num_edges());
+            // Exercise both endpoint orders.
+            if r & 8 == 0 {
+                LookupRequest::LookupEdge { u, v }
+            } else {
+                LookupRequest::LookupEdge { u: v, v: u }
+            }
+        }
+        5 => LookupRequest::ReplicaSet { v: pick % g.num_vertices() },
+        6 => LookupRequest::PartStats { part: (pick % (spec.parts as u64 + 1)) as PartitionId },
+        // Vertices beyond |V| never appear in the graph: a guaranteed
+        // miss, answered `None` by index and server alike.
+        _ => LookupRequest::LookupEdge { u: g.num_vertices() + pick, v: pick },
+    }
+}
+
+/// Drive one connection: `n` pipelined lookups, each response compared
+/// byte-for-byte with the offline answer. Returns the per-request
+/// latencies in microseconds.
+fn drive_conn(
+    addr: &str,
+    spec: &Spec,
+    g: &Graph,
+    offline: &AssignmentService,
+    conn: u64,
+) -> Result<Vec<f64>, String> {
+    let mut client = WireClient::<LookupRequest, LookupResponse>::connect(addr)
+        .map_err(|e| format!("conn {conn}: {e}"))?;
+    let n = spec.lookups_per_conn;
+    let mut latencies = Vec::with_capacity(n as usize);
+    let mut inflight: VecDeque<(u32, Instant, Vec<u8>)> = VecDeque::with_capacity(WINDOW);
+    let settle = |client: &mut WireClient<LookupRequest, LookupResponse>,
+                  inflight: &mut VecDeque<(u32, Instant, Vec<u8>)>,
+                  latencies: &mut Vec<f64>|
+     -> Result<(), String> {
+        let (want_seq, sent_at, expected) = inflight.pop_front().expect("inflight nonempty");
+        let (seq, resp) = client.recv().map_err(|e| format!("conn {conn}: {e}"))?;
+        if seq != want_seq {
+            return Err(format!("conn {conn}: response seq {seq}, expected {want_seq}"));
+        }
+        let got = resp.to_wire();
+        if got != expected {
+            return Err(format!(
+                "conn {conn}: response for seq {seq} diverges from the offline answer\n  \
+                 got:      {got:?}\n  expected: {expected:?}"
+            ));
+        }
+        latencies.push(sent_at.elapsed().as_secs_f64() * 1e6);
+        Ok(())
+    };
+    for i in 0..n {
+        let req = request(spec, g, conn, i);
+        let expected = offline.answer(&req).to_wire();
+        let seq = client.send(&req).map_err(|e| format!("conn {conn}: {e}"))?;
+        inflight.push_back((seq, Instant::now(), expected));
+        if inflight.len() >= WINDOW {
+            settle(&mut client, &mut inflight, &mut latencies)?;
+        }
+    }
+    while !inflight.is_empty() {
+        settle(&mut client, &mut inflight, &mut latencies)?;
+    }
+    Ok(latencies)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let i = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[i]
+}
+
+/// Bench an already-listening server at `addr` and verify every byte.
+/// Returns the aggregate lookups/s.
+fn bench(addr: &str, spec: Spec) -> Result<f64, String> {
+    let conns = conns_from_env();
+    eprintln!(
+        "[dne-client: building the offline reference (scale {}, {} parts)…]",
+        spec.scale, spec.parts
+    );
+    let g = spec.graph();
+    let ne = DistributedNe::new(NeConfig::default().with_seed(spec.seed));
+    let (assignment, _) = ne.partition_with_stats(&g, spec.parts);
+    let fingerprint = assignment.fingerprint();
+    let offline =
+        AssignmentService::new(ShardedAssignmentIndex::build(&g, &assignment, shards_from_env()));
+
+    // The server must serve the exact assignment we computed offline.
+    let mut probe = WireClient::<LookupRequest, LookupResponse>::connect(addr)
+        .map_err(|e| format!("probe: {e}"))?;
+    match probe.call(&LookupRequest::Fingerprint).map_err(|e| format!("probe: {e}"))? {
+        LookupResponse::Fingerprint { fingerprint: served, num_partitions, num_edges } => {
+            if served != fingerprint || num_partitions != spec.parts || num_edges != g.num_edges() {
+                return Err(format!(
+                    "server at {addr} serves a different partition: fingerprint {served:016x} \
+                     ({num_partitions} parts, {num_edges} edges), offline {fingerprint:016x} \
+                     ({} parts, {} edges)",
+                    spec.parts,
+                    g.num_edges()
+                ));
+            }
+        }
+        other => return Err(format!("probe: unexpected fingerprint response {other:?}")),
+    }
+    drop(probe);
+
+    eprintln!(
+        "[dne-client: {conns} connections × {} lookups, window {WINDOW}]",
+        spec.lookups_per_conn
+    );
+    let started = Instant::now();
+    let mut all: Vec<f64> = Vec::new();
+    let results: Vec<Result<Vec<f64>, String>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..conns)
+            .map(|c| {
+                let (g, offline, spec) = (&g, &offline, &spec);
+                s.spawn(move || drive_conn(addr, spec, g, offline, c as u64))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("connection thread panicked")).collect()
+    });
+    let elapsed = started.elapsed();
+    for r in results {
+        all.extend(r?);
+    }
+    all.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+    let total = all.len() as f64;
+    let qps = total / elapsed.as_secs_f64();
+
+    let mut table = Table::new(&[
+        "SCALE", "DEGREE", "SEED", "PARTS", "CONNS", "LOOKUPS", "P50_US", "P99_US", "QPS", "FPRINT",
+    ]);
+    table.row(vec![
+        spec.scale.to_string(),
+        spec.degree.to_string(),
+        spec.seed.to_string(),
+        spec.parts.to_string(),
+        conns.to_string(),
+        (total as u64).to_string(),
+        format!("{:.1}", percentile(&all, 0.50)),
+        format!("{:.1}", percentile(&all, 0.99)),
+        format!("{qps:.0}"),
+        format!("{fingerprint:016x}"),
+    ]);
+    table.print();
+    if let Ok(path) = table.write_tsv("lookup_service") {
+        println!("wrote {}", path.display());
+    }
+    println!(
+        "OK: {} lookups over {conns} connections, every response byte-identical to the \
+         offline assignment ({qps:.0} lookups/s)",
+        total as u64
+    );
+    Ok(qps)
+}
+
+/// Reaper for the spawned server: kill + wait on early error returns.
+struct Server(Option<Child>);
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        if let Some(child) = &mut self.0 {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Default mode: spawn a sibling `dne-server`, bench it, shut it down.
+fn launch_and_bench(spec: Spec) -> Result<(), String> {
+    let me = std::env::current_exe().map_err(|e| format!("cannot locate own binary: {e}"))?;
+    let exe = me
+        .parent()
+        .ok_or("own binary has no parent directory")?
+        .join(format!("dne-server{}", std::env::consts::EXE_SUFFIX));
+    let mut child = Command::new(&exe)
+        .args([
+            "serve",
+            &spec.scale.to_string(),
+            &spec.degree.to_string(),
+            &spec.seed.to_string(),
+            &spec.parts.to_string(),
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("spawning {}: {e}", exe.display()))?;
+    let mut lines = BufReader::new(child.stdout.take().expect("piped stdout")).lines();
+    let mut server = Server(Some(child));
+    let (mut addr, mut served_fprint) = (None, None);
+    while addr.is_none() || served_fprint.is_none() {
+        let line = lines
+            .next()
+            .ok_or("dne-server exited before advertising its address")?
+            .map_err(|e| format!("reading dne-server stdout: {e}"))?;
+        if let Some(a) = line.strip_prefix(ADDR_TAG) {
+            addr = Some(a.trim().to_string());
+        } else if let Some(f) = line.strip_prefix(FPRINT_TAG) {
+            served_fprint = Some(f.trim().to_string());
+        }
+    }
+    let addr = addr.expect("loop exits with an address");
+    eprintln!("[dne-client: server at {addr}, fingerprint {}]", served_fprint.expect("checked"));
+
+    let qps = bench(&addr, spec)?;
+
+    // Graceful teardown: ask the server to stop, then reap it.
+    let mut c = WireClient::<LookupRequest, LookupResponse>::connect(addr.as_str())
+        .map_err(|e| format!("shutdown: {e}"))?;
+    match c.call(&LookupRequest::Shutdown).map_err(|e| format!("shutdown: {e}"))? {
+        LookupResponse::ShuttingDown => {}
+        other => return Err(format!("shutdown: unexpected response {other:?}")),
+    }
+    let mut child = server.0.take().expect("server still owned");
+    let status = child.wait().map_err(|e| format!("waiting for dne-server: {e}"))?;
+    if !status.success() {
+        return Err(format!("dne-server exited with {status}"));
+    }
+    if qps <= 0.0 {
+        return Err("zero lookup throughput".into());
+    }
+    Ok(())
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dne-client [quick|full]\n\
+         \x20      dne-client bench <addr> <scale> <degree> <seed> <parts> [lookups-per-conn]"
+    );
+    std::process::exit(2);
+}
+
+fn arg<T: std::str::FromStr>(args: &[String], i: usize, what: &str) -> T {
+    args.get(i).and_then(|a| a.parse().ok()).unwrap_or_else(|| {
+        eprintln!("missing or invalid <{what}> argument");
+        usage()
+    })
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let result = match args.get(1).map(String::as_str) {
+        None | Some("quick") => launch_and_bench(Spec::quick()),
+        Some("full") => launch_and_bench(Spec::full()),
+        Some("bench") => {
+            let addr: String = arg(&args, 2, "addr");
+            let mut spec = Spec {
+                scale: arg(&args, 3, "scale"),
+                degree: arg(&args, 4, "degree"),
+                seed: arg(&args, 5, "seed"),
+                parts: arg(&args, 6, "parts"),
+                lookups_per_conn: Spec::quick().lookups_per_conn,
+            };
+            if args.len() > 7 {
+                spec.lookups_per_conn = arg(&args, 7, "lookups-per-conn");
+            }
+            bench(&addr, spec).map(|_| ())
+        }
+        Some(_) => usage(),
+    };
+    if let Err(e) = result {
+        eprintln!("dne-client: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,119 @@
+//! `dne-server` — partitioning as a service: partition a graph once, then
+//! serve assignment lookups until a client asks for shutdown.
+//!
+//! ```text
+//! dne-server serve <scale> <degree> <seed> <parts>
+//! ```
+//!
+//! The server builds the RMAT graph deterministically from the spec,
+//! round-trips it through chunked storage so the `DNE_GRAPH_STORAGE`
+//! backend genuinely feeds the partition and the index build, partitions
+//! once with `DistributedNe`, indexes the assignment into a
+//! [`ShardedAssignmentIndex`], then serves the lookup vocabulary of
+//! [`dne_bench::lookup`] over the runtime's [`WireServer`].
+//!
+//! Environment knobs (all strict — typos fail loudly):
+//!
+//! * `DNE_SERVER_ADDR` — bind address (`host:port`; default
+//!   `127.0.0.1:0`, an ephemeral localhost port).
+//! * `DNE_SERVER_SHARDS` — power-of-two index shard count (default 8).
+//! * `DNE_GRAPH_STORAGE` — graph backend (`in-memory` | `mmap` |
+//!   `chunk-streamed`).
+//!
+//! Startup prints two stdout markers the launcher scrapes — the bound
+//! address and the served assignment's fingerprint:
+//!
+//! ```text
+//! DNE_SERVER_ADDR 127.0.0.1:40913
+//! DNE_SERVER_FPRINT 6c02e3…
+//! ```
+//!
+//! `dne-client` (the load generator and verification harness) spawns this
+//! binary for its default mode; see that binary for the full workflow.
+
+use std::io::Write;
+
+use dne_bench::lookup::AssignmentService;
+use dne_core::{DistributedNe, NeConfig};
+use dne_graph::{gen, io, StorageKind};
+use dne_partition::{shards_from_env, ShardedAssignmentIndex};
+use dne_runtime::{server_addr_from_env, WireServer};
+
+/// Stdout marker carrying the bound service address.
+const ADDR_TAG: &str = "DNE_SERVER_ADDR";
+
+/// Stdout marker carrying the served assignment fingerprint.
+const FPRINT_TAG: &str = "DNE_SERVER_FPRINT";
+
+fn usage() -> ! {
+    eprintln!("usage: dne-server serve <scale> <degree> <seed> <parts>");
+    std::process::exit(2);
+}
+
+fn arg<T: std::str::FromStr>(args: &[String], i: usize, what: &str) -> T {
+    args.get(i).and_then(|a| a.parse().ok()).unwrap_or_else(|| {
+        eprintln!("missing or invalid <{what}> argument");
+        usage()
+    })
+}
+
+fn serve(scale: u32, degree: u32, seed: u64, parts: u32) -> Result<(), String> {
+    let storage = StorageKind::from_env();
+    let shards = shards_from_env();
+
+    // Deterministic graph, round-tripped through chunked storage so the
+    // selected backend (not the generator's in-memory graph) feeds
+    // everything downstream.
+    let g = gen::rmat(&gen::RmatConfig::graph500(scale, degree as u64, seed));
+    let dir = std::env::temp_dir().join(format!("dne_server_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).map_err(|e| format!("creating {}: {e}", dir.display()))?;
+    let chunked = dir.join("graph.chunks");
+    io::write_chunked(&g, &chunked, 1 << 16).map_err(|e| format!("writing chunked graph: {e}"))?;
+    drop(g);
+    let g = io::open_chunked_env(&chunked).map_err(|e| format!("opening chunked graph: {e}"))?;
+
+    let ne = DistributedNe::new(NeConfig::default().with_seed(seed));
+    let (assignment, stats) = ne.partition_with_stats(&g, parts);
+    let index = ShardedAssignmentIndex::build(&g, &assignment, shards);
+    eprintln!(
+        "[dne-server: storage {storage}, |V|={} |E|={}, {parts} parts in {} iterations, \
+         {shards} shards, RF {:.4}]",
+        g.num_vertices(),
+        g.num_edges(),
+        stats.iterations,
+        index.replication_factor()
+    );
+
+    let addr = server_addr_from_env("127.0.0.1:0");
+    let server = WireServer::bind(&addr).map_err(|e| e.to_string())?;
+    println!("{ADDR_TAG} {}", server.local_addr());
+    println!("{FPRINT_TAG} {:016x}", index.fingerprint());
+    std::io::stdout().flush().ok();
+
+    let mut service = AssignmentService::new(index);
+    let served = server.serve(&mut service).map_err(|e| e.to_string())?;
+    eprintln!(
+        "[dne-server: served {} requests over {} connections ({} protocol errors), \
+         {} B in / {} B out]",
+        served.requests, served.accepted, served.protocol_errors, served.bytes_in, served.bytes_out
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    Ok(())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let result = match args.get(1).map(String::as_str) {
+        Some("serve") => serve(
+            arg(&args, 2, "scale"),
+            arg(&args, 3, "degree"),
+            arg(&args, 4, "seed"),
+            arg(&args, 5, "parts"),
+        ),
+        _ => usage(),
+    };
+    if let Err(e) = result {
+        eprintln!("dne-server: {e}");
+        std::process::exit(1);
+    }
+}

@@ -25,6 +25,13 @@
 //! unless every non-timing column (iterations, comm bytes/messages, RF,
 //! EB, assignment fingerprint) is identical.
 //!
+//! `worker` additionally accepts `--bind <addr>` anywhere on the command
+//! line: the local address this rank binds its mesh listener to (the
+//! rendezvous itself listens at `<addr>`). The default binds loopback;
+//! on a real cluster pass the NIC address (e.g. `--bind 10.0.0.7:0`) —
+//! the rendezvous roster carries each rank's advertised `ip:port`, so
+//! peers across machines dial the right interface.
+//!
 //! A manual 4-process run on localhost (any fixed port works):
 //!
 //! ```text
@@ -233,10 +240,17 @@ fn reference_row(kind: TransportKind, spec: Spec) -> Row {
 }
 
 /// One rank of the real multi-process run. Rank 0 prints the rendezvous
-/// address, then (once every rank finished) the result row.
-fn worker(rank: usize, nprocs: usize, addr: &str, spec: Spec) -> Result<(), String> {
+/// address, then (once every rank finished) the result row. `bind`, when
+/// given, is the local address for this rank's mesh listener.
+fn worker(
+    rank: usize,
+    nprocs: usize,
+    addr: &str,
+    bind: Option<&str>,
+    spec: Spec,
+) -> Result<(), String> {
     let g = spec.graph();
-    let cluster = if rank == 0 {
+    let mut cluster = if rank == 0 {
         let host = TcpProcessCluster::host(nprocs, addr).map_err(|e| e.to_string())?;
         println!("{ADDR_TAG} {}", host.addr());
         std::io::stdout().flush().ok();
@@ -244,6 +258,9 @@ fn worker(rank: usize, nprocs: usize, addr: &str, spec: Spec) -> Result<(), Stri
     } else {
         TcpProcessCluster::join(rank, nprocs, addr).map_err(|e| e.to_string())?
     };
+    if let Some(b) = bind {
+        cluster = cluster.with_bind(b);
+    }
     let mut session = cluster.connect::<NeMsg>().map_err(|e| e.to_string())?;
     let started = Instant::now();
     let mut run = spec
@@ -397,7 +414,8 @@ fn usage() -> ! {
          \x20      dne-tcp-worker compare [quick|full]\n\
          \x20      dne-tcp-worker launch <nprocs> <scale> <degree> <seed>\n\
          \x20      dne-tcp-worker reference <loopback|bytes|tcp> <nprocs> <scale> <degree> <seed>\n\
-         \x20      dne-tcp-worker worker <rank> <nprocs> <addr> <scale> <degree> <seed>"
+         \x20      dne-tcp-worker worker <rank> <nprocs> <addr> <scale> <degree> <seed> \
+         [--bind <addr>]"
     );
     std::process::exit(2);
 }
@@ -429,8 +447,22 @@ fn preset(args: &[String], i: usize) -> Spec {
     }
 }
 
+/// Remove `--bind <addr>` (both tokens) from `args`, returning the addr.
+/// A trailing `--bind` with no value is a usage error.
+fn take_bind(args: &mut Vec<String>) -> Option<String> {
+    let i = args.iter().position(|a| a == "--bind")?;
+    if i + 1 >= args.len() {
+        eprintln!("--bind requires an <addr> value");
+        usage();
+    }
+    let addr = args.remove(i + 1);
+    args.remove(i);
+    Some(addr)
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
+    let mut args: Vec<String> = std::env::args().collect();
+    let bind = take_bind(&mut args);
     let result = match args.get(1).map(String::as_str) {
         None | Some("quick") | Some("full") => compare(preset(&args, 1)),
         Some("compare") => compare(preset(&args, 2)),
@@ -455,7 +487,7 @@ fn main() {
             let rank: usize = arg(&args, 2, "rank");
             let nprocs: usize = arg(&args, 3, "nprocs");
             let addr: String = arg(&args, 4, "addr");
-            worker(rank, nprocs, &addr, spec_from(&args, 5, nprocs))
+            worker(rank, nprocs, &addr, bind.as_deref(), spec_from(&args, 5, nprocs))
         }
         Some(_) => usage(),
     };

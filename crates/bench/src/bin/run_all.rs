@@ -14,9 +14,12 @@
 //! results and logical accounting are identical, only the physical frame
 //! count changes.
 //!
-//! The suite ends with the `dne-tcp-worker` compare step: a real
-//! multi-process TCP partition whose non-timing TSV columns are asserted
-//! identical to the in-process loopback and bytes runs.
+//! The suite ends with two multi-process acceptance gates: the
+//! `dne-tcp-worker` compare step (a real multi-process TCP partition
+//! whose non-timing TSV columns are asserted identical to the in-process
+//! loopback and bytes runs) and the `dne-client` lookup-service step (a
+//! spawned `dne-server` answering concurrent assignment lookups, every
+//! response asserted byte-identical to the offline assignment).
 
 use std::process::Command;
 
@@ -50,6 +53,10 @@ fn main() {
         // Multi-process acceptance gate: spawns real worker processes and
         // asserts tcp == bytes == loopback on all non-timing columns.
         "dne-tcp-worker",
+        // Service acceptance gate: spawns dne-server, drives concurrent
+        // lookup connections, asserts every response byte-identical to
+        // the offline assignment.
+        "dne-client",
     ];
     let exe_dir = std::env::current_exe()
         .ok()

@@ -39,6 +39,7 @@
 //! ```
 
 pub mod datasets;
+pub mod lookup;
 pub mod suite;
 pub mod table;
 

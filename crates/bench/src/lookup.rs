@@ -1,0 +1,388 @@
+//! The assignment-lookup protocol: what `dne-server` serves and
+//! `dne-client` speaks.
+//!
+//! A deliberately small, prefix-free request vocabulary over the
+//! workspace wire codec (1-byte variant tag + the fields' own codecs,
+//! exactly like `dne-core`'s `NeMsg`), carried by the runtime's
+//! request/response service layer ([`dne_runtime::WireServer`] /
+//! [`dne_runtime::WireClient`]). Floating-point stats travel as IEEE-754
+//! bit patterns (`f64::to_bits`) so responses are byte-exact and the
+//! codec stays integer-only.
+//!
+//! [`AssignmentService`] adapts a [`ShardedAssignmentIndex`] to the
+//! [`Service`] trait: every request is answered from the sharded maps;
+//! `Shutdown` answers and then stops the server (the CI smoke and the
+//! benchmark harness use it for deterministic teardown).
+
+use dne_graph::EdgeId;
+use dne_partition::{PartitionId, ShardedAssignmentIndex};
+use dne_runtime::{Service, ServiceReply, WireDecode, WireEncode, WireError, WireReader, WireSize};
+
+/// Environment variable consulted by [`conns_from_env`]: how many
+/// concurrent connections `dne-client` drives.
+pub const CLIENT_CONNS_ENV: &str = "DNE_CLIENT_CONNS";
+
+/// What a valid connection count looks like — quoted by parse errors.
+const CONNS_FORMS: &str = "a positive connection count like 8";
+
+/// Parse a client concurrency level: a positive integer.
+pub fn parse_conns(s: &str) -> Result<usize, String> {
+    let n: usize = s.trim().parse().map_err(|e| format!("{e} (expected {CONNS_FORMS})"))?;
+    if n == 0 {
+        return Err(format!("0 connections cannot drive load (expected {CONNS_FORMS})"));
+    }
+    Ok(n)
+}
+
+/// Read the client concurrency from `DNE_CLIENT_CONNS`. Unset or empty
+/// means 8 (the acceptance floor of the service benchmark).
+///
+/// # Panics
+/// Panics on a value that is not a positive integer (or not Unicode),
+/// naming the valid form.
+pub fn conns_from_env() -> usize {
+    match std::env::var(CLIENT_CONNS_ENV) {
+        Ok(v) if !v.trim().is_empty() => {
+            parse_conns(&v).unwrap_or_else(|e| panic!("invalid {CLIENT_CONNS_ENV} {v:?}: {e}"))
+        }
+        Err(std::env::VarError::NotUnicode(raw)) => {
+            panic!("invalid {CLIENT_CONNS_ENV}: non-Unicode value {raw:?} (expected {CONNS_FORMS})")
+        }
+        _ => 8,
+    }
+}
+
+/// One lookup request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LookupRequest {
+    /// Which partition owns edge `{u, v}`? Endpoint order is irrelevant.
+    LookupEdge {
+        /// One endpoint.
+        u: u64,
+        /// The other endpoint.
+        v: u64,
+    },
+    /// The replication set of vertex `v`.
+    ReplicaSet {
+        /// The vertex.
+        v: u64,
+    },
+    /// Size and balance stats of one partition.
+    PartStats {
+        /// The partition.
+        part: PartitionId,
+    },
+    /// The assignment fingerprint and global shape.
+    Fingerprint,
+    /// Answer, then stop serving (graceful teardown).
+    Shutdown,
+}
+
+/// The server's answer to one [`LookupRequest`] (variants correspond
+/// one-to-one, which the client checks).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LookupResponse {
+    /// Owner of the requested edge: `(edge id, partition)`, or `None`
+    /// when the graph has no such edge. Multi-edges answer with their
+    /// lowest edge id.
+    Owner {
+        /// The owning `(edge id, partition)`, if the edge exists.
+        owner: Option<(EdgeId, PartitionId)>,
+    },
+    /// The replication set of the requested vertex, ascending (empty for
+    /// vertices no edge touches).
+    Replicas {
+        /// Partitions whose edge set touches the vertex.
+        parts: Vec<PartitionId>,
+    },
+    /// Per-partition stats plus the global quality numbers.
+    PartStats {
+        /// `(|E_p|, |V(E_p)|)` — `None` when the partition is out of
+        /// range.
+        counts: Option<(u64, u64)>,
+        /// Replication factor, as `f64::to_bits` (byte-exact).
+        rf_bits: u64,
+        /// Edge balance, as `f64::to_bits`.
+        eb_bits: u64,
+    },
+    /// Fingerprint and shape of the served assignment.
+    Fingerprint {
+        /// [`dne_partition::EdgeAssignment::fingerprint`] of the served
+        /// assignment.
+        fingerprint: u64,
+        /// Number of partitions `|P|`.
+        num_partitions: PartitionId,
+        /// Number of indexed edges.
+        num_edges: u64,
+    },
+    /// Acknowledgement of a `Shutdown` request.
+    ShuttingDown,
+}
+
+const TAG_LOOKUP_EDGE: u8 = 0;
+const TAG_REPLICA_SET: u8 = 1;
+const TAG_PART_STATS: u8 = 2;
+const TAG_FINGERPRINT: u8 = 3;
+const TAG_SHUTDOWN: u8 = 4;
+
+impl WireSize for LookupRequest {
+    fn wire_bytes(&self) -> usize {
+        1 + match self {
+            LookupRequest::LookupEdge { u, v } => u.wire_bytes() + v.wire_bytes(),
+            LookupRequest::ReplicaSet { v } => v.wire_bytes(),
+            LookupRequest::PartStats { part } => part.wire_bytes(),
+            LookupRequest::Fingerprint | LookupRequest::Shutdown => 0,
+        }
+    }
+}
+
+impl WireEncode for LookupRequest {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            LookupRequest::LookupEdge { u, v } => {
+                buf.push(TAG_LOOKUP_EDGE);
+                u.encode(buf);
+                v.encode(buf);
+            }
+            LookupRequest::ReplicaSet { v } => {
+                buf.push(TAG_REPLICA_SET);
+                v.encode(buf);
+            }
+            LookupRequest::PartStats { part } => {
+                buf.push(TAG_PART_STATS);
+                part.encode(buf);
+            }
+            LookupRequest::Fingerprint => buf.push(TAG_FINGERPRINT),
+            LookupRequest::Shutdown => buf.push(TAG_SHUTDOWN),
+        }
+    }
+}
+
+impl WireDecode for LookupRequest {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.read_array::<1>()?[0] {
+            TAG_LOOKUP_EDGE => {
+                Ok(LookupRequest::LookupEdge { u: u64::decode(r)?, v: u64::decode(r)? })
+            }
+            TAG_REPLICA_SET => Ok(LookupRequest::ReplicaSet { v: u64::decode(r)? }),
+            TAG_PART_STATS => Ok(LookupRequest::PartStats { part: PartitionId::decode(r)? }),
+            TAG_FINGERPRINT => Ok(LookupRequest::Fingerprint),
+            TAG_SHUTDOWN => Ok(LookupRequest::Shutdown),
+            tag => Err(WireError::BadTag { tag }),
+        }
+    }
+}
+
+impl WireSize for LookupResponse {
+    fn wire_bytes(&self) -> usize {
+        1 + match self {
+            LookupResponse::Owner { owner } => owner.wire_bytes(),
+            LookupResponse::Replicas { parts } => parts.wire_bytes(),
+            LookupResponse::PartStats { counts, rf_bits, eb_bits } => {
+                counts.wire_bytes() + rf_bits.wire_bytes() + eb_bits.wire_bytes()
+            }
+            LookupResponse::Fingerprint { fingerprint, num_partitions, num_edges } => {
+                fingerprint.wire_bytes() + num_partitions.wire_bytes() + num_edges.wire_bytes()
+            }
+            LookupResponse::ShuttingDown => 0,
+        }
+    }
+}
+
+impl WireEncode for LookupResponse {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            LookupResponse::Owner { owner } => {
+                buf.push(TAG_LOOKUP_EDGE);
+                owner.encode(buf);
+            }
+            LookupResponse::Replicas { parts } => {
+                buf.push(TAG_REPLICA_SET);
+                parts.encode(buf);
+            }
+            LookupResponse::PartStats { counts, rf_bits, eb_bits } => {
+                buf.push(TAG_PART_STATS);
+                counts.encode(buf);
+                rf_bits.encode(buf);
+                eb_bits.encode(buf);
+            }
+            LookupResponse::Fingerprint { fingerprint, num_partitions, num_edges } => {
+                buf.push(TAG_FINGERPRINT);
+                fingerprint.encode(buf);
+                num_partitions.encode(buf);
+                num_edges.encode(buf);
+            }
+            LookupResponse::ShuttingDown => buf.push(TAG_SHUTDOWN),
+        }
+    }
+}
+
+impl WireDecode for LookupResponse {
+    fn decode(r: &mut WireReader<'_>) -> Result<Self, WireError> {
+        match r.read_array::<1>()?[0] {
+            TAG_LOOKUP_EDGE => Ok(LookupResponse::Owner { owner: Option::decode(r)? }),
+            TAG_REPLICA_SET => Ok(LookupResponse::Replicas { parts: Vec::decode(r)? }),
+            TAG_PART_STATS => Ok(LookupResponse::PartStats {
+                counts: Option::decode(r)?,
+                rf_bits: u64::decode(r)?,
+                eb_bits: u64::decode(r)?,
+            }),
+            TAG_FINGERPRINT => Ok(LookupResponse::Fingerprint {
+                fingerprint: u64::decode(r)?,
+                num_partitions: PartitionId::decode(r)?,
+                num_edges: u64::decode(r)?,
+            }),
+            TAG_SHUTDOWN => Ok(LookupResponse::ShuttingDown),
+            tag => Err(WireError::BadTag { tag }),
+        }
+    }
+}
+
+/// A [`ShardedAssignmentIndex`] behind the [`Service`] trait — what
+/// `dne-server` plugs into the runtime's [`dne_runtime::WireServer`].
+pub struct AssignmentService {
+    index: ShardedAssignmentIndex,
+}
+
+impl AssignmentService {
+    /// Serve lookups from `index`.
+    pub fn new(index: ShardedAssignmentIndex) -> Self {
+        Self { index }
+    }
+
+    /// The served index (the server prints its fingerprint at startup).
+    pub fn index(&self) -> &ShardedAssignmentIndex {
+        &self.index
+    }
+
+    /// The authoritative answer to one request — shared by the live
+    /// server and the client's offline verification, so "byte-identical
+    /// to the offline answer" is checked against the exact same code.
+    pub fn answer(&self, req: &LookupRequest) -> LookupResponse {
+        match *req {
+            LookupRequest::LookupEdge { u, v } => {
+                LookupResponse::Owner { owner: self.index.owner_of(u, v) }
+            }
+            LookupRequest::ReplicaSet { v } => {
+                LookupResponse::Replicas { parts: self.index.replica_set(v).to_vec() }
+            }
+            LookupRequest::PartStats { part } => LookupResponse::PartStats {
+                counts: self.index.edge_count(part).zip(self.index.replica_count(part)),
+                rf_bits: self.index.replication_factor().to_bits(),
+                eb_bits: self.index.edge_balance().to_bits(),
+            },
+            LookupRequest::Fingerprint | LookupRequest::Shutdown => LookupResponse::Fingerprint {
+                fingerprint: self.index.fingerprint(),
+                num_partitions: self.index.num_partitions(),
+                num_edges: self.index.num_edges(),
+            },
+        }
+    }
+}
+
+impl Service for AssignmentService {
+    type Req = LookupRequest;
+    type Resp = LookupResponse;
+
+    fn handle(&mut self, req: Self::Req) -> ServiceReply<Self::Resp> {
+        match req {
+            LookupRequest::Shutdown => {
+                ServiceReply::ReplyThenShutdown(LookupResponse::ShuttingDown)
+            }
+            other => ServiceReply::Reply(self.answer(&other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn request_shapes() -> Vec<LookupRequest> {
+        vec![
+            LookupRequest::LookupEdge { u: 0, v: u64::MAX },
+            LookupRequest::ReplicaSet { v: 7 },
+            LookupRequest::PartStats { part: 3 },
+            LookupRequest::Fingerprint,
+            LookupRequest::Shutdown,
+        ]
+    }
+
+    fn response_shapes() -> Vec<LookupResponse> {
+        vec![
+            LookupResponse::Owner { owner: None },
+            LookupResponse::Owner { owner: Some((42, 3)) },
+            LookupResponse::Replicas { parts: Vec::new() },
+            LookupResponse::Replicas { parts: vec![0, 2, 5] },
+            LookupResponse::PartStats { counts: None, rf_bits: 0, eb_bits: 0 },
+            LookupResponse::PartStats {
+                counts: Some((10, 20)),
+                rf_bits: 1.5f64.to_bits(),
+                eb_bits: 1.01f64.to_bits(),
+            },
+            LookupResponse::Fingerprint { fingerprint: 0xdead, num_partitions: 8, num_edges: 99 },
+            LookupResponse::ShuttingDown,
+        ]
+    }
+
+    #[test]
+    fn codec_roundtrips_every_shape_at_exact_size() {
+        for req in request_shapes() {
+            let bytes = req.to_wire();
+            assert_eq!(bytes.len(), req.wire_bytes(), "estimate != actual for {req:?}");
+            assert_eq!(LookupRequest::from_wire(&bytes).unwrap(), req);
+        }
+        for resp in response_shapes() {
+            let bytes = resp.to_wire();
+            assert_eq!(bytes.len(), resp.wire_bytes(), "estimate != actual for {resp:?}");
+            assert_eq!(LookupResponse::from_wire(&bytes).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn truncated_messages_error_not_panic() {
+        for req in request_shapes() {
+            let bytes = req.to_wire();
+            for cut in 0..bytes.len() {
+                assert!(LookupRequest::from_wire(&bytes[..cut]).is_err(), "{cut} of {req:?}");
+            }
+        }
+        for resp in response_shapes() {
+            let bytes = resp.to_wire();
+            for cut in 0..bytes.len() {
+                assert!(LookupResponse::from_wire(&bytes[..cut]).is_err(), "{cut} of {resp:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_tags_are_errors() {
+        assert_eq!(LookupRequest::from_wire(&[9]), Err(WireError::BadTag { tag: 9 }));
+        assert_eq!(LookupResponse::from_wire(&[200]), Err(WireError::BadTag { tag: 200 }));
+    }
+
+    #[test]
+    fn conn_parsing_is_strict() {
+        assert_eq!(parse_conns("8"), Ok(8));
+        assert_eq!(parse_conns(" 1 "), Ok(1));
+        assert!(parse_conns("0").unwrap_err().contains("positive"));
+        assert!(parse_conns("many").unwrap_err().contains("positive"));
+    }
+
+    #[test]
+    fn service_answers_and_shuts_down() {
+        use dne_partition::EdgeAssignment;
+        let g = dne_graph::gen::path(4);
+        let a = EdgeAssignment::new(vec![0, 1, 0], 2);
+        let idx = ShardedAssignmentIndex::build(&g, &a, 2);
+        let mut svc = AssignmentService::new(idx);
+        match svc.handle(LookupRequest::LookupEdge { u: 1, v: 0 }) {
+            ServiceReply::Reply(LookupResponse::Owner { owner: Some((0, 0)) }) => {}
+            other => panic!("unexpected reply {other:?}"),
+        }
+        match svc.handle(LookupRequest::Shutdown) {
+            ServiceReply::ReplyThenShutdown(LookupResponse::ShuttingDown) => {}
+            other => panic!("shutdown must reply-then-stop, got {other:?}"),
+        }
+    }
+}

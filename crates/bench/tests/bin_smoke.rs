@@ -33,6 +33,15 @@ fn tcp_worker_compare_quick_agrees_across_backends() {
 }
 
 #[test]
+#[ignore = "partitions scale-16 RMAT twice (~minutes in debug); CI runs it in release"]
+fn lookup_service_quick_verifies_every_response() {
+    // Spawns dne-server, drives 8 concurrent connections of pipelined
+    // lookups, and exits non-zero unless every response byte-matches the
+    // offline assignment and the fingerprints agree.
+    run(env!("CARGO_BIN_EXE_dne-client"), &["quick"]);
+}
+
+#[test]
 #[ignore = "six kernels over four mid-size graphs (~minutes in debug); CI runs it in release"]
 fn app_suite_quick_completes() {
     run(env!("CARGO_BIN_EXE_app_suite"), &["quick"]);

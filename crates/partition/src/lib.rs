@@ -61,6 +61,7 @@ pub mod comm_model;
 pub mod dynamic;
 pub mod greedy;
 pub mod hash_based;
+pub mod index;
 pub mod quality;
 pub mod streaming;
 pub mod traits;
@@ -69,5 +70,6 @@ pub mod vertex;
 pub use assignment::{EdgeAssignment, PartitionId, UNASSIGNED};
 pub use comm_model::{estimate_comm, CommEstimate};
 pub use dynamic::IncrementalVertexCut;
+pub use index::{parse_shards, shards_from_env, ShardedAssignmentIndex, SERVER_SHARDS_ENV};
 pub use quality::PartitionQuality;
 pub use traits::{EdgePartitioner, VertexPartitioner, VertexToEdge};

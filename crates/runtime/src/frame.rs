@@ -1,0 +1,436 @@
+//! Session-agnostic wire framing: the length-prefixed frame machinery
+//! shared by the rank-mesh TCP fabric ([`crate::tcp`]) and the
+//! request/response service layer ([`crate::service`]).
+//!
+//! A frame is `[u64 payload len][u32 src][payload]`, little-endian (see
+//! [`crate::transport`] for the batch-flag variant). This module owns the
+//! three stream-facing pieces both event loops are built from:
+//!
+//! * [`FramedReader`] — pull-based, blocking frame reads for simple
+//!   clients;
+//! * `FrameAssembler` (crate-internal) — push-based reassembly for
+//!   nonblocking poll loops (short reads, coalesced arrivals, bounded
+//!   allocation);
+//! * `WriteQueue` (crate-internal) — per-connection write backpressure
+//!   with partial-write resume.
+//!
+//! Every malformed condition — EOF mid-frame, a length prefix beyond
+//! [`MAX_FRAME_PAYLOAD`] — is a typed [`TransportError`], never a panic
+//! or an unbounded allocation.
+
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+
+use crate::transport::{TransportError, BATCH_FLAG, FRAME_HEADER_BYTES, MAX_FRAME_PAYLOAD};
+
+/// Length-prefix sentinel marking a goodbye frame.
+pub(crate) const BYE_LEN: u64 = u64::MAX;
+
+/// Payloads are read in chunks of this size, so even an in-bound length
+/// prefix only ever allocates ahead of the stream by one chunk.
+pub(crate) const READ_CHUNK: usize = 1 << 20;
+
+fn io_err(context: impl Into<String>, error: io::Error) -> TransportError {
+    TransportError::Io { context: context.into(), error }
+}
+
+/// One item pulled off a framed byte stream.
+#[derive(Debug, PartialEq, Eq)]
+pub enum FrameItem {
+    /// A payload frame tagged with the source rank its header claims.
+    Frame {
+        /// Source rank from the frame header (the service layer reuses
+        /// this field as a request sequence number).
+        src: u32,
+        /// The raw encoded payload (codec bytes, header stripped).
+        payload: Vec<u8>,
+    },
+    /// The goodbye marker of a graceful shutdown.
+    Bye {
+        /// Source rank from the goodbye header.
+        src: u32,
+    },
+}
+
+/// Read until `buf` is full or the stream ends; returns the bytes filled.
+pub(crate) fn read_full<R: Read + ?Sized>(r: &mut R, buf: &mut [u8]) -> io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
+}
+
+/// Reassembles length-prefixed wire frames from a byte stream.
+///
+/// Handles the two realities of stream sockets that the in-process
+/// channel backends never see: *short reads* (one frame arriving in many
+/// pieces) and *coalesced frames* (many frames arriving in one read).
+/// Every malformed condition — EOF between frames, EOF mid-frame, a
+/// length prefix beyond [`MAX_FRAME_PAYLOAD`] — is a typed error.
+pub struct FramedReader<R> {
+    inner: R,
+}
+
+impl<R: Read> FramedReader<R> {
+    /// Wrap a byte stream.
+    pub fn new(inner: R) -> Self {
+        Self { inner }
+    }
+
+    /// Read the next frame, blocking as needed.
+    ///
+    /// EOF cleanly between frames yields
+    /// [`TransportError::Disconnected`] (the caller knows which peer the
+    /// stream belongs to); EOF anywhere inside a frame, or an oversized
+    /// length prefix, yields [`TransportError::Frame`].
+    pub fn read_frame(&mut self) -> Result<FrameItem, TransportError> {
+        let mut header = [0u8; FRAME_HEADER_BYTES];
+        let filled = read_full(&mut self.inner, &mut header)
+            .map_err(|e| io_err("reading frame header", e))?;
+        if filled == 0 {
+            // Stream ended at a frame boundary without a goodbye frame:
+            // the peer vanished rather than shutting down.
+            return Err(TransportError::Disconnected { peer: None });
+        }
+        if filled < FRAME_HEADER_BYTES {
+            return Err(TransportError::Frame {
+                src: None,
+                detail: format!(
+                    "stream ended mid-header after {filled} of {FRAME_HEADER_BYTES} bytes"
+                ),
+            });
+        }
+        let len = u64::from_le_bytes(header[0..8].try_into().expect("8-byte slice"));
+        let src = u32::from_le_bytes(header[8..12].try_into().expect("4-byte slice"));
+        if len == BYE_LEN {
+            return Ok(FrameItem::Bye { src });
+        }
+        if len > MAX_FRAME_PAYLOAD {
+            return Err(TransportError::Frame {
+                src: Some(src as usize),
+                detail: format!(
+                    "length prefix {len} exceeds the {MAX_FRAME_PAYLOAD}-byte frame bound"
+                ),
+            });
+        }
+        // Read the payload chunk by chunk so the allocation is bounded by
+        // the bytes that actually arrive, not by what the prefix claims.
+        let len = len as usize;
+        let mut payload = Vec::new();
+        while payload.len() < len {
+            let chunk = READ_CHUNK.min(len - payload.len());
+            let start = payload.len();
+            payload.resize(start + chunk, 0);
+            let got = read_full(&mut self.inner, &mut payload[start..])
+                .map_err(|e| io_err("reading frame payload", e))?;
+            if got < chunk {
+                return Err(TransportError::Frame {
+                    src: Some(src as usize),
+                    detail: format!(
+                        "stream ended mid-frame: length prefix claims {len} payload bytes, \
+                         only {} arrived",
+                        start + got
+                    ),
+                });
+            }
+        }
+        Ok(FrameItem::Frame { src, payload })
+    }
+}
+
+/// The 12-byte goodbye frame of rank `src`.
+pub(crate) fn bye_frame(src: usize) -> [u8; FRAME_HEADER_BYTES] {
+    let mut f = [0u8; FRAME_HEADER_BYTES];
+    f[0..8].copy_from_slice(&BYE_LEN.to_le_bytes());
+    f[8..12].copy_from_slice(&(src as u32).to_le_bytes());
+    f
+}
+
+/// The classic single-message frame around an already-encoded payload.
+/// `src` is the source rank on mesh links; the service layer carries a
+/// request sequence number in the same field.
+pub(crate) fn classic_frame(src: u32, payload: &[u8]) -> Vec<u8> {
+    let mut frame = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
+    frame.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    frame.extend_from_slice(&src.to_le_bytes());
+    frame.extend_from_slice(payload);
+    frame
+}
+
+/// One complete item extracted by the [`FrameAssembler`].
+#[derive(Debug, PartialEq, Eq)]
+pub(crate) enum Assembled {
+    /// A complete encoded frame, header included — single-message or
+    /// multi-message; `decode_frames` understands both.
+    Frame(Vec<u8>),
+    /// The goodbye marker of a graceful shutdown.
+    Bye,
+}
+
+/// Incremental, push-based frame reassembly for poll loops.
+///
+/// The poll loop reads whatever bytes are ready and pushes them in;
+/// complete frames come out, partial ones wait for the next readable
+/// event. Only bytes that actually arrived are ever buffered, so an
+/// absurd length prefix cannot drive allocation ahead of the stream —
+/// prefixes beyond [`MAX_FRAME_PAYLOAD`] are rejected as soon as the
+/// header is complete.
+pub(crate) struct FrameAssembler {
+    buf: Vec<u8>,
+}
+
+impl FrameAssembler {
+    pub(crate) fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    /// Whether the stream currently ends inside an unfinished frame
+    /// (distinguishes a mid-frame truncation from a clean disconnect).
+    pub(crate) fn mid_frame(&self) -> bool {
+        !self.buf.is_empty()
+    }
+
+    /// Append freshly-read bytes and return every item they complete,
+    /// in arrival order. `peer` only labels errors.
+    pub(crate) fn push(
+        &mut self,
+        bytes: &[u8],
+        peer: usize,
+    ) -> Result<Vec<Assembled>, TransportError> {
+        self.buf.extend_from_slice(bytes);
+        let mut out = Vec::new();
+        let mut pos = 0;
+        loop {
+            let rest = &self.buf[pos..];
+            if rest.len() < FRAME_HEADER_BYTES {
+                break;
+            }
+            let len = u64::from_le_bytes(rest[0..8].try_into().expect("8-byte slice"));
+            // The goodbye sentinel has every bit set, so it must be
+            // recognized before the batch flag is interpreted.
+            if len == BYE_LEN {
+                out.push(Assembled::Bye);
+                pos += FRAME_HEADER_BYTES;
+                continue;
+            }
+            let body = len & !BATCH_FLAG;
+            if body > MAX_FRAME_PAYLOAD {
+                return Err(TransportError::Frame {
+                    src: Some(peer),
+                    detail: format!(
+                        "length prefix {body} exceeds the {MAX_FRAME_PAYLOAD}-byte frame bound"
+                    ),
+                });
+            }
+            let total = FRAME_HEADER_BYTES + body as usize;
+            if rest.len() < total {
+                break;
+            }
+            out.push(Assembled::Frame(rest[..total].to_vec()));
+            pos += total;
+        }
+        if pos > 0 {
+            self.buf.drain(..pos);
+        }
+        Ok(out)
+    }
+}
+
+/// Encoded frames awaiting a writable window on one connection.
+#[derive(Default)]
+pub(crate) struct WriteQueue {
+    /// Whole frames, oldest first.
+    pub(crate) frames: VecDeque<Vec<u8>>,
+    /// Bytes of `frames[0]` already written (partial-write resume point).
+    pub(crate) offset: usize,
+}
+
+impl WriteQueue {
+    /// Write queued frames until the queue empties or the writer pushes
+    /// back; returns `true` when the queue drained. `WouldBlock` is not
+    /// an error (the caller re-arms `POLLOUT`); any other write error is.
+    pub(crate) fn drain_into(&mut self, w: &mut impl Write) -> io::Result<bool> {
+        while let Some(front) = self.frames.front() {
+            match w.write(&front[self.offset..]) {
+                Ok(n) => {
+                    self.offset += n;
+                    if self.offset == front.len() {
+                        self.frames.pop_front();
+                        self.offset = 0;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::{encode_batch_frame, encode_frame};
+    use crate::wire::WireDecode;
+
+    // ------------------------------------------------- framed reader --
+
+    /// Adversarial `Read` that trickles one byte per call — the worst
+    /// possible short-read schedule.
+    struct OneByte<R>(R);
+
+    impl<R: Read> Read for OneByte<R> {
+        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+            let n = buf.len().min(1);
+            self.0.read(&mut buf[..n])
+        }
+    }
+
+    #[test]
+    fn coalesced_frames_split_correctly() {
+        // Three frames delivered in one contiguous buffer must come back
+        // as three distinct items.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&encode_frame(0, &7u64));
+        bytes.extend_from_slice(&encode_frame(1, &vec![1u64, 2, 3]));
+        bytes.extend_from_slice(&bye_frame(0));
+        let mut r = FramedReader::new(io::Cursor::new(bytes));
+        assert_eq!(
+            r.read_frame().unwrap(),
+            FrameItem::Frame { src: 0, payload: 7u64.to_le_bytes().to_vec() }
+        );
+        match r.read_frame().unwrap() {
+            FrameItem::Frame { src: 1, payload } => {
+                assert_eq!(Vec::<u64>::from_wire(&payload).unwrap(), vec![1, 2, 3]);
+            }
+            other => panic!("expected frame from rank 1, got {other:?}"),
+        }
+        assert_eq!(r.read_frame().unwrap(), FrameItem::Bye { src: 0 });
+    }
+
+    #[test]
+    fn short_reads_reassemble_frames() {
+        let mut bytes = Vec::new();
+        let payload: Vec<u64> = (0..100).collect();
+        bytes.extend_from_slice(&encode_frame(2, &payload));
+        bytes.extend_from_slice(&encode_frame(2, &vec![9u64]));
+        let mut r = FramedReader::new(OneByte(io::Cursor::new(bytes)));
+        for want in [payload, vec![9u64]] {
+            match r.read_frame().unwrap() {
+                FrameItem::Frame { src: 2, payload } => {
+                    assert_eq!(Vec::<u64>::from_wire(&payload).unwrap(), want);
+                }
+                other => panic!("expected data frame, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn eof_between_frames_is_disconnect() {
+        let bytes = encode_frame(0, &5u64);
+        let mut r = FramedReader::new(io::Cursor::new(bytes));
+        r.read_frame().unwrap();
+        let err = r.read_frame().unwrap_err();
+        assert!(matches!(err, TransportError::Disconnected { .. }), "{err}");
+    }
+
+    #[test]
+    fn truncated_header_and_payload_error_cleanly() {
+        // A stream that ends mid-header.
+        let frame = encode_frame(0, &5u64);
+        let mut r = FramedReader::new(io::Cursor::new(frame[..7].to_vec()));
+        let err = r.read_frame().unwrap_err();
+        assert!(matches!(err, TransportError::Frame { .. }), "mid-header: {err}");
+        // A stream that ends mid-payload: errors instead of blocking or
+        // over-allocating.
+        let mut r = FramedReader::new(io::Cursor::new(frame[..frame.len() - 3].to_vec()));
+        let err = r.read_frame().unwrap_err();
+        match err {
+            TransportError::Frame { src: Some(0), detail } => {
+                assert!(detail.contains("mid-frame"), "{detail}");
+            }
+            other => panic!("expected mid-frame error from rank 0, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_bounded() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(MAX_FRAME_PAYLOAD + 1).to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        let mut r = FramedReader::new(io::Cursor::new(bytes));
+        match r.read_frame().unwrap_err() {
+            TransportError::Frame { detail, .. } => assert!(detail.contains("exceeds"), "{detail}"),
+            other => panic!("expected framing error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn absurd_length_prefix_does_not_allocate_ahead_of_the_stream() {
+        // In-bound but huge claim with a near-empty stream: must error
+        // after at most one read chunk of allocation, quickly.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAX_FRAME_PAYLOAD.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 100]);
+        let mut r = FramedReader::new(io::Cursor::new(bytes));
+        let err = r.read_frame().unwrap_err();
+        assert!(matches!(err, TransportError::Frame { .. }), "{err}");
+    }
+
+    // ------------------------------------------------- frame assembler --
+
+    #[test]
+    fn assembler_reassembles_split_and_coalesced_frames() {
+        // One classic frame, one multi-message frame, and a goodbye,
+        // trickled in one byte at a time — the worst short-read schedule.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&encode_frame(3, &7u64));
+        bytes.extend_from_slice(&encode_batch_frame(3, &[vec![1, 2], vec![3]]));
+        bytes.extend_from_slice(&bye_frame(3));
+        let mut a = FrameAssembler::new();
+        let mut items = Vec::new();
+        for b in &bytes {
+            items.extend(a.push(std::slice::from_ref(b), 3).unwrap());
+        }
+        assert_eq!(
+            items,
+            vec![
+                Assembled::Frame(encode_frame(3, &7u64)),
+                Assembled::Frame(encode_batch_frame(3, &[vec![1, 2], vec![3]])),
+                Assembled::Bye,
+            ]
+        );
+        assert!(!a.mid_frame(), "everything consumed");
+    }
+
+    #[test]
+    fn assembler_tracks_mid_frame_truncation() {
+        let frame = encode_frame(0, &5u64);
+        let mut a = FrameAssembler::new();
+        assert!(a.push(&frame[..frame.len() - 3], 0).unwrap().is_empty());
+        assert!(a.mid_frame(), "a truncated stream must be distinguishable from a clean EOF");
+        assert_eq!(a.push(&frame[frame.len() - 3..], 0).unwrap().len(), 1);
+        assert!(!a.mid_frame());
+    }
+
+    #[test]
+    fn assembler_bounds_the_length_prefix() {
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&(MAX_FRAME_PAYLOAD + 1).to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        match FrameAssembler::new().push(&bytes, 2).unwrap_err() {
+            TransportError::Frame { src: Some(2), detail } => {
+                assert!(detail.contains("exceeds"), "{detail}");
+            }
+            other => panic!("expected framing error, got {other:?}"),
+        }
+    }
+}

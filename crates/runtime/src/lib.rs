@@ -90,7 +90,11 @@
 pub mod cluster;
 pub mod collectives;
 pub mod comm;
+pub mod frame;
 pub mod memory;
+#[cfg(unix)]
+mod poll;
+pub mod service;
 pub mod stats;
 pub mod tcp;
 pub mod transport;
@@ -98,7 +102,12 @@ pub mod wire;
 
 pub use cluster::{Cluster, ClusterOutcome, Ctx};
 pub use collectives::{CollMsg, CollectiveTopology, Collectives, PendingGather};
+pub use frame::{FrameItem, FramedReader};
 pub use memory::{peak_rss_bytes, reset_peak_rss, MemoryReport, MemoryTracker};
+pub use service::{
+    parse_server_addr, server_addr_from_env, Service, ServiceReply, ServiceStats, WireClient,
+    WireServer, SERVER_ADDR_ENV,
+};
 pub use stats::CommStats;
 pub use tcp::{TcpProcessCluster, TcpSession, TcpTransport};
 pub use transport::{

@@ -1,0 +1,41 @@
+//! Raw `poll(2)` bindings shared by the TCP fabric and the service layer,
+//! kept in one `cfg`-gated corner (the same pattern as the graph crate's
+//! mmap shim). Both event loops — the mesh endpoint's io thread and the
+//! [`crate::service::WireServer`] accept loop — build their fd sets out
+//! of these primitives.
+
+#![cfg(unix)]
+
+use std::io;
+
+pub(crate) const POLLIN: i16 = 0x1;
+pub(crate) const POLLOUT: i16 = 0x4;
+pub(crate) const POLLERR: i16 = 0x8;
+pub(crate) const POLLHUP: i16 = 0x10;
+
+/// `struct pollfd` from `<poll.h>`.
+#[repr(C)]
+pub(crate) struct PollFd {
+    pub(crate) fd: i32,
+    pub(crate) events: i16,
+    pub(crate) revents: i16,
+}
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: core::ffi::c_ulong, timeout: i32) -> i32;
+}
+
+/// Wait until any fd is ready or `timeout_ms` passes (`-1` = forever),
+/// retrying transparently on `EINTR`.
+pub(crate) fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    loop {
+        let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as core::ffi::c_ulong, timeout_ms) };
+        if rc >= 0 {
+            return Ok(rc as usize);
+        }
+        let e = io::Error::last_os_error();
+        if e.kind() != io::ErrorKind::Interrupted {
+            return Err(e);
+        }
+    }
+}

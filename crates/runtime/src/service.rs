@@ -1,0 +1,671 @@
+//! Request/response service layer over the shared wire framing.
+//!
+//! The rank-mesh fabric ([`crate::tcp`]) connects a *closed* set of peers
+//! that all know each other; a partition lookup server faces the opposite
+//! shape — an open set of clients that come and go. This module reuses
+//! the session machinery underneath the mesh (the length-prefixed frame
+//! codec, the push-based `FrameAssembler`, the `WriteQueue`
+//! backpressure buffer, and the `poll(2)` shim) for that shape:
+//!
+//! * [`Service`] — the application seam: decode a request, produce a
+//!   response, optionally ask the server to shut down afterwards;
+//! * [`WireServer`] — a poll-based multi-client server: one thread
+//!   multiplexes the accept loop and every client connection, with a
+//!   per-connection [`crate::FramedReader`]-equivalent assembler and
+//!   write queue;
+//! * [`WireClient`] — a blocking client with request pipelining
+//!   ([`WireClient::send`] buffers, [`WireClient::recv`] flushes and
+//!   awaits), which is what makes six-figure lookup rates possible over
+//!   a single connection window.
+//!
+//! # Wire format
+//!
+//! Requests and responses travel as classic frames
+//! (`[u64 payload len][u32 seq][payload]`): the header field that carries
+//! the source *rank* on mesh links carries a client-chosen **sequence
+//! number** here, echoed verbatim in the response frame, so a pipelining
+//! client can match responses to in-flight requests. Payloads are
+//! [`WireEncode`]/[`WireDecode`] codec bytes, bounded by
+//! [`MAX_FRAME_PAYLOAD`](crate::transport::MAX_FRAME_PAYLOAD).
+//!
+//! Malformed input never panics the server: garbage bytes, an oversized
+//! length prefix, a batch-flagged frame, or a mid-request disconnect
+//! close *that* connection with a typed reason while every other client
+//! keeps being served (the malicious-client tests pin this down).
+
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+
+use crate::frame::{classic_frame, FrameItem, FramedReader};
+use crate::transport::{check_payload_bound, TransportError, FRAME_HEADER_BYTES};
+use crate::wire::{WireDecode, WireEncode};
+
+#[cfg(unix)]
+use crate::frame::{Assembled, FrameAssembler, WriteQueue};
+#[cfg(unix)]
+use crate::poll;
+#[cfg(unix)]
+use crate::transport::BATCH_FLAG;
+#[cfg(unix)]
+use std::io::Read;
+#[cfg(unix)]
+use std::net::Shutdown;
+#[cfg(unix)]
+use std::os::unix::io::AsRawFd;
+#[cfg(unix)]
+use std::time::{Duration, Instant};
+
+fn io_err(context: impl Into<String>, error: std::io::Error) -> TransportError {
+    TransportError::Io { context: context.into(), error }
+}
+
+/// Environment variable naming the address a service binds or dials
+/// (`host:port`; port `0` asks the OS for an ephemeral port).
+pub const SERVER_ADDR_ENV: &str = "DNE_SERVER_ADDR";
+
+/// The forms `parse_server_addr` accepts, for error messages.
+const ADDR_FORMS: &str = "an IP socket address like \"127.0.0.1:7571\", \
+                          \"0.0.0.0:0\", or \"[::1]:7571\"";
+
+/// Parse a `host:port` socket address, rejecting anything that is not a
+/// literal IP address and port (hostnames are deliberately not resolved:
+/// a bind address must be unambiguous).
+pub fn parse_server_addr(s: &str) -> Result<SocketAddr, String> {
+    s.trim().parse().map_err(|_| format!("unrecognized address {s:?} (expected {ADDR_FORMS})"))
+}
+
+/// Read the service address from `DNE_SERVER_ADDR`. Unset or empty means
+/// `default` (callers pass e.g. `"127.0.0.1:0"`).
+///
+/// # Panics
+/// Panics on an unparsable or non-Unicode value, naming the accepted
+/// form — a misconfigured server must fail loudly before it binds the
+/// wrong interface.
+pub fn server_addr_from_env(default: &str) -> SocketAddr {
+    let fallback = || {
+        parse_server_addr(default)
+            .unwrap_or_else(|e| panic!("invalid {SERVER_ADDR_ENV} default: {e}"))
+    };
+    match std::env::var(SERVER_ADDR_ENV) {
+        Ok(v) if !v.trim().is_empty() => {
+            parse_server_addr(&v).unwrap_or_else(|e| panic!("invalid {SERVER_ADDR_ENV}: {e}"))
+        }
+        Err(std::env::VarError::NotUnicode(raw)) => {
+            panic!("invalid {SERVER_ADDR_ENV}: non-Unicode value {raw:?} (expected {ADDR_FORMS})")
+        }
+        _ => fallback(),
+    }
+}
+
+/// What a [`Service`] wants done with one request.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ServiceReply<R> {
+    /// Send the response and keep serving.
+    Reply(R),
+    /// Send the response, then stop the server once every queued
+    /// response byte (across all connections) has been written.
+    ReplyThenShutdown(R),
+}
+
+/// A request/response application served by a [`WireServer`].
+///
+/// The server owns the transport concerns (framing, bounds, malformed
+/// input, connection lifecycle); the service sees only fully-decoded
+/// requests and returns values — it can never observe a protocol
+/// violation, so it has no error path of its own.
+pub trait Service {
+    /// Decoded request type.
+    type Req: WireDecode;
+    /// Response type (encoded by the server into the reply frame).
+    type Resp: WireEncode;
+
+    /// Handle one request. Called from the server's single poll thread,
+    /// in per-connection FIFO order.
+    fn handle(&mut self, req: Self::Req) -> ServiceReply<Self::Resp>;
+}
+
+/// Counters a finished [`WireServer::serve`] run reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Connections accepted over the server's lifetime.
+    pub accepted: u64,
+    /// Requests decoded and handled.
+    pub requests: u64,
+    /// Connections closed for protocol violations (garbage bytes,
+    /// oversized length prefix, batch-flagged or undecodable requests,
+    /// mid-request disconnect).
+    pub protocol_errors: u64,
+    /// Payload and header bytes read from clients.
+    pub bytes_in: u64,
+    /// Payload and header bytes queued to clients.
+    pub bytes_out: u64,
+}
+
+/// How long a shutting-down server keeps trying to flush queued response
+/// bytes before closing the remaining connections hard.
+#[cfg(unix)]
+const SHUTDOWN_DRAIN_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Per-connection state of the serve loop: the same assembler/queue pair
+/// every mesh link runs on, reused for an anonymous client.
+#[cfg(unix)]
+struct Conn {
+    sock: TcpStream,
+    assembler: FrameAssembler,
+    queue: WriteQueue,
+}
+
+#[cfg(unix)]
+impl Conn {
+    fn new(sock: TcpStream) -> Self {
+        Self { sock, assembler: FrameAssembler::new(), queue: WriteQueue::default() }
+    }
+}
+
+/// A poll-based multi-client request/response server over wire frames.
+///
+/// One thread multiplexes the listener and every live connection through
+/// the shared `poll(2)` shim. See the [module docs](self) for the wire
+/// format and the malformed-input contract.
+pub struct WireServer {
+    listener: TcpListener,
+    addr: SocketAddr,
+}
+
+impl WireServer {
+    /// Bind the server listener (e.g. `"127.0.0.1:0"` for an ephemeral
+    /// port, or the address `DNE_SERVER_ADDR` resolved to).
+    pub fn bind(addr: &SocketAddr) -> Result<Self, TransportError> {
+        let listener =
+            TcpListener::bind(addr).map_err(|e| io_err(format!("binding service at {addr}"), e))?;
+        let addr =
+            listener.local_addr().map_err(|e| io_err("reading service listener address", e))?;
+        Ok(Self { listener, addr })
+    }
+
+    /// The bound address clients must dial (with the OS-assigned port
+    /// when the bind address asked for port `0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serve requests until the service returns
+    /// [`ServiceReply::ReplyThenShutdown`]; returns the run's counters.
+    ///
+    /// Client misbehavior closes the offending connection and is counted
+    /// in [`ServiceStats::protocol_errors`]; only server-side failures
+    /// (the listener dying, a response exceeding the frame bound) abort
+    /// the loop with an error.
+    #[cfg(unix)]
+    pub fn serve<S: Service>(self, service: &mut S) -> Result<ServiceStats, TransportError> {
+        let mut stats = ServiceStats::default();
+        let mut conns: Vec<Option<Conn>> = Vec::new();
+        let mut scratch = vec![0u8; 64 << 10];
+        let mut shutdown: Option<Instant> = None;
+        self.listener.set_nonblocking(true).map_err(|e| io_err("configuring listener", e))?;
+
+        loop {
+            if let Some(deadline) = shutdown {
+                // Drain queued response bytes, then stop. A client that
+                // stopped reading cannot wedge the shutdown forever.
+                let drained = conns.iter().flatten().all(|c| c.queue.frames.is_empty());
+                if drained || Instant::now() > deadline {
+                    for c in conns.iter().flatten() {
+                        let _ = c.sock.shutdown(Shutdown::Both);
+                    }
+                    return Ok(stats);
+                }
+            }
+
+            // Poll set: the listener (while still accepting), then every
+            // connection — readable always, writable while bytes wait.
+            let mut fds = Vec::with_capacity(conns.len() + 1);
+            let mut idx: Vec<Option<usize>> = Vec::with_capacity(conns.len() + 1);
+            if shutdown.is_none() {
+                fds.push(poll::PollFd {
+                    fd: self.listener.as_raw_fd(),
+                    events: poll::POLLIN,
+                    revents: 0,
+                });
+                idx.push(None);
+            }
+            for (i, c) in conns.iter().enumerate() {
+                let Some(c) = c else { continue };
+                let mut events = 0i16;
+                if shutdown.is_none() {
+                    events |= poll::POLLIN;
+                }
+                if !c.queue.frames.is_empty() {
+                    events |= poll::POLLOUT;
+                }
+                if events != 0 {
+                    fds.push(poll::PollFd { fd: c.sock.as_raw_fd(), events, revents: 0 });
+                    idx.push(Some(i));
+                }
+            }
+            // While shutting down, re-check the drain condition at least
+            // every 50ms even if poll reports nothing.
+            let timeout = if shutdown.is_some() { 50 } else { -1 };
+            poll::poll_fds(&mut fds, timeout).map_err(|e| io_err("polling the service", e))?;
+
+            for (k, fd) in fds.iter().enumerate() {
+                if fd.revents == 0 {
+                    continue;
+                }
+                match idx[k] {
+                    None => self.accept_ready(&mut conns, &mut stats),
+                    Some(i) => {
+                        let closing = fd.revents & (poll::POLLERR | poll::POLLHUP) != 0;
+                        let mut ok = true;
+                        if shutdown.is_none() && (fd.revents & poll::POLLIN != 0 || closing) {
+                            ok = read_ready(
+                                conns[i].as_mut().expect("polled conns exist"),
+                                &mut scratch,
+                                service,
+                                &mut stats,
+                                &mut shutdown,
+                            )?;
+                        }
+                        if ok && (fd.revents & poll::POLLOUT != 0 || closing) {
+                            ok = write_ready(conns[i].as_mut().expect("polled conns exist"));
+                        }
+                        if !ok {
+                            close(&mut conns[i]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Non-unix stub: the poll-based server needs `poll(2)` — a typed
+    /// `Unsupported` error instead of a hang, mirroring the TCP fabric.
+    #[cfg(not(unix))]
+    pub fn serve<S: Service>(self, _service: &mut S) -> Result<ServiceStats, TransportError> {
+        Err(TransportError::Io {
+            context: "the poll-based wire server needs poll(2)".into(),
+            error: std::io::Error::new(std::io::ErrorKind::Unsupported, "unsupported platform"),
+        })
+    }
+
+    /// Accept every pending connection, reusing free slots.
+    #[cfg(unix)]
+    fn accept_ready(&self, conns: &mut Vec<Option<Conn>>, stats: &mut ServiceStats) {
+        loop {
+            match self.listener.accept() {
+                Ok((sock, _)) => {
+                    let _ = sock.set_nodelay(true);
+                    if sock.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    stats.accepted += 1;
+                    let conn = Some(Conn::new(sock));
+                    match conns.iter_mut().find(|c| c.is_none()) {
+                        Some(slot) => *slot = conn,
+                        None => conns.push(conn),
+                    }
+                }
+                // WouldBlock ends the backlog; a transient accept error
+                // (e.g. the peer resetting before we got to it) is not a
+                // server failure either way.
+                Err(_) => return,
+            }
+        }
+    }
+}
+
+/// Close one connection and free its slot.
+#[cfg(unix)]
+fn close(slot: &mut Option<Conn>) {
+    if let Some(c) = slot.take() {
+        let _ = c.sock.shutdown(Shutdown::Both);
+    }
+}
+
+/// Flush one connection's queued responses; `false` means the connection
+/// failed and must be closed.
+#[cfg(unix)]
+fn write_ready(c: &mut Conn) -> bool {
+    let mut sock = &c.sock;
+    c.queue.drain_into(&mut sock).is_ok()
+}
+
+/// Read one connection's ready bytes, decode and handle every completed
+/// request, and enqueue the responses. Returns `Ok(false)` when the
+/// connection must be closed (EOF, goodbye, or a protocol violation —
+/// violations are counted, never propagated); `Err` only for server-side
+/// failures (a response exceeding the frame bound).
+#[cfg(unix)]
+fn read_ready<S: Service>(
+    c: &mut Conn,
+    scratch: &mut [u8],
+    service: &mut S,
+    stats: &mut ServiceStats,
+    shutdown: &mut Option<Instant>,
+) -> Result<bool, TransportError> {
+    // Bound the reads per readable event so one firehose client cannot
+    // starve the rest (the same fairness bound as the mesh io loop).
+    for _ in 0..16 {
+        match (&c.sock).read(scratch) {
+            Ok(0) => {
+                // EOF at a frame boundary is a clean hangup; inside a
+                // frame it is a truncated request.
+                if c.assembler.mid_frame() {
+                    stats.protocol_errors += 1;
+                }
+                return Ok(false);
+            }
+            Ok(n) => {
+                stats.bytes_in += n as u64;
+                let items = match c.assembler.push(&scratch[..n], 0) {
+                    Ok(items) => items,
+                    Err(_) => {
+                        // Oversized length prefix or other framing
+                        // violation: close this client, keep serving.
+                        stats.protocol_errors += 1;
+                        return Ok(false);
+                    }
+                };
+                for item in items {
+                    let frame = match item {
+                        // A goodbye frame is a polite hangup.
+                        Assembled::Bye => return Ok(false),
+                        Assembled::Frame(f) => f,
+                    };
+                    let len = u64::from_le_bytes(frame[0..8].try_into().expect("8-byte slice"));
+                    if len & BATCH_FLAG != 0 {
+                        // Multi-message frames belong to the mesh, not
+                        // the request/response protocol.
+                        stats.protocol_errors += 1;
+                        return Ok(false);
+                    }
+                    let seq = u32::from_le_bytes(frame[8..12].try_into().expect("4-byte slice"));
+                    let req = match S::Req::from_wire(&frame[FRAME_HEADER_BYTES..]) {
+                        Ok(req) => req,
+                        Err(_) => {
+                            stats.protocol_errors += 1;
+                            return Ok(false);
+                        }
+                    };
+                    stats.requests += 1;
+                    let (resp, stop) = match service.handle(req) {
+                        ServiceReply::Reply(r) => (r, false),
+                        ServiceReply::ReplyThenShutdown(r) => (r, true),
+                    };
+                    let payload = resp.to_wire();
+                    // An oversized response is a server bug, not client
+                    // misbehavior: abort the serve loop with the same
+                    // typed error every sending backend raises.
+                    check_payload_bound(payload.len(), seq as usize)?;
+                    let frame = classic_frame(seq, &payload);
+                    stats.bytes_out += frame.len() as u64;
+                    c.queue.frames.push_back(frame);
+                    if stop {
+                        *shutdown = Some(Instant::now() + SHUTDOWN_DRAIN_TIMEOUT);
+                    }
+                }
+                // Opportunistic flush: answer within the same poll
+                // iteration instead of waiting for a POLLOUT wakeup.
+                if !write_ready(c) {
+                    return Ok(false);
+                }
+                if shutdown.is_some() {
+                    return Ok(true);
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(true),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => return Ok(false),
+        }
+    }
+    Ok(true)
+}
+
+/// Blocking client of a [`WireServer`], generic over the request and
+/// response codec types (which must match the server's [`Service`]).
+///
+/// [`WireClient::call`] is the simple ping-pong path.
+/// [`WireClient::send`]/[`WireClient::recv`] expose the pipelined path:
+/// sends are buffered and flushed lazily, so a client can keep a window
+/// of requests in flight and hide the round-trip latency — the lookup
+/// load generator drives six-figure request rates through this.
+pub struct WireClient<Req, Resp> {
+    stream: TcpStream,
+    reader: FramedReader<TcpStream>,
+    /// Encoded request frames not yet written to the socket.
+    out: Vec<u8>,
+    next_seq: u32,
+    _codec: std::marker::PhantomData<fn(Req) -> Resp>,
+}
+
+/// Buffered request bytes above which `send` flushes on its own.
+const CLIENT_FLUSH_BYTES: usize = 64 << 10;
+
+impl<Req: WireEncode, Resp: WireDecode> WireClient<Req, Resp> {
+    /// Connect to a server at `addr` (e.g. the string a `dne-server`
+    /// printed, or a `SocketAddr`).
+    pub fn connect(addr: impl ToSocketAddrs + std::fmt::Debug) -> Result<Self, TransportError> {
+        let stream = TcpStream::connect(&addr)
+            .map_err(|e| io_err(format!("dialing service at {addr:?}"), e))?;
+        let _ = stream.set_nodelay(true);
+        let reader = FramedReader::new(
+            stream.try_clone().map_err(|e| io_err("cloning service connection", e))?,
+        );
+        Ok(Self { stream, reader, out: Vec::new(), next_seq: 0, _codec: std::marker::PhantomData })
+    }
+
+    /// Buffer one request for sending and return the sequence number its
+    /// response will echo. Flushes on its own when the buffer grows past
+    /// a threshold; [`WireClient::recv`] flushes the rest.
+    pub fn send(&mut self, req: &Req) -> Result<u32, TransportError> {
+        let payload = req.to_wire();
+        check_payload_bound(payload.len(), self.next_seq as usize)?;
+        let seq = self.next_seq;
+        self.next_seq = self.next_seq.wrapping_add(1);
+        self.out.extend_from_slice(&classic_frame(seq, &payload));
+        if self.out.len() >= CLIENT_FLUSH_BYTES {
+            self.flush()?;
+        }
+        Ok(seq)
+    }
+
+    /// Write every buffered request to the socket.
+    pub fn flush(&mut self) -> Result<(), TransportError> {
+        use std::io::Write;
+        if self.out.is_empty() {
+            return Ok(());
+        }
+        self.stream.write_all(&self.out).map_err(|e| io_err("sending requests", e))?;
+        self.out.clear();
+        Ok(())
+    }
+
+    /// Flush, then block for the next `(sequence, response)` pair.
+    /// Responses arrive in request order (the server handles each
+    /// connection FIFO), so a pipelining caller can match them by queue
+    /// position as well as by sequence number.
+    pub fn recv(&mut self) -> Result<(u32, Resp), TransportError> {
+        self.flush()?;
+        match self.reader.read_frame()? {
+            FrameItem::Frame { src: seq, payload } => {
+                let resp = Resp::from_wire(&payload)
+                    .map_err(|error| TransportError::Decode { src: seq as usize, error })?;
+                Ok((seq, resp))
+            }
+            FrameItem::Bye { .. } => Err(TransportError::Disconnected { peer: None }),
+        }
+    }
+
+    /// One blocking request/response round trip.
+    pub fn call(&mut self, req: &Req) -> Result<Resp, TransportError> {
+        let sent = self.send(req)?;
+        let (seq, resp) = self.recv()?;
+        if seq != sent {
+            return Err(TransportError::Frame {
+                src: None,
+                detail: format!("response sequence {seq} does not match request {sent}"),
+            });
+        }
+        Ok(resp)
+    }
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    /// Echo service: replies with the request; a `u64::MAX` request asks
+    /// the server to shut down.
+    struct Echo {
+        handled: u64,
+    }
+
+    impl Service for Echo {
+        type Req = u64;
+        type Resp = u64;
+
+        fn handle(&mut self, req: u64) -> ServiceReply<u64> {
+            self.handled += 1;
+            if req == u64::MAX {
+                ServiceReply::ReplyThenShutdown(req)
+            } else {
+                ServiceReply::Reply(req * 2)
+            }
+        }
+    }
+
+    fn spawn_echo() -> (SocketAddr, std::thread::JoinHandle<ServiceStats>) {
+        let server = WireServer::bind(&"127.0.0.1:0".parse().unwrap()).unwrap();
+        let addr = server.local_addr();
+        let handle = std::thread::spawn(move || {
+            let mut echo = Echo { handled: 0 };
+            server.serve(&mut echo).unwrap()
+        });
+        (addr, handle)
+    }
+
+    fn shutdown_server(addr: SocketAddr) {
+        let mut c = WireClient::<u64, u64>::connect(addr).unwrap();
+        assert_eq!(c.call(&u64::MAX).unwrap(), u64::MAX);
+    }
+
+    #[test]
+    fn call_round_trips_and_echoes_sequence_numbers() {
+        let (addr, handle) = spawn_echo();
+        let mut c = WireClient::<u64, u64>::connect(addr).unwrap();
+        for i in 0..100u64 {
+            assert_eq!(c.call(&i).unwrap(), i * 2);
+        }
+        shutdown_server(addr);
+        let stats = handle.join().unwrap();
+        assert_eq!(stats.requests, 101);
+        assert_eq!(stats.accepted, 2);
+        assert_eq!(stats.protocol_errors, 0);
+    }
+
+    #[test]
+    fn pipelined_window_preserves_fifo_order() {
+        let (addr, handle) = spawn_echo();
+        let mut c = WireClient::<u64, u64>::connect(addr).unwrap();
+        let seqs: Vec<u32> = (0..64u64).map(|i| c.send(&i).unwrap()).collect();
+        for (i, &sent) in seqs.iter().enumerate() {
+            let (seq, resp) = c.recv().unwrap();
+            assert_eq!(seq, sent);
+            assert_eq!(resp, (i as u64) * 2);
+        }
+        shutdown_server(addr);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn concurrent_clients_are_served_independently() {
+        let (addr, handle) = spawn_echo();
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                s.spawn(move || {
+                    let mut c = WireClient::<u64, u64>::connect(addr).unwrap();
+                    for i in 0..50 {
+                        assert_eq!(c.call(&(t * 1000 + i)).unwrap(), (t * 1000 + i) * 2);
+                    }
+                });
+            }
+        });
+        shutdown_server(addr);
+        let stats = handle.join().unwrap();
+        assert_eq!(stats.requests, 8 * 50 + 1);
+    }
+
+    #[test]
+    fn malicious_clients_do_not_stop_the_server() {
+        let (addr, handle) = spawn_echo();
+
+        // A well-behaved client that must keep working throughout.
+        let mut good = WireClient::<u64, u64>::connect(addr).unwrap();
+        assert_eq!(good.call(&1).unwrap(), 2);
+
+        // Garbage bytes that parse as an absurd length prefix.
+        let mut garbage = TcpStream::connect(addr).unwrap();
+        garbage.write_all(&[0xffu8; 64]).unwrap();
+        assert_eq!(good.call(&2).unwrap(), 4);
+
+        // An explicit oversized length prefix with an in-range flag bit.
+        let mut oversize = TcpStream::connect(addr).unwrap();
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(crate::transport::MAX_FRAME_PAYLOAD + 1).to_le_bytes());
+        frame.extend_from_slice(&0u32.to_le_bytes());
+        oversize.write_all(&frame).unwrap();
+        assert_eq!(good.call(&3).unwrap(), 6);
+
+        // A mid-request disconnect: half a frame, then a hangup.
+        let mut truncated = TcpStream::connect(addr).unwrap();
+        truncated.write_all(&classic_frame(0, &7u64.to_wire())[..10]).unwrap();
+        drop(truncated);
+        assert_eq!(good.call(&4).unwrap(), 8);
+
+        // A well-formed frame whose payload fails request decoding
+        // (trailing bytes after the u64).
+        let mut badreq = TcpStream::connect(addr).unwrap();
+        badreq.write_all(&classic_frame(0, &[0u8; 13])).unwrap();
+        assert_eq!(good.call(&5).unwrap(), 10);
+
+        // A batch-flagged frame: mesh-only layout, rejected here.
+        let mut batch = TcpStream::connect(addr).unwrap();
+        let mut frame = Vec::new();
+        frame.extend_from_slice(&(8u64 | BATCH_FLAG).to_le_bytes());
+        frame.extend_from_slice(&0u32.to_le_bytes());
+        frame.extend_from_slice(&[0u8; 8]);
+        batch.write_all(&frame).unwrap();
+        assert_eq!(good.call(&6).unwrap(), 12);
+
+        shutdown_server(addr);
+        let stats = handle.join().unwrap();
+        // Every attack was counted against its own connection; the good
+        // client's requests all succeeded.
+        assert!(stats.protocol_errors >= 4, "stats: {stats:?}");
+        assert_eq!(stats.requests, 6 + 1);
+    }
+
+    #[test]
+    fn dead_server_surfaces_as_typed_errors() {
+        let (addr, handle) = spawn_echo();
+        shutdown_server(addr);
+        handle.join().unwrap();
+        // Dialing a dead server: connection refused, typed.
+        match WireClient::<u64, u64>::connect(addr) {
+            Err(TransportError::Io { .. }) => {}
+            other => panic!("expected io error, got {:?}", other.map(|_| ())),
+        }
+    }
+
+    #[test]
+    fn server_addr_parsing_is_strict() {
+        assert_eq!(
+            parse_server_addr(" 127.0.0.1:7571 ").unwrap(),
+            "127.0.0.1:7571".parse::<SocketAddr>().unwrap()
+        );
+        for bad in ["localhost:7571", "7571", "127.0.0.1", "127.0.0.1:port", ""] {
+            let err = parse_server_addr(bad).unwrap_err();
+            assert!(err.contains("expected"), "{bad:?}: {err}");
+        }
+    }
+}

@@ -7,14 +7,20 @@
 //! per unordered rank pair, built by a rendezvous protocol:
 //!
 //! 1. **Rendezvous** — rank 0 listens on a known address (the
-//!    [`TcpRendezvous`]). Every rank `r > 0` first binds its own
-//!    ephemeral mesh listener, then dials rank 0 and sends a hello
-//!    (`[u32 magic][u8 fabric][u32 rank][u16 listen port]`).
+//!    [`TcpRendezvous`]). Every rank `r > 0` first binds its own mesh
+//!    listener (ephemeral localhost by default; `--bind`/`with_bind` for
+//!    cross-machine runs), then dials rank 0 and sends a hello
+//!    (`[u32 magic][u8 fabric][u32 rank][u8 ip kind][16B ip][u16 port]`
+//!    advertising where its mesh listener can be dialed; an unspecified
+//!    ip kind asks rank 0 to substitute the address it observed on the
+//!    rendezvous connection).
 //! 2. **Roster** — once all `P − 1` hellos arrived, rank 0 answers each
-//!    peer with the roster (`[u32 magic][u32 nprocs][u16 port × (P − 1)]`)
-//!    mapping every nonzero rank to its mesh listener port. The
-//!    rendezvous connection itself becomes the `0 ↔ r` mesh link.
-//! 3. **Mesh** — each rank `i > 0` dials the listeners of ranks
+//!    peer with the roster
+//!    (`[u32 magic][u32 nprocs][(u8 ip kind)(16B ip)(u16 port) × (P − 1)]`)
+//!    mapping every nonzero rank to its mesh listener's full socket
+//!    address — real peer IPs, not an assumed localhost. The rendezvous
+//!    connection itself becomes the `0 ↔ r` mesh link.
+//! 3. **Mesh** — each rank `i > 0` dials the roster addresses of ranks
 //!    `1..i` (sending a hello so the acceptor learns who called) and
 //!    accepts one connection from each rank `i+1..P`.
 //!
@@ -69,9 +75,8 @@
 //! [`CommStats::record_frames`] at enqueue time, exactly as the
 //! in-process backends count theirs.
 
-use std::collections::VecDeque;
 use std::io::{self, Read, Write};
-use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, Shutdown, SocketAddr, TcpListener, TcpStream};
 #[cfg(unix)]
 use std::os::unix::io::AsRawFd;
 #[cfg(unix)]
@@ -86,25 +91,25 @@ use parking_lot::Mutex;
 use crate::cluster::Ctx;
 use crate::collectives::{CollMsg, CollectiveTopology, Collectives};
 use crate::comm::CommEndpoint;
+use crate::frame::{bye_frame, classic_frame, WriteQueue};
+#[cfg(unix)]
+use crate::frame::{Assembled, FrameAssembler};
 use crate::memory::MemoryTracker;
+#[cfg(unix)]
+use crate::poll as sys;
 use crate::stats::CommStats;
+#[cfg(unix)]
+use crate::transport::decode_frames;
 use crate::transport::{
-    check_payload_bound, decode_frames, encode_batch_frame, BatchConfig, Transport, TransportError,
-    BATCH_FLAG, FRAME_HEADER_BYTES,
+    check_payload_bound, encode_batch_frame, BatchConfig, Transport, TransportError,
 };
 
+pub use crate::frame::{FrameItem, FramedReader};
 pub use crate::transport::MAX_FRAME_PAYLOAD;
 use crate::wire::{WireDecode, WireEncode};
 
 /// Handshake magic ("DNE1") opening every bootstrap message.
 const MAGIC: u32 = 0x444E_4531;
-
-/// Length-prefix sentinel marking a goodbye frame.
-const BYE_LEN: u64 = u64::MAX;
-
-/// Payloads are read in chunks of this size, so even an in-bound length
-/// prefix only ever allocates ahead of the stream by one chunk.
-const READ_CHUNK: usize = 1 << 20;
 
 /// How long any single bootstrap step (dial, hello, roster, accept) may
 /// take before the bootstrap fails with a typed error.
@@ -164,215 +169,76 @@ fn bootstrap_err(detail: impl Into<String>) -> TransportError {
     TransportError::Bootstrap { detail: detail.into() }
 }
 
-// ---------------------------------------------------------------- framing --
-
-/// One item pulled off a framed byte stream.
-#[derive(Debug, PartialEq, Eq)]
-pub enum FrameItem {
-    /// A payload frame tagged with the source rank its header claims.
-    Frame {
-        /// Source rank from the frame header.
-        src: u32,
-        /// The raw encoded payload (codec bytes, header stripped).
-        payload: Vec<u8>,
-    },
-    /// The goodbye marker of a graceful shutdown.
-    Bye {
-        /// Source rank from the goodbye header.
-        src: u32,
-    },
-}
-
-/// Read until `buf` is full or the stream ends; returns the bytes filled.
-fn read_full<R: Read + ?Sized>(r: &mut R, buf: &mut [u8]) -> io::Result<usize> {
-    let mut filled = 0;
-    while filled < buf.len() {
-        match r.read(&mut buf[filled..]) {
-            Ok(0) => break,
-            Ok(n) => filled += n,
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(filled)
-}
-
-/// Reassembles length-prefixed wire frames from a byte stream.
-///
-/// Handles the two realities of stream sockets that the in-process
-/// channel backends never see: *short reads* (one frame arriving in many
-/// pieces) and *coalesced frames* (many frames arriving in one read).
-/// Every malformed condition — EOF between frames, EOF mid-frame, a
-/// length prefix beyond [`MAX_FRAME_PAYLOAD`] — is a typed error.
-pub struct FramedReader<R> {
-    inner: R,
-}
-
-impl<R: Read> FramedReader<R> {
-    /// Wrap a byte stream.
-    pub fn new(inner: R) -> Self {
-        Self { inner }
-    }
-
-    /// Read the next frame, blocking as needed.
-    ///
-    /// EOF cleanly between frames yields
-    /// [`TransportError::Disconnected`] (the caller knows which peer the
-    /// stream belongs to); EOF anywhere inside a frame, or an oversized
-    /// length prefix, yields [`TransportError::Frame`].
-    pub fn read_frame(&mut self) -> Result<FrameItem, TransportError> {
-        let mut header = [0u8; FRAME_HEADER_BYTES];
-        let filled = read_full(&mut self.inner, &mut header)
-            .map_err(|e| io_err("reading frame header", e))?;
-        if filled == 0 {
-            // Stream ended at a frame boundary without a goodbye frame:
-            // the peer vanished rather than shutting down.
-            return Err(TransportError::Disconnected { peer: None });
-        }
-        if filled < FRAME_HEADER_BYTES {
-            return Err(TransportError::Frame {
-                src: None,
-                detail: format!(
-                    "stream ended mid-header after {filled} of {FRAME_HEADER_BYTES} bytes"
-                ),
-            });
-        }
-        let len = u64::from_le_bytes(header[0..8].try_into().expect("8-byte slice"));
-        let src = u32::from_le_bytes(header[8..12].try_into().expect("4-byte slice"));
-        if len == BYE_LEN {
-            return Ok(FrameItem::Bye { src });
-        }
-        if len > MAX_FRAME_PAYLOAD {
-            return Err(TransportError::Frame {
-                src: Some(src as usize),
-                detail: format!(
-                    "length prefix {len} exceeds the {MAX_FRAME_PAYLOAD}-byte frame bound"
-                ),
-            });
-        }
-        // Read the payload chunk by chunk so the allocation is bounded by
-        // the bytes that actually arrive, not by what the prefix claims.
-        let len = len as usize;
-        let mut payload = Vec::new();
-        while payload.len() < len {
-            let chunk = READ_CHUNK.min(len - payload.len());
-            let start = payload.len();
-            payload.resize(start + chunk, 0);
-            let got = read_full(&mut self.inner, &mut payload[start..])
-                .map_err(|e| io_err("reading frame payload", e))?;
-            if got < chunk {
-                return Err(TransportError::Frame {
-                    src: Some(src as usize),
-                    detail: format!(
-                        "stream ended mid-frame: length prefix claims {len} payload bytes, \
-                         only {} arrived",
-                        start + got
-                    ),
-                });
-            }
-        }
-        Ok(FrameItem::Frame { src, payload })
-    }
-}
-
-/// The 12-byte goodbye frame of rank `src`.
-fn bye_frame(src: usize) -> [u8; FRAME_HEADER_BYTES] {
-    let mut f = [0u8; FRAME_HEADER_BYTES];
-    f[0..8].copy_from_slice(&BYE_LEN.to_le_bytes());
-    f[8..12].copy_from_slice(&(src as u32).to_le_bytes());
-    f
-}
-
-/// One complete item extracted by the [`FrameAssembler`].
-#[derive(Debug, PartialEq, Eq)]
-enum Assembled {
-    /// A complete encoded frame, header included — single-message or
-    /// multi-message; `decode_frames` understands both.
-    Frame(Vec<u8>),
-    /// The goodbye marker of a graceful shutdown.
-    Bye,
-}
-
-/// Incremental, push-based frame reassembly for the poll loop.
-///
-/// The poll loop reads whatever bytes are ready and pushes them in;
-/// complete frames come out, partial ones wait for the next readable
-/// event. Only bytes that actually arrived are ever buffered, so an
-/// absurd length prefix cannot drive allocation ahead of the stream —
-/// prefixes beyond [`MAX_FRAME_PAYLOAD`] are rejected as soon as the
-/// header is complete.
-struct FrameAssembler {
-    buf: Vec<u8>,
-}
-
-impl FrameAssembler {
-    fn new() -> Self {
-        Self { buf: Vec::new() }
-    }
-
-    /// Whether the stream currently ends inside an unfinished frame
-    /// (distinguishes a mid-frame truncation from a clean disconnect).
-    fn mid_frame(&self) -> bool {
-        !self.buf.is_empty()
-    }
-
-    /// Append freshly-read bytes and return every item they complete,
-    /// in arrival order. `peer` only labels errors.
-    fn push(&mut self, bytes: &[u8], peer: usize) -> Result<Vec<Assembled>, TransportError> {
-        self.buf.extend_from_slice(bytes);
-        let mut out = Vec::new();
-        let mut pos = 0;
-        loop {
-            let rest = &self.buf[pos..];
-            if rest.len() < FRAME_HEADER_BYTES {
-                break;
-            }
-            let len = u64::from_le_bytes(rest[0..8].try_into().expect("8-byte slice"));
-            // The goodbye sentinel has every bit set, so it must be
-            // recognized before the batch flag is interpreted.
-            if len == BYE_LEN {
-                out.push(Assembled::Bye);
-                pos += FRAME_HEADER_BYTES;
-                continue;
-            }
-            let body = len & !BATCH_FLAG;
-            if body > MAX_FRAME_PAYLOAD {
-                return Err(TransportError::Frame {
-                    src: Some(peer),
-                    detail: format!(
-                        "length prefix {body} exceeds the {MAX_FRAME_PAYLOAD}-byte frame bound"
-                    ),
-                });
-            }
-            let total = FRAME_HEADER_BYTES + body as usize;
-            if rest.len() < total {
-                break;
-            }
-            out.push(Assembled::Frame(rest[..total].to_vec()));
-            pos += total;
-        }
-        if pos > 0 {
-            self.buf.drain(..pos);
-        }
-        Ok(out)
-    }
-}
-
 // -------------------------------------------------------------- bootstrap --
 
-/// Hello: `[u32 magic][u8 fabric][u32 rank][u16 listen port]`.
-const HELLO_BYTES: usize = 11;
+/// IP kind tag in hellos and roster entries: no advertised address (the
+/// rendezvous substitutes the IP it observed on the wire).
+const IPKIND_UNSPECIFIED: u8 = 0;
+/// IP kind tag: IPv4 (first 4 of the 16 address bytes are meaningful).
+const IPKIND_V4: u8 = 4;
+/// IP kind tag: IPv6 (all 16 address bytes are meaningful).
+const IPKIND_V6: u8 = 6;
 
-fn write_hello(s: &mut impl Write, fabric: u8, rank: u32, port: u16) -> io::Result<()> {
+/// Encode an optional advertised IP as `[u8 kind][16 bytes]`.
+fn encode_ip(buf: &mut [u8], ip: Option<IpAddr>) {
+    debug_assert_eq!(buf.len(), 17);
+    match ip {
+        None => buf[0] = IPKIND_UNSPECIFIED,
+        Some(IpAddr::V4(v4)) => {
+            buf[0] = IPKIND_V4;
+            buf[1..5].copy_from_slice(&v4.octets());
+        }
+        Some(IpAddr::V6(v6)) => {
+            buf[0] = IPKIND_V6;
+            buf[1..17].copy_from_slice(&v6.octets());
+        }
+    }
+}
+
+/// Decode a `[u8 kind][16 bytes]` advertised IP.
+fn decode_ip(buf: &[u8]) -> Result<Option<IpAddr>, TransportError> {
+    debug_assert_eq!(buf.len(), 17);
+    match buf[0] {
+        IPKIND_UNSPECIFIED => Ok(None),
+        IPKIND_V4 => {
+            let mut o = [0u8; 4];
+            o.copy_from_slice(&buf[1..5]);
+            Ok(Some(IpAddr::V4(Ipv4Addr::from(o))))
+        }
+        IPKIND_V6 => {
+            let mut o = [0u8; 16];
+            o.copy_from_slice(&buf[1..17]);
+            Ok(Some(IpAddr::V6(Ipv6Addr::from(o))))
+        }
+        k => Err(bootstrap_err(format!("bad address kind {k} in bootstrap message"))),
+    }
+}
+
+/// Hello: `[u32 magic][u8 fabric][u32 rank][u8 ip kind][16B ip][u16 port]`.
+///
+/// The IP is the address this rank *advertises* for its mesh listener;
+/// kind 0 means "unspecified" and tells the rendezvous to substitute the
+/// source IP it observed on the hello connection itself (the right answer
+/// for localhost fleets and for workers behind symmetric routing).
+const HELLO_BYTES: usize = 28;
+
+fn write_hello(
+    s: &mut impl Write,
+    fabric: u8,
+    rank: u32,
+    ip: Option<IpAddr>,
+    port: u16,
+) -> io::Result<()> {
     let mut buf = [0u8; HELLO_BYTES];
     buf[0..4].copy_from_slice(&MAGIC.to_le_bytes());
     buf[4] = fabric;
     buf[5..9].copy_from_slice(&rank.to_le_bytes());
-    buf[9..11].copy_from_slice(&port.to_le_bytes());
+    encode_ip(&mut buf[9..26], ip);
+    buf[26..28].copy_from_slice(&port.to_le_bytes());
     s.write_all(&buf)
 }
 
-fn read_hello(s: &mut impl Read) -> Result<(u8, u32, u16), TransportError> {
+fn read_hello(s: &mut impl Read) -> Result<(u8, u32, Option<IpAddr>, u16), TransportError> {
     let mut buf = [0u8; HELLO_BYTES];
     s.read_exact(&mut buf).map_err(|e| io_err("reading bootstrap hello", e))?;
     let magic = u32::from_le_bytes(buf[0..4].try_into().expect("4-byte slice"));
@@ -384,21 +250,28 @@ fn read_hello(s: &mut impl Read) -> Result<(u8, u32, u16), TransportError> {
     }
     let fabric = buf[4];
     let rank = u32::from_le_bytes(buf[5..9].try_into().expect("4-byte slice"));
-    let port = u16::from_le_bytes(buf[9..11].try_into().expect("2-byte slice"));
-    Ok((fabric, rank, port))
+    let ip = decode_ip(&buf[9..26])?;
+    let port = u16::from_le_bytes(buf[26..28].try_into().expect("2-byte slice"));
+    Ok((fabric, rank, ip, port))
 }
 
-fn write_roster(s: &mut impl Write, nprocs: usize, ports: &[u16]) -> io::Result<()> {
-    let mut buf = Vec::with_capacity(8 + ports.len() * 2);
+/// Roster entry: `[u8 ip kind][16B ip][u16 port]` — a full socket address.
+const ROSTER_ENTRY_BYTES: usize = 19;
+
+fn write_roster(s: &mut impl Write, nprocs: usize, addrs: &[SocketAddr]) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(8 + addrs.len() * ROSTER_ENTRY_BYTES);
     buf.extend_from_slice(&MAGIC.to_le_bytes());
     buf.extend_from_slice(&(nprocs as u32).to_le_bytes());
-    for p in ports {
-        buf.extend_from_slice(&p.to_le_bytes());
+    for a in addrs {
+        let mut entry = [0u8; ROSTER_ENTRY_BYTES];
+        encode_ip(&mut entry[0..17], Some(a.ip()));
+        entry[17..19].copy_from_slice(&a.port().to_le_bytes());
+        buf.extend_from_slice(&entry);
     }
     s.write_all(&buf)
 }
 
-fn read_roster(s: &mut impl Read, nprocs: usize) -> Result<Vec<u16>, TransportError> {
+fn read_roster(s: &mut impl Read, nprocs: usize) -> Result<Vec<SocketAddr>, TransportError> {
     let mut head = [0u8; 8];
     s.read_exact(&mut head).map_err(|e| io_err("reading bootstrap roster", e))?;
     let magic = u32::from_le_bytes(head[0..4].try_into().expect("4-byte slice"));
@@ -411,9 +284,18 @@ fn read_roster(s: &mut impl Read, nprocs: usize) -> Result<Vec<u16>, TransportEr
             "cluster size disagreement: rendezvous says {n} processes, this rank expects {nprocs}"
         )));
     }
-    let mut ports = vec![0u8; (nprocs - 1) * 2];
-    s.read_exact(&mut ports).map_err(|e| io_err("reading bootstrap roster ports", e))?;
-    Ok(ports.chunks_exact(2).map(|c| u16::from_le_bytes([c[0], c[1]])).collect())
+    let mut entries = vec![0u8; (nprocs - 1) * ROSTER_ENTRY_BYTES];
+    s.read_exact(&mut entries).map_err(|e| io_err("reading bootstrap roster entries", e))?;
+    entries
+        .chunks_exact(ROSTER_ENTRY_BYTES)
+        .map(|c| {
+            let ip = decode_ip(&c[0..17])?.ok_or_else(|| {
+                bootstrap_err("roster entry with unspecified address".to_string())
+            })?;
+            let port = u16::from_le_bytes([c[17], c[18]]);
+            Ok(SocketAddr::new(ip, port))
+        })
+        .collect()
 }
 
 /// The rendezvous point of a TCP fabric: rank 0's listener, which peers
@@ -426,7 +308,7 @@ fn read_roster(s: &mut impl Read, nprocs: usize) -> Result<Vec<u16>, TransportEr
 pub struct TcpRendezvous {
     listener: TcpListener,
     addr: SocketAddr,
-    stash: Vec<(u8, u32, u16, TcpStream)>,
+    stash: Vec<(u8, u32, SocketAddr, TcpStream)>,
 }
 
 impl TcpRendezvous {
@@ -444,30 +326,36 @@ impl TcpRendezvous {
     }
 
     /// Accept hellos until every rank `1..nprocs` reported in for
-    /// `fabric`; returns `(rank, mesh port, stream)` sorted by rank.
+    /// `fabric`; returns `(rank, mesh address, stream)` sorted by rank.
+    ///
+    /// A hello with no advertised IP gets the source address the
+    /// rendezvous observed on the wire, so localhost fleets keep working
+    /// without configuration while cross-machine workers can advertise
+    /// an explicit `--bind` address.
     fn collect(
         &mut self,
         fabric: u8,
         nprocs: usize,
-    ) -> Result<Vec<(u32, u16, TcpStream)>, TransportError> {
-        let mut slots: Vec<Option<(u16, TcpStream)>> = (0..nprocs).map(|_| None).collect();
-        let mut place = |rank: u32, port: u16, stream: TcpStream| -> Result<(), TransportError> {
-            let slot = slots.get_mut(rank as usize).filter(|_| rank >= 1).ok_or_else(|| {
-                bootstrap_err(format!("hello from out-of-range rank {rank} (nprocs {nprocs})"))
-            })?;
-            if slot.is_some() {
-                return Err(bootstrap_err(format!("two hellos from rank {rank}")));
-            }
-            *slot = Some((port, stream));
-            Ok(())
-        };
+    ) -> Result<Vec<(u32, SocketAddr, TcpStream)>, TransportError> {
+        let mut slots: Vec<Option<(SocketAddr, TcpStream)>> = (0..nprocs).map(|_| None).collect();
+        let mut place =
+            |rank: u32, addr: SocketAddr, stream: TcpStream| -> Result<(), TransportError> {
+                let slot = slots.get_mut(rank as usize).filter(|_| rank >= 1).ok_or_else(|| {
+                    bootstrap_err(format!("hello from out-of-range rank {rank} (nprocs {nprocs})"))
+                })?;
+                if slot.is_some() {
+                    return Err(bootstrap_err(format!("two hellos from rank {rank}")));
+                }
+                *slot = Some((addr, stream));
+                Ok(())
+            };
         let mut remaining = nprocs - 1;
         // Serve hellos stashed by an earlier fabric's collection first.
         let mut i = 0;
         while i < self.stash.len() {
             if self.stash[i].0 == fabric {
-                let (_, rank, port, stream) = self.stash.remove(i);
-                place(rank, port, stream)?;
+                let (_, rank, addr, stream) = self.stash.remove(i);
+                place(rank, addr, stream)?;
                 remaining -= 1;
             } else if is_coll_fabric(self.stash[i].0) && is_coll_fabric(fabric) {
                 // A stashed collectives hello for a *different* topology:
@@ -488,17 +376,25 @@ impl TcpRendezvous {
                         .set_nonblocking(false)
                         .and_then(|()| stream.set_read_timeout(Some(BOOTSTRAP_TIMEOUT)))
                         .map_err(|e| io_err("configuring rendezvous connection", e))?;
-                    let (f, rank, port) = read_hello(&mut stream)?;
+                    let (f, rank, ip, port) = read_hello(&mut stream)?;
                     stream
                         .set_read_timeout(None)
                         .map_err(|e| io_err("configuring rendezvous connection", e))?;
+                    let ip = match ip {
+                        Some(ip) => ip,
+                        None => stream
+                            .peer_addr()
+                            .map_err(|e| io_err("reading hello source address", e))?
+                            .ip(),
+                    };
+                    let addr = SocketAddr::new(ip, port);
                     if f == fabric {
-                        place(rank, port, stream)?;
+                        place(rank, addr, stream)?;
                         remaining -= 1;
                     } else if is_coll_fabric(f) && is_coll_fabric(fabric) {
                         return Err(topology_disagreement(f, fabric));
                     } else {
-                        self.stash.push((f, rank, port, stream));
+                        self.stash.push((f, rank, addr, stream));
                     }
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
@@ -521,7 +417,7 @@ impl TcpRendezvous {
         Ok(slots
             .into_iter()
             .enumerate()
-            .filter_map(|(rank, s)| s.map(|(port, stream)| (rank as u32, port, stream)))
+            .filter_map(|(rank, s)| s.map(|(addr, stream)| (rank as u32, addr, stream)))
             .collect())
     }
 }
@@ -542,10 +438,10 @@ where
         return Ok(TcpTransport::solo(batch, stats));
     }
     let peers = rv.collect(fabric, nprocs)?;
-    let ports: Vec<u16> = peers.iter().map(|&(_, port, _)| port).collect();
+    let addrs: Vec<SocketAddr> = peers.iter().map(|&(_, addr, _)| addr).collect();
     let mut links: Vec<Option<TcpStream>> = (0..nprocs).map(|_| None).collect();
     for (rank, _, mut stream) in peers {
-        write_roster(&mut stream, nprocs, &ports).map_err(|e| io_err("sending roster", e))?;
+        write_roster(&mut stream, nprocs, &addrs).map_err(|e| io_err("sending roster", e))?;
         links[rank as usize] = Some(stream);
     }
     Ok(TcpTransport::from_links(0, nprocs, links, batch, stats))
@@ -570,11 +466,18 @@ fn connect_with_retry(addr: SocketAddr) -> Result<TcpStream, TransportError> {
 /// A nonzero rank's side of one fabric bootstrap: dial the rendezvous,
 /// learn the roster, then complete the mesh (dial lower ranks, accept
 /// higher ranks).
+///
+/// `bind` is the local address for this rank's mesh listener (e.g.
+/// `"127.0.0.1:0"`, or `"0.0.0.0:0"` with an explicit interface IP for
+/// cross-machine fleets). Unless it is a wildcard, the bound IP is
+/// advertised in the hello; a wildcard defers to the source address the
+/// rendezvous observes.
 fn connect_endpoint<M>(
     addr: SocketAddr,
     fabric: u8,
     rank: usize,
     nprocs: usize,
+    bind: &str,
     batch: BatchConfig,
     stats: Arc<CommStats>,
 ) -> Result<TcpTransport<M>, TransportError>
@@ -582,17 +485,17 @@ where
     M: Send + WireEncode + WireDecode + 'static,
 {
     assert!(rank >= 1 && rank < nprocs, "connect_endpoint is for ranks 1..nprocs");
-    let listener =
-        TcpListener::bind("127.0.0.1:0").map_err(|e| io_err("binding mesh listener", e))?;
-    let my_port =
-        listener.local_addr().map_err(|e| io_err("reading mesh listener address", e))?.port();
+    let listener = TcpListener::bind(bind)
+        .map_err(|e| io_err(format!("binding mesh listener at {bind}"), e))?;
+    let local = listener.local_addr().map_err(|e| io_err("reading mesh listener address", e))?;
+    let advertised_ip = if local.ip().is_unspecified() { None } else { Some(local.ip()) };
     let mut rendezvous = connect_with_retry(addr)?;
-    write_hello(&mut rendezvous, fabric, rank as u32, my_port)
+    write_hello(&mut rendezvous, fabric, rank as u32, advertised_ip, local.port())
         .map_err(|e| io_err("sending hello", e))?;
     rendezvous
         .set_read_timeout(Some(BOOTSTRAP_TIMEOUT))
         .map_err(|e| io_err("configuring rendezvous connection", e))?;
-    let ports = read_roster(&mut rendezvous, nprocs)?;
+    let roster = read_roster(&mut rendezvous, nprocs)?;
     rendezvous
         .set_read_timeout(None)
         .map_err(|e| io_err("configuring rendezvous connection", e))?;
@@ -600,9 +503,10 @@ where
     links[0] = Some(rendezvous);
     // Dial every lower nonzero rank's mesh listener.
     for j in 1..rank {
-        let mut s = TcpStream::connect(("127.0.0.1", ports[j - 1]))
+        let mut s = TcpStream::connect(roster[j - 1])
             .map_err(|e| io_err(format!("dialing mesh listener of rank {j}"), e))?;
-        write_hello(&mut s, fabric, rank as u32, 0).map_err(|e| io_err("sending mesh hello", e))?;
+        write_hello(&mut s, fabric, rank as u32, None, 0)
+            .map_err(|e| io_err("sending mesh hello", e))?;
         links[j] = Some(s);
     }
     // Accept one connection from every higher rank (any arrival order).
@@ -630,7 +534,7 @@ where
         s.set_nonblocking(false)
             .and_then(|()| s.set_read_timeout(Some(BOOTSTRAP_TIMEOUT)))
             .map_err(|e| io_err("configuring mesh connection", e))?;
-        let (f, peer, _) = read_hello(&mut s)?;
+        let (f, peer, _, _) = read_hello(&mut s)?;
         s.set_read_timeout(None).map_err(|e| io_err("configuring mesh connection", e))?;
         if f != fabric {
             if is_coll_fabric(f) && is_coll_fabric(fabric) {
@@ -661,45 +565,6 @@ where
 /// stopped reading must not be able to wedge this process's teardown).
 const GOODBYE_TIMEOUT: Duration = Duration::from_secs(10);
 
-/// Raw `poll(2)` bindings, kept in one `cfg`-gated corner (the same
-/// pattern as the graph crate's mmap shim).
-#[cfg(unix)]
-mod sys {
-    use std::io;
-
-    pub(super) const POLLIN: i16 = 0x1;
-    pub(super) const POLLOUT: i16 = 0x4;
-    pub(super) const POLLERR: i16 = 0x8;
-    pub(super) const POLLHUP: i16 = 0x10;
-
-    /// `struct pollfd` from `<poll.h>`.
-    #[repr(C)]
-    pub(super) struct PollFd {
-        pub(super) fd: i32,
-        pub(super) events: i16,
-        pub(super) revents: i16,
-    }
-
-    extern "C" {
-        fn poll(fds: *mut PollFd, nfds: core::ffi::c_ulong, timeout: i32) -> i32;
-    }
-
-    /// Wait until any fd is ready or `timeout_ms` passes (`-1` = forever),
-    /// retrying transparently on `EINTR`.
-    pub(super) fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
-        loop {
-            let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as core::ffi::c_ulong, timeout_ms) };
-            if rc >= 0 {
-                return Ok(rc as usize);
-            }
-            let e = io::Error::last_os_error();
-            if e.kind() != io::ErrorKind::Interrupted {
-                return Err(e);
-            }
-        }
-    }
-}
-
 /// What the io thread delivers into the endpoint's event queue.
 enum Event<M> {
     /// A decoded envelope from a peer (or a self-send).
@@ -708,15 +573,6 @@ enum Event<M> {
     Bye,
     /// The link failed: dirty EOF, framing violation, or decode error.
     Fault(TransportError),
-}
-
-/// Encoded frames awaiting the io thread's writable window on one link.
-#[derive(Default)]
-struct WriteQueue {
-    /// Whole frames, oldest first.
-    frames: VecDeque<Vec<u8>>,
-    /// Bytes of `frames[0]` already written (partial-write resume point).
-    offset: usize,
 }
 
 /// State shared between an endpoint handle and its io thread.
@@ -740,15 +596,6 @@ impl Shared {
 struct TcpBatch {
     payloads: Vec<Vec<u8>>,
     bytes: usize,
-}
-
-/// The classic single-message frame around an already-encoded payload.
-fn classic_frame(src: usize, payload: &[u8]) -> Vec<u8> {
-    let mut frame = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
-    frame.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-    frame.extend_from_slice(&(src as u32).to_le_bytes());
-    frame.extend_from_slice(payload);
-    frame
 }
 
 /// One endpoint of the TCP socket fabric.
@@ -834,7 +681,9 @@ where
             let dialers: Vec<_> = (1..n)
                 .map(|r| {
                     let stats = Arc::clone(&stats);
-                    scope.spawn(move || connect_endpoint::<M>(addr, FABRIC_P2P, r, n, batch, stats))
+                    scope.spawn(move || {
+                        connect_endpoint::<M>(addr, FABRIC_P2P, r, n, "127.0.0.1:0", batch, stats)
+                    })
                 })
                 .collect();
             let mut out = Vec::with_capacity(n);
@@ -1221,40 +1070,30 @@ fn write_ready<M>(
     in_goodbye: bool,
 ) {
     let Some(queue) = &shared.queues[peer] else { return };
-    loop {
+    let drained = {
         let mut q = queue.lock();
-        let Some(front) = q.frames.front() else { break };
-        let front_len = front.len();
-        let offset = q.offset;
-        match (&*p.sock).write(&front[offset..]) {
-            Ok(n) => {
-                q.offset += n;
-                if q.offset == front_len {
-                    q.frames.pop_front();
-                    q.offset = 0;
-                }
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+        match q.drain_into(&mut (&*p.sock)) {
+            Ok(_) => Ok(()),
             Err(e) => {
                 q.frames.clear();
                 q.offset = 0;
-                drop(q);
-                if in_goodbye {
-                    // The goodbye path has no receiver left to surface a
-                    // fault to — log instead of discarding the error.
-                    p.writing = false;
-                    eprintln!("dne-tcp[{rank}]: goodbye to rank {peer} failed: {e}");
-                } else {
-                    p.fault(
-                        tx,
-                        TransportError::Io { context: format!("sending to rank {peer}"), error: e },
-                    );
-                }
-                let _ = p.sock.shutdown(Shutdown::Both);
-                break;
+                Err(e)
             }
         }
+    };
+    if let Err(e) = drained {
+        if in_goodbye {
+            // The goodbye path has no receiver left to surface a
+            // fault to — log instead of discarding the error.
+            p.writing = false;
+            eprintln!("dne-tcp[{rank}]: goodbye to rank {peer} failed: {e}");
+        } else {
+            p.fault(
+                tx,
+                TransportError::Io { context: format!("sending to rank {peer}"), error: e },
+            );
+        }
+        let _ = p.sock.shutdown(Shutdown::Both);
     }
 }
 
@@ -1377,14 +1216,14 @@ where
             return Ok(wire);
         }
         if !self.batch.enabled() {
-            self.enqueue_frame(dst, classic_frame(self.rank, &payload));
+            self.enqueue_frame(dst, classic_frame(self.rank as u32, &payload));
             return Ok(wire);
         }
         if wire >= self.batch.max_bytes {
             // Too big to coalesce: flush what's buffered first (FIFO
             // order is preserved), then ship it as its own frame.
             self.flush_dst(dst);
-            self.enqueue_frame(dst, classic_frame(self.rank, &payload));
+            self.enqueue_frame(dst, classic_frame(self.rank as u32, &payload));
             return Ok(wire);
         }
         let full = {
@@ -1490,6 +1329,7 @@ pub struct TcpProcessCluster {
     nprocs: usize,
     rendezvous: Option<TcpRendezvous>,
     addr: SocketAddr,
+    bind: String,
 }
 
 impl TcpProcessCluster {
@@ -1501,7 +1341,13 @@ impl TcpProcessCluster {
         let rendezvous = TcpRendezvous::bind(bind_addr)
             .map_err(|e| io_err(format!("binding rendezvous at {bind_addr}"), e))?;
         let addr = rendezvous.local_addr();
-        Ok(Self { rank: 0, nprocs, rendezvous: Some(rendezvous), addr })
+        Ok(Self {
+            rank: 0,
+            nprocs,
+            rendezvous: Some(rendezvous),
+            addr,
+            bind: "127.0.0.1:0".to_string(),
+        })
     }
 
     /// Become rank `rank` (`1..nprocs`), dialing the rendezvous `addr`
@@ -1511,7 +1357,17 @@ impl TcpProcessCluster {
         let addr = addr
             .parse()
             .map_err(|e| bootstrap_err(format!("invalid rendezvous address {addr:?}: {e}")))?;
-        Ok(Self { rank, nprocs, rendezvous: None, addr })
+        Ok(Self { rank, nprocs, rendezvous: None, addr, bind: "127.0.0.1:0".to_string() })
+    }
+
+    /// Bind this rank's mesh listeners at `bind` instead of the ephemeral
+    /// localhost default — the first slice of cross-machine clusters.
+    /// Unless the IP is a wildcard it is advertised to peers via the
+    /// rendezvous roster; a wildcard advertises the source address the
+    /// rendezvous observes on the hello connection.
+    pub fn with_bind(mut self, bind: &str) -> Self {
+        self.bind = bind.to_string();
+        self
     }
 
     /// This process's rank.
@@ -1611,6 +1467,7 @@ impl TcpProcessCluster {
                     FABRIC_P2P,
                     self.rank,
                     self.nprocs,
+                    &self.bind,
                     batch,
                     Arc::clone(&stats),
                 )?,
@@ -1619,6 +1476,7 @@ impl TcpProcessCluster {
                     coll_id,
                     self.rank,
                     self.nprocs,
+                    &self.bind,
                     BatchConfig::disabled(),
                     Arc::clone(&stats),
                 )?,
@@ -1645,162 +1503,7 @@ pub struct TcpSession<M> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::transport::encode_frame;
     use crate::wire::WireSize;
-
-    // ------------------------------------------------- framed reader --
-
-    /// Adversarial `Read` that trickles one byte per call — the worst
-    /// possible short-read schedule.
-    struct OneByte<R>(R);
-
-    impl<R: Read> Read for OneByte<R> {
-        fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-            let n = buf.len().min(1);
-            self.0.read(&mut buf[..n])
-        }
-    }
-
-    #[test]
-    fn coalesced_frames_split_correctly() {
-        // Three frames delivered in one contiguous buffer must come back
-        // as three distinct items.
-        let mut bytes = Vec::new();
-        bytes.extend_from_slice(&encode_frame(0, &7u64));
-        bytes.extend_from_slice(&encode_frame(1, &vec![1u64, 2, 3]));
-        bytes.extend_from_slice(&bye_frame(0));
-        let mut r = FramedReader::new(io::Cursor::new(bytes));
-        assert_eq!(
-            r.read_frame().unwrap(),
-            FrameItem::Frame { src: 0, payload: 7u64.to_le_bytes().to_vec() }
-        );
-        match r.read_frame().unwrap() {
-            FrameItem::Frame { src: 1, payload } => {
-                assert_eq!(Vec::<u64>::from_wire(&payload).unwrap(), vec![1, 2, 3]);
-            }
-            other => panic!("expected frame from rank 1, got {other:?}"),
-        }
-        assert_eq!(r.read_frame().unwrap(), FrameItem::Bye { src: 0 });
-    }
-
-    #[test]
-    fn short_reads_reassemble_frames() {
-        let mut bytes = Vec::new();
-        let payload: Vec<u64> = (0..100).collect();
-        bytes.extend_from_slice(&encode_frame(2, &payload));
-        bytes.extend_from_slice(&encode_frame(2, &vec![9u64]));
-        let mut r = FramedReader::new(OneByte(io::Cursor::new(bytes)));
-        for want in [payload, vec![9u64]] {
-            match r.read_frame().unwrap() {
-                FrameItem::Frame { src: 2, payload } => {
-                    assert_eq!(Vec::<u64>::from_wire(&payload).unwrap(), want);
-                }
-                other => panic!("expected data frame, got {other:?}"),
-            }
-        }
-    }
-
-    #[test]
-    fn eof_between_frames_is_disconnect() {
-        let bytes = encode_frame(0, &5u64);
-        let mut r = FramedReader::new(io::Cursor::new(bytes));
-        r.read_frame().unwrap();
-        let err = r.read_frame().unwrap_err();
-        assert!(matches!(err, TransportError::Disconnected { .. }), "{err}");
-    }
-
-    #[test]
-    fn truncated_header_and_payload_error_cleanly() {
-        // A stream that ends mid-header.
-        let frame = encode_frame(0, &5u64);
-        let mut r = FramedReader::new(io::Cursor::new(frame[..7].to_vec()));
-        let err = r.read_frame().unwrap_err();
-        assert!(matches!(err, TransportError::Frame { .. }), "mid-header: {err}");
-        // A stream that ends mid-payload: errors instead of blocking or
-        // over-allocating.
-        let mut r = FramedReader::new(io::Cursor::new(frame[..frame.len() - 3].to_vec()));
-        let err = r.read_frame().unwrap_err();
-        match err {
-            TransportError::Frame { src: Some(0), detail } => {
-                assert!(detail.contains("mid-frame"), "{detail}");
-            }
-            other => panic!("expected mid-frame error from rank 0, got {other:?}"),
-        }
-    }
-
-    #[test]
-    fn oversized_length_prefix_is_bounded() {
-        let mut bytes = Vec::new();
-        bytes.extend_from_slice(&(MAX_FRAME_PAYLOAD + 1).to_le_bytes());
-        bytes.extend_from_slice(&0u32.to_le_bytes());
-        let mut r = FramedReader::new(io::Cursor::new(bytes));
-        match r.read_frame().unwrap_err() {
-            TransportError::Frame { detail, .. } => assert!(detail.contains("exceeds"), "{detail}"),
-            other => panic!("expected framing error, got {other:?}"),
-        }
-    }
-
-    #[test]
-    fn absurd_length_prefix_does_not_allocate_ahead_of_the_stream() {
-        // In-bound but huge claim with a near-empty stream: must error
-        // after at most one read chunk of allocation, quickly.
-        let mut bytes = Vec::new();
-        bytes.extend_from_slice(&MAX_FRAME_PAYLOAD.to_le_bytes());
-        bytes.extend_from_slice(&0u32.to_le_bytes());
-        bytes.extend_from_slice(&[0u8; 100]);
-        let mut r = FramedReader::new(io::Cursor::new(bytes));
-        let err = r.read_frame().unwrap_err();
-        assert!(matches!(err, TransportError::Frame { .. }), "{err}");
-    }
-
-    // ------------------------------------------------- frame assembler --
-
-    #[test]
-    fn assembler_reassembles_split_and_coalesced_frames() {
-        // One classic frame, one multi-message frame, and a goodbye,
-        // trickled in one byte at a time — the worst short-read schedule.
-        let mut bytes = Vec::new();
-        bytes.extend_from_slice(&encode_frame(3, &7u64));
-        bytes.extend_from_slice(&encode_batch_frame(3, &[vec![1, 2], vec![3]]));
-        bytes.extend_from_slice(&bye_frame(3));
-        let mut a = FrameAssembler::new();
-        let mut items = Vec::new();
-        for b in &bytes {
-            items.extend(a.push(std::slice::from_ref(b), 3).unwrap());
-        }
-        assert_eq!(
-            items,
-            vec![
-                Assembled::Frame(encode_frame(3, &7u64)),
-                Assembled::Frame(encode_batch_frame(3, &[vec![1, 2], vec![3]])),
-                Assembled::Bye,
-            ]
-        );
-        assert!(!a.mid_frame(), "everything consumed");
-    }
-
-    #[test]
-    fn assembler_tracks_mid_frame_truncation() {
-        let frame = encode_frame(0, &5u64);
-        let mut a = FrameAssembler::new();
-        assert!(a.push(&frame[..frame.len() - 3], 0).unwrap().is_empty());
-        assert!(a.mid_frame(), "a truncated stream must be distinguishable from a clean EOF");
-        assert_eq!(a.push(&frame[frame.len() - 3..], 0).unwrap().len(), 1);
-        assert!(!a.mid_frame());
-    }
-
-    #[test]
-    fn assembler_bounds_the_length_prefix() {
-        let mut bytes = Vec::new();
-        bytes.extend_from_slice(&(MAX_FRAME_PAYLOAD + 1).to_le_bytes());
-        bytes.extend_from_slice(&0u32.to_le_bytes());
-        match FrameAssembler::new().push(&bytes, 2).unwrap_err() {
-            TransportError::Frame { src: Some(2), detail } => {
-                assert!(detail.contains("exceeds"), "{detail}");
-            }
-            other => panic!("expected framing error, got {other:?}"),
-        }
-    }
 
     // ---------------------------------------------------- socket fabric --
 
