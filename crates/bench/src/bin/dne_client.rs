@@ -282,7 +282,21 @@ fn launch_and_bench(spec: Spec) -> Result<(), String> {
     let addr = addr.expect("loop exits with an address");
     eprintln!("[dne-client: server at {addr}, fingerprint {}]", served_fprint.expect("checked"));
 
-    let qps = bench(&addr, spec)?;
+    let qps = match bench(&addr, spec) {
+        Ok(qps) => qps,
+        Err(e) => {
+            // If the sibling server died underneath the bench, that is the
+            // root cause — name it next to the connection-level symptom
+            // (which itself names the in-flight request sequence window).
+            if let Some(child) = &mut server.0 {
+                if let Ok(Some(status)) = child.try_wait() {
+                    server.0 = None;
+                    return Err(format!("{e}\n  (dne-server died mid-run: {status})"));
+                }
+            }
+            return Err(e);
+        }
+    };
 
     // Graceful teardown: ask the server to stop, then reap it.
     let mut c = WireClient::<LookupRequest, LookupResponse>::connect(addr.as_str())

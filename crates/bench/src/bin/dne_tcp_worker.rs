@@ -16,7 +16,7 @@
 //! dne-tcp-worker compare [quick|full]            # loopback vs bytes vs multi-process tcp
 //! dne-tcp-worker launch <nprocs> <scale> <degree> <seed>
 //! dne-tcp-worker reference <transport> <nprocs> <scale> <degree> <seed>
-//! dne-tcp-worker worker <rank> <nprocs> <addr> <scale> <degree> <seed>
+//! dne-tcp-worker worker <rank> <nprocs> <addr> <scale> <degree> <seed> [--rejoin]
 //! ```
 //!
 //! `compare` runs the loopback and bytes references in-process, launches
@@ -32,6 +32,16 @@
 //! the rendezvous roster carries each rank's advertised `ip:port`, so
 //! peers across machines dial the right interface.
 //!
+//! With `DNE_CHECKPOINT_EVERY` set, workers are *elastic*: a rank that
+//! dies mid-run is detected by its peers as a broken socket, the
+//! survivors re-rendezvous under the next bootstrap epoch, and the job
+//! resumes from the newest commonly checkpointed round once the dead
+//! rank is relaunched with `--rejoin` (same arguments plus the flag).
+//! The resumed run's result row is bit-identical to an uninterrupted
+//! run's in every column except the comm/timing ones (replayed rounds
+//! re-send their traffic). The `recovery_smoke` binary drives this
+//! end-to-end with an injected crash (`DNE_FAULT_ROUND`).
+//!
 //! A manual 4-process run on localhost (any fixed port works):
 //!
 //! ```text
@@ -46,10 +56,10 @@ use std::process::{Command, Stdio};
 use std::time::Instant;
 
 use dne_bench::table::Table;
-use dne_core::{DistributedNe, NeConfig, NeMsg};
+use dne_core::{CheckpointPolicy, DistributedNe, NeConfig, NeMsg, RankSnapshot};
 use dne_graph::hash::mix2;
 use dne_graph::{gen, EdgeId, Graph};
-use dne_runtime::{TcpProcessCluster, TransportKind};
+use dne_runtime::{Ctx, TcpProcessCluster, TransportError, TransportKind, EPOCH_ANY};
 
 /// Stdout marker carrying rank 0's bound rendezvous address.
 const ADDR_TAG: &str = "DNE_TCP_ADDR";
@@ -239,17 +249,64 @@ fn reference_row(kind: TransportKind, spec: Spec) -> Row {
     assemble_row(kind.to_string(), spec, &g, metrics)
 }
 
+/// Agree on the round every rank resumes from — the *minimum* of the
+/// per-rank newest checkpoints (every rank is guaranteed to hold it:
+/// snapshots retain two generations and rounds advance in lock-step) —
+/// and load this rank's snapshot of that round.
+fn agree_and_load(
+    ctx: &mut Ctx<NeMsg>,
+    cp: &CheckpointPolicy,
+    rank: usize,
+) -> Result<RankSnapshot, String> {
+    let mine = RankSnapshot::latest(&cp.dir, rank as u32)
+        .map_err(|e| format!("rank {rank}: listing snapshots in {}: {e}", cp.dir.display()))?
+        .map(|(round, _)| round)
+        .ok_or_else(|| format!("rank {rank}: no snapshot to resume in {}", cp.dir.display()))?;
+    let rounds = ctx
+        .try_all_gather_u64(mine)
+        .map_err(|e| format!("rank {rank}: checkpoint-round agreement failed: {e}"))?;
+    let round = rounds.iter().copied().min().expect("at least one rank");
+    eprintln!("[rank {rank}: resuming from checkpoint round {round}]");
+    RankSnapshot::load_round(&cp.dir, rank as u32, round)
+        .map_err(|e| format!("rank {rank}: loading round-{round} snapshot: {e}"))
+}
+
 /// One rank of the real multi-process run. Rank 0 prints the rendezvous
 /// address, then (once every rank finished) the result row. `bind`, when
 /// given, is the local address for this rank's mesh listener.
+///
+/// With checkpointing enabled (`DNE_CHECKPOINT_EVERY`), a peer death
+/// surfacing as [`TransportError::Disconnected`] triggers recovery instead
+/// of failure: the survivors re-rendezvous under the next bootstrap epoch
+/// (rank 0 bumps the counter; everyone else rejoins with [`EPOCH_ANY`]),
+/// agree on the newest commonly checkpointed round, and resume from their
+/// snapshots. A `--rejoin` worker is the restarted incarnation of a dead
+/// rank: it skips the fresh start and enters directly through that same
+/// resume path.
 fn worker(
     rank: usize,
     nprocs: usize,
     addr: &str,
     bind: Option<&str>,
+    rejoin: bool,
     spec: Spec,
 ) -> Result<(), String> {
     let g = spec.graph();
+    let part = spec.partitioner();
+    let checkpoint = part.config().resolved_checkpoint();
+    if rejoin {
+        if rank == 0 {
+            return Err("rank 0 owns the rendezvous and cannot --rejoin; \
+                        restart the whole job instead"
+                .into());
+        }
+        if checkpoint.is_none() {
+            return Err(format!(
+                "--rejoin needs checkpointing (set {})",
+                CheckpointPolicy::EVERY_ENV_VAR
+            ));
+        }
+    }
     let mut cluster = if rank == 0 {
         let host = TcpProcessCluster::host(nprocs, addr).map_err(|e| e.to_string())?;
         println!("{ADDR_TAG} {}", host.addr());
@@ -261,12 +318,35 @@ fn worker(
     if let Some(b) = bind {
         cluster = cluster.with_bind(b);
     }
-    let mut session = cluster.connect::<NeMsg>().map_err(|e| e.to_string())?;
+    let first_epoch = if rejoin { EPOCH_ANY } else { 0 };
+    let mut session = cluster.connect_epoch::<NeMsg>(first_epoch).map_err(|e| e.to_string())?;
+    let mut resume = match (&checkpoint, rejoin) {
+        (Some(cp), true) => Some(agree_and_load(&mut session.ctx, cp, rank)?),
+        _ => None,
+    };
     let started = Instant::now();
-    let mut run = spec
-        .partitioner()
-        .run_rank(&mut session.ctx, &g, nprocs as u32)
-        .map_err(|e| format!("rank {rank}: transport failure during Distributed NE: {e}"))?;
+    let mut run = loop {
+        match part.run_rank_from(&mut session.ctx, &g, nprocs as u32, resume.take()) {
+            Ok(run) => break run,
+            Err(TransportError::Disconnected { peer }) if checkpoint.is_some() => {
+                let cp = checkpoint.as_ref().expect("guarded by the match arm");
+                let dead = peer.map_or("a peer".to_string(), |p| format!("rank {p}"));
+                let next = if rank == 0 { session.epoch + 1 } else { EPOCH_ANY };
+                eprintln!(
+                    "[rank {rank}: {dead} died (epoch {}); re-rendezvousing for recovery]",
+                    session.epoch
+                );
+                drop(session);
+                session = cluster
+                    .connect_epoch::<NeMsg>(next)
+                    .map_err(|e| format!("rank {rank}: recovery bootstrap failed: {e}"))?;
+                resume = Some(agree_and_load(&mut session.ctx, cp, rank)?);
+            }
+            Err(e) => {
+                return Err(format!("rank {rank}: transport failure during Distributed NE: {e}"))
+            }
+        }
+    };
     let elapsed = started.elapsed();
     // Snapshot the algorithm's accounting *before* the metric collectives
     // below add their own traffic.
@@ -415,7 +495,7 @@ fn usage() -> ! {
          \x20      dne-tcp-worker launch <nprocs> <scale> <degree> <seed>\n\
          \x20      dne-tcp-worker reference <loopback|bytes|tcp> <nprocs> <scale> <degree> <seed>\n\
          \x20      dne-tcp-worker worker <rank> <nprocs> <addr> <scale> <degree> <seed> \
-         [--bind <addr>]"
+         [--bind <addr>] [--rejoin]"
     );
     std::process::exit(2);
 }
@@ -460,9 +540,21 @@ fn take_bind(args: &mut Vec<String>) -> Option<String> {
     Some(addr)
 }
 
+/// Remove `--rejoin` from `args`, returning whether it was present.
+fn take_rejoin(args: &mut Vec<String>) -> bool {
+    match args.iter().position(|a| a == "--rejoin") {
+        Some(i) => {
+            args.remove(i);
+            true
+        }
+        None => false,
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().collect();
     let bind = take_bind(&mut args);
+    let rejoin = take_rejoin(&mut args);
     let result = match args.get(1).map(String::as_str) {
         None | Some("quick") | Some("full") => compare(preset(&args, 1)),
         Some("compare") => compare(preset(&args, 2)),
@@ -487,7 +579,7 @@ fn main() {
             let rank: usize = arg(&args, 2, "rank");
             let nprocs: usize = arg(&args, 3, "nprocs");
             let addr: String = arg(&args, 4, "addr");
-            worker(rank, nprocs, &addr, bind.as_deref(), spec_from(&args, 5, nprocs))
+            worker(rank, nprocs, &addr, bind.as_deref(), rejoin, spec_from(&args, 5, nprocs))
         }
         Some(_) => usage(),
     };

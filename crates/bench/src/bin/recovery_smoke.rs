@@ -1,0 +1,284 @@
+//! End-to-end elastic fault-tolerance smoke test: kill a rank mid-run,
+//! recover both ways, and hold the results to the acceptance bars.
+//!
+//! The harness launches a real 4-process `dne-tcp-worker` job with
+//! per-round checkpointing (`DNE_CHECKPOINT_EVERY=1`) and an injected
+//! crash on rank 1 (`DNE_FAULT_ROUND=2`: it panics at the end of round 2,
+//! after writing that round's checkpoint — its peers find out through the
+//! broken sockets, exactly like a SIGKILL). Then:
+//!
+//! * **Restart path** — rank 1 is relaunched with `--rejoin`; the
+//!   survivors re-rendezvous under the next bootstrap epoch and everyone
+//!   resumes from the newest commonly checkpointed round. The finished
+//!   job's assignment fingerprint (plus iterations, RF, EB) must be
+//!   **bit-identical** to an uninterrupted in-process run of the same
+//!   `(graph, k, seed)`.
+//! * **Migration path** — treating rank 1 as permanently dead instead,
+//!   [`migrate_dead_rank`] evacuates its partition onto the survivors
+//!   straight from the checkpoint directory. Every edge must end up on a
+//!   survivor and the migrated replication factor must stay within 10%
+//!   of the uninterrupted run's.
+//!
+//! Exits nonzero on any violated bar. Run it in release (`cargo run
+//! --release --bin recovery_smoke`); CI does.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+
+use dne_core::{migrate_dead_rank, DistributedNe, NeConfig};
+use dne_graph::gen::{rmat, RmatConfig};
+use dne_graph::hash::mix2;
+use dne_graph::{EdgeId, Graph};
+use dne_partition::PartitionQuality;
+use dne_runtime::TransportKind;
+
+/// Job shape: small enough to finish in seconds, big enough that the
+/// round-2 crash lands mid-expansion with plenty of rounds left.
+const NPROCS: usize = 4;
+const SCALE: u32 = 8;
+const DEGREE: u64 = 4;
+const SEED: u64 = 42;
+const FAULT_ROUND: u64 = 2;
+const DEAD_RANK: u32 = 1;
+
+/// Stdout markers printed by `dne-tcp-worker` (kept in sync with it).
+const ADDR_TAG: &str = "DNE_TCP_ADDR";
+const ROW_TAG: &str = "DNE_TCP_ROW";
+
+/// Hash of one partition's (sorted) edge-id set — must match
+/// `dne-tcp-worker`'s per-partition fingerprint.
+fn partition_fingerprint(edges: &mut [EdgeId]) -> u64 {
+    edges.sort_unstable();
+    edges.iter().fold(0x444E_4531u64, |h, &e| mix2(h, e))
+}
+
+/// The uninterrupted truth: same graph, same seed, in-process loopback.
+struct Reference {
+    iterations: u64,
+    rf: f64,
+    eb: f64,
+    fingerprint: u64,
+}
+
+fn reference(g: &Graph) -> Reference {
+    let ne = DistributedNe::new(
+        NeConfig::default().with_seed(SEED).with_transport(TransportKind::Loopback),
+    );
+    let (assignment, stats) = ne.partition_with_stats(g, NPROCS as u32);
+    let q = PartitionQuality::measure(g, &assignment);
+    let fingerprint = assignment
+        .edges_by_partition()
+        .into_iter()
+        .map(|mut edges| partition_fingerprint(&mut edges))
+        .fold(0x4D45_5348u64, mix2);
+    assert!(
+        stats.iterations > FAULT_ROUND,
+        "the job must outlive the injected fault round (got {} rounds)",
+        stats.iterations
+    );
+    Reference {
+        iterations: stats.iterations,
+        rf: q.replication_factor,
+        eb: q.edge_balance,
+        fingerprint,
+    }
+}
+
+/// The non-timing columns of a `DNE_TCP_ROW` line (TSV: transport,
+/// nprocs, scale, degree, seed, iter, bytes, msgs, rf, eb, fprint).
+struct Row {
+    iterations: u64,
+    rf: f64,
+    eb: f64,
+    fingerprint: u64,
+}
+
+fn parse_row(cells: &str) -> Option<Row> {
+    let cols: Vec<&str> = cells.split('\t').collect();
+    if cols.len() != 11 {
+        return None;
+    }
+    Some(Row {
+        iterations: cols[5].parse().ok()?,
+        rf: cols[8].parse().ok()?,
+        eb: cols[9].parse().ok()?,
+        fingerprint: u64::from_str_radix(cols[10], 16).ok()?,
+    })
+}
+
+/// Drop guard: on early error return, kill and reap whatever still runs.
+struct Fleet(Vec<Child>);
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        for child in &mut self.0 {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+/// Spawn one `dne-tcp-worker worker` rank with checkpointing into `ckpt`.
+fn spawn_rank(
+    exe: &Path,
+    rank: usize,
+    addr: &str,
+    ckpt: &Path,
+    fault: Option<u64>,
+    rejoin: bool,
+    stdout: Stdio,
+) -> Result<Child, String> {
+    let mut cmd = Command::new(exe);
+    cmd.args(["worker", &rank.to_string(), &NPROCS.to_string(), addr])
+        .args([SCALE.to_string(), DEGREE.to_string(), SEED.to_string()])
+        .env("DNE_CHECKPOINT_EVERY", "1")
+        .env("DNE_CHECKPOINT_DIR", ckpt)
+        .env_remove("DNE_FAULT_ROUND")
+        .stdout(stdout);
+    if let Some(round) = fault {
+        cmd.env("DNE_FAULT_ROUND", round.to_string());
+    }
+    if rejoin {
+        cmd.arg("--rejoin");
+    }
+    cmd.spawn().map_err(|e| format!("spawning rank {rank}: {e}"))
+}
+
+/// The kill-and-restart leg: returns rank 0's finished result row.
+fn killed_and_restarted_row(ckpt: &Path) -> Result<Row, String> {
+    let worker = std::env::current_exe()
+        .map_err(|e| format!("cannot locate own binary: {e}"))?
+        .with_file_name("dne-tcp-worker");
+    if !worker.exists() {
+        return Err(format!("{} not built (build the whole dne-bench package)", worker.display()));
+    }
+    let mut rank0 = spawn_rank(&worker, 0, "127.0.0.1:0", ckpt, None, false, Stdio::piped())?;
+    let mut lines = BufReader::new(rank0.stdout.take().expect("piped stdout")).lines();
+    let mut fleet = Fleet(vec![rank0]);
+    let addr = loop {
+        let line = lines
+            .next()
+            .ok_or("rank 0 exited before advertising its rendezvous address")?
+            .map_err(|e| format!("reading rank 0 stdout: {e}"))?;
+        if let Some(a) = line.strip_prefix(ADDR_TAG) {
+            break a.trim().to_string();
+        }
+    };
+    // Rank 1 carries the injected fault; 2 and 3 are healthy survivors.
+    let doomed = spawn_rank(
+        &worker,
+        DEAD_RANK as usize,
+        &addr,
+        ckpt,
+        Some(FAULT_ROUND),
+        false,
+        Stdio::null(),
+    )?;
+    for rank in 2..NPROCS {
+        fleet.0.push(spawn_rank(&worker, rank, &addr, ckpt, None, false, Stdio::null())?);
+    }
+    // The injected panic must kill the process (nonzero exit) — that is
+    // the whole point of the crash-teardown path.
+    let status = { doomed }.wait().map_err(|e| format!("waiting for the doomed rank: {e}"))?;
+    if status.success() {
+        return Err("rank 1 was supposed to crash at the injected fault round".into());
+    }
+    eprintln!("[recovery_smoke: rank 1 died ({status}); relaunching with --rejoin]");
+    fleet.0.push(spawn_rank(&worker, DEAD_RANK as usize, &addr, ckpt, None, true, Stdio::null())?);
+    let row = loop {
+        let line = lines
+            .next()
+            .ok_or("rank 0 exited without printing a result row")?
+            .map_err(|e| format!("reading rank 0 stdout: {e}"))?;
+        if let Some(cells) = line.strip_prefix(ROW_TAG) {
+            break parse_row(cells.trim_start_matches('\t'))
+                .ok_or_else(|| format!("malformed result row {line:?}"))?;
+        }
+    };
+    let mut failure = None;
+    for (i, child) in fleet.0.iter_mut().enumerate() {
+        match child.wait() {
+            Ok(status) if status.success() => {}
+            Ok(status) => {
+                failure.get_or_insert(format!("surviving worker #{i} exited with {status}"));
+            }
+            Err(e) => {
+                failure.get_or_insert(format!("waiting for worker #{i}: {e}"));
+            }
+        }
+    }
+    fleet.0.clear();
+    match failure {
+        None => Ok(row),
+        Some(f) => Err(f),
+    }
+}
+
+/// The result row prints RF/EB with 6 decimals; compare at that precision.
+fn close(row_value: f64, truth: f64) -> bool {
+    format!("{row_value:.6}") == format!("{truth:.6}")
+}
+
+fn run() -> Result<(), String> {
+    let ckpt: PathBuf =
+        std::env::temp_dir().join(format!("dne-recovery-smoke-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&ckpt);
+    let g = rmat(&RmatConfig::graph500(SCALE, DEGREE, SEED));
+    let truth = reference(&g);
+
+    // ---- Leg 1: kill rank 1 mid-run, restart it, demand bit-identity.
+    let row = killed_and_restarted_row(&ckpt)?;
+    if row.fingerprint != truth.fingerprint {
+        return Err(format!(
+            "restart path diverged: fingerprint {:016x} != uninterrupted {:016x}",
+            row.fingerprint, truth.fingerprint
+        ));
+    }
+    if row.iterations != truth.iterations || !close(row.rf, truth.rf) || !close(row.eb, truth.eb) {
+        return Err(format!(
+            "restart path diverged: iter/RF/EB {}/{}/{} != uninterrupted {}/{}/{}",
+            row.iterations, row.rf, row.eb, truth.iterations, truth.rf, truth.eb
+        ));
+    }
+    println!(
+        "restart path OK: recovered run bit-identical (fingerprint {:016x}, {} rounds)",
+        row.fingerprint, row.iterations
+    );
+
+    // ---- Leg 2: treat rank 1 as permanently dead and migrate its edges
+    // out of the checkpoints the killed run left behind.
+    let report = migrate_dead_rank(&ckpt, &g, NPROCS as u32, SEED, DEAD_RANK)
+        .map_err(|e| format!("migration failed: {e}"))?;
+    for e in 0..g.num_edges() {
+        if report.assignment.part_of(e) == DEAD_RANK {
+            return Err(format!("edge {e} still assigned to the dead rank after migration"));
+        }
+    }
+    if report.replication_factor > truth.rf * 1.10 {
+        return Err(format!(
+            "migration RF {:.6} above 110% of uninterrupted {:.6}",
+            report.replication_factor, truth.rf
+        ));
+    }
+    println!(
+        "migration path OK: {} migrated + {} completed edges from round {}, \
+         RF {:.6} (uninterrupted {:.6}), live EB {:.6}",
+        report.migrated_edges,
+        report.completed_edges,
+        report.round,
+        report.replication_factor,
+        truth.rf,
+        report.edge_balance
+    );
+    let _ = std::fs::remove_dir_all(&ckpt);
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("recovery_smoke: {e}");
+        std::process::exit(1);
+    }
+    println!("OK: both recovery paths hold their acceptance bars");
+}

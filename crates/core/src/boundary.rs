@@ -120,6 +120,43 @@ impl Boundary {
     pub fn heap_bytes(&self) -> usize {
         self.heap.len() * 16 + (self.expanded.len() + self.enqueued.len()) * 8
     }
+
+    /// Export the queue's full state in a canonical (sorted) order for
+    /// checkpointing: the pending `(score, vertex)` heap entries plus the
+    /// expanded and enqueued sets. Rebuilding via [`Boundary::from_export`]
+    /// is behaviorally identical: heap entries are distinct (a vertex is
+    /// enqueued at most once), so the pop order is fully determined by the
+    /// element multiset, not by the heap's internal layout.
+    pub fn export(&self) -> BoundaryExport {
+        let mut heap: Vec<(u64, VertexId)> = self.heap.iter().map(|&Reverse(p)| p).collect();
+        heap.sort_unstable();
+        let mut expanded: Vec<VertexId> = self.expanded.iter().copied().collect();
+        expanded.sort_unstable();
+        let mut enqueued: Vec<VertexId> = self.enqueued.iter().copied().collect();
+        enqueued.sort_unstable();
+        BoundaryExport { heap, expanded, enqueued }
+    }
+
+    /// Rebuild a boundary from an [`export`](Boundary::export).
+    pub fn from_export(export: BoundaryExport) -> Self {
+        Self {
+            heap: export.heap.into_iter().map(Reverse).collect(),
+            expanded: export.expanded.into_iter().collect(),
+            enqueued: export.enqueued.into_iter().collect(),
+        }
+    }
+}
+
+/// Canonical serializable form of a [`Boundary`] (see
+/// [`Boundary::export`]). All three vectors are sorted ascending.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct BoundaryExport {
+    /// Pending `(join-time D_rest, vertex)` heap entries.
+    pub heap: Vec<(u64, VertexId)>,
+    /// Vertices already expanded for this partition.
+    pub expanded: Vec<VertexId>,
+    /// Vertices that ever entered the queue.
+    pub enqueued: Vec<VertexId>,
 }
 
 #[cfg(test)]

@@ -1,6 +1,63 @@
 //! Configuration of a Distributed NE run.
 
+use std::path::PathBuf;
+
 use dne_runtime::{BatchConfig, CollectiveTopology, TransportKind};
+
+/// Per-round checkpointing policy: every `every` completed rounds each
+/// rank writes a `DNESNAP1` snapshot of its machine state (see
+/// [`crate::snapshot`]) into `dir`, keeping the two most recent rounds so
+/// a restarted job can agree on the newest round *every* rank completed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CheckpointPolicy {
+    /// Write a snapshot every this many completed rounds (≥ 1).
+    pub every: u64,
+    /// Directory the per-rank snapshot files live in (created on demand).
+    pub dir: PathBuf,
+}
+
+impl CheckpointPolicy {
+    /// Environment variable holding the round interval.
+    pub const EVERY_ENV_VAR: &'static str = "DNE_CHECKPOINT_EVERY";
+    /// Environment variable overriding the snapshot directory.
+    pub const DIR_ENV_VAR: &'static str = "DNE_CHECKPOINT_DIR";
+    /// Snapshot directory used when `DNE_CHECKPOINT_DIR` is unset.
+    pub const DEFAULT_DIR: &'static str = "dne_checkpoints";
+
+    /// Checkpoint every `every` rounds into `dir`.
+    pub fn new(every: u64, dir: impl Into<PathBuf>) -> Self {
+        assert!(every >= 1, "checkpoint interval must be at least 1 round");
+        Self { every, dir: dir.into() }
+    }
+
+    /// The policy `DNE_CHECKPOINT_EVERY` / `DNE_CHECKPOINT_DIR` describe:
+    /// `None` when `DNE_CHECKPOINT_EVERY` is unset or empty (checkpointing
+    /// off, the default).
+    ///
+    /// # Panics
+    /// Panics on a malformed value (zero, non-numeric, non-Unicode),
+    /// naming the accepted form — a misconfigured run must fail loudly
+    /// before it silently runs without fault tolerance.
+    pub fn from_env() -> Option<Self> {
+        let every = match std::env::var(Self::EVERY_ENV_VAR) {
+            Ok(v) if !v.trim().is_empty() => v.trim().parse::<u64>().ok().filter(|&n| n >= 1),
+            Err(std::env::VarError::NotUnicode(raw)) => panic!(
+                "invalid {}: non-Unicode value {raw:?} (expected a round count >= 1)",
+                Self::EVERY_ENV_VAR
+            ),
+            _ => return None,
+        }
+        .unwrap_or_else(|| panic!("invalid {}: expected a round count >= 1", Self::EVERY_ENV_VAR));
+        let dir = match std::env::var(Self::DIR_ENV_VAR) {
+            Ok(v) if !v.trim().is_empty() => PathBuf::from(v),
+            Err(std::env::VarError::NotUnicode(raw)) => {
+                panic!("invalid {}: non-Unicode value {raw:?}", Self::DIR_ENV_VAR)
+            }
+            _ => PathBuf::from(Self::DEFAULT_DIR),
+        };
+        Some(Self { every, dir })
+    }
+}
 
 /// Tunable parameters of Distributed NE. Defaults follow the paper's
 /// experimental setting (§7.1): imbalance factor `α = 1.1`, expansion factor
@@ -58,6 +115,19 @@ pub struct NeConfig {
     /// iterations for peak memory. `None` (the default) keeps the paper's
     /// unbounded behavior and bit-identical results.
     pub frontier_budget: Option<u64>,
+    /// Per-round checkpointing of the machine state for elastic fault
+    /// tolerance (see [`crate::snapshot`]). `None` (the default) resolves
+    /// `DNE_CHECKPOINT_EVERY` / `DNE_CHECKPOINT_DIR` at partition time
+    /// (checkpointing off when unset), so constructing a config never
+    /// touches the environment. Checkpointing never changes results: the
+    /// snapshot write is a pure observer of the round loop.
+    pub checkpoint: Option<CheckpointPolicy>,
+    /// Fault injection for recovery testing: the rank panics at the end of
+    /// the given completed round (after its checkpoint write), simulating
+    /// a mid-run crash. `None` (the default) resolves `DNE_FAULT_ROUND` at
+    /// partition time (no fault when unset). Only ever set on the rank
+    /// under test.
+    pub fault_round: Option<u64>,
 }
 
 impl Default for NeConfig {
@@ -72,6 +142,8 @@ impl Default for NeConfig {
             collectives: None,
             comm_batch: None,
             frontier_budget: None,
+            checkpoint: None,
+            fault_round: None,
         }
     }
 }
@@ -149,6 +221,51 @@ impl NeConfig {
         self.frontier_budget = Some(budget);
         self
     }
+
+    /// Checkpoint the machine state every `every` rounds into `dir`
+    /// (overrides `DNE_CHECKPOINT_EVERY` / `DNE_CHECKPOINT_DIR`).
+    pub fn with_checkpoint(mut self, every: u64, dir: impl Into<std::path::PathBuf>) -> Self {
+        self.checkpoint = Some(CheckpointPolicy::new(every, dir));
+        self
+    }
+
+    /// The checkpoint policy a run will use: the explicit choice if one
+    /// was made, otherwise whatever `DNE_CHECKPOINT_EVERY` /
+    /// `DNE_CHECKPOINT_DIR` say right now (`None` = checkpointing off).
+    pub fn resolved_checkpoint(&self) -> Option<CheckpointPolicy> {
+        self.checkpoint.clone().or_else(CheckpointPolicy::from_env)
+    }
+
+    /// Inject a crash: panic at the end of completed round `round`
+    /// (overrides `DNE_FAULT_ROUND`). Recovery-testing only.
+    pub fn with_fault_round(mut self, round: u64) -> Self {
+        assert!(round >= 1, "fault round must be at least 1");
+        self.fault_round = Some(round);
+        self
+    }
+
+    /// The injected fault round a run will use: the explicit choice if one
+    /// was made, otherwise whatever `DNE_FAULT_ROUND` says right now
+    /// (`None` = no injected fault).
+    ///
+    /// # Panics
+    /// Panics on a malformed `DNE_FAULT_ROUND` (zero, non-numeric,
+    /// non-Unicode), naming the accepted form.
+    pub fn resolved_fault_round(&self) -> Option<u64> {
+        self.fault_round.or_else(|| match std::env::var("DNE_FAULT_ROUND") {
+            Ok(v) if !v.trim().is_empty() => {
+                Some(
+                    v.trim().parse::<u64>().ok().filter(|&n| n >= 1).unwrap_or_else(|| {
+                        panic!("invalid DNE_FAULT_ROUND: expected a round >= 1")
+                    }),
+                )
+            }
+            Err(std::env::VarError::NotUnicode(raw)) => {
+                panic!("invalid DNE_FAULT_ROUND: non-Unicode value {raw:?}")
+            }
+            _ => None,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -201,5 +318,27 @@ mod tests {
         assert_eq!(NeConfig::default().transport, None);
         assert_eq!(NeConfig::default().collectives, None);
         assert_eq!(NeConfig::default().comm_batch, None);
+        assert_eq!(NeConfig::default().checkpoint, None);
+        assert_eq!(NeConfig::default().fault_round, None);
+    }
+
+    #[test]
+    fn checkpoint_builder_overrides_environment() {
+        let c = NeConfig::default().with_checkpoint(3, "/tmp/snaps");
+        let policy = c.resolved_checkpoint().expect("explicit policy");
+        assert_eq!(policy.every, 3);
+        assert_eq!(policy.dir, std::path::PathBuf::from("/tmp/snaps"));
+    }
+
+    #[test]
+    #[should_panic(expected = "checkpoint interval")]
+    fn rejects_zero_checkpoint_interval() {
+        let _ = CheckpointPolicy::new(0, "x");
+    }
+
+    #[test]
+    fn fault_round_builder() {
+        let c = NeConfig::default().with_fault_round(5);
+        assert_eq!(c.resolved_fault_round(), Some(5));
     }
 }

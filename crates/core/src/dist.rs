@@ -297,6 +297,17 @@ impl AllocatorPart {
         self.rest[lv as usize] -= 1;
     }
 
+    /// Position of the random-restart scan cursor (checkpointing).
+    pub fn scan_cursor(&self) -> usize {
+        self.scan_cursor
+    }
+
+    /// Restore the random-restart scan cursor from a checkpoint.
+    pub fn set_scan_cursor(&mut self, cursor: usize) {
+        assert!(cursor <= self.scan_order.len(), "scan cursor {cursor} out of range");
+        self.scan_cursor = cursor;
+    }
+
     /// Next local vertex with unallocated edges in the shuffled scan order
     /// (the allocator-side random restart of Algorithm 1 line 7).
     pub fn random_free_vertex(&mut self) -> Option<u32> {

@@ -15,6 +15,8 @@
 //! | Algorithm 4 (multi-expansion with factor λ) | [`boundary`] + [`expansion`] |
 //! | §6 Theorems 1–3 (upper bound, tightness, power-law expectations, Table 1) | [`theory`] |
 //! | Figure 4 work/data flow | [`partitioner`] (drives one machine per rank with colocated expansion + allocation processes) |
+//! | Elastic fault tolerance (beyond the paper: per-round `DNESNAP1` checkpoints, restart-and-rejoin) | [`snapshot`] |
+//! | Dead-rank edge migration (beyond the paper: evacuate a lost partition onto survivors from checkpoints) | [`recovery`] |
 //!
 //! ## Quick start
 //!
@@ -42,10 +44,14 @@ pub mod dist;
 pub mod expansion;
 pub mod messages;
 pub mod partitioner;
+pub mod recovery;
+pub mod snapshot;
 pub mod stats;
 pub mod theory;
 
-pub use config::NeConfig;
+pub use config::{CheckpointPolicy, NeConfig};
 pub use messages::NeMsg;
 pub use partitioner::{DistributedNe, RankRun};
+pub use recovery::{migrate_dead_rank, MigrationReport};
+pub use snapshot::{RankSnapshot, SnapshotError};
 pub use stats::NeStats;

@@ -14,6 +14,7 @@ use crate::config::NeConfig;
 use crate::dist::{AllocatorPart, Grid2D, FREE};
 use crate::expansion::{ExpansionState, SelectAction};
 use crate::messages::{NeMsg, Part};
+use crate::snapshot::{self, RankSnapshot};
 use crate::stats::NeStats;
 
 /// Distributed Neighbor Expansion. Implements [`EdgePartitioner`]; use
@@ -103,9 +104,9 @@ impl DistributedNe {
                     cells[ctx.rank()].lock().take().expect("each rank takes its bucket once");
                 // In-process, a transport failure means a sibling machine
                 // thread died — nothing to recover; fail the run loudly.
-                self.run_machine(ctx, m, graph_bytes, &grid, my_edges, k).unwrap_or_else(|e| {
-                    panic!("rank {}: transport failure during Distributed NE: {e}", ctx.rank())
-                })
+                self.run_machine(ctx, m, graph_bytes, &grid, my_edges, k, None).unwrap_or_else(
+                    |e| panic!("rank {}: transport failure during Distributed NE: {e}", ctx.rank()),
+                )
             });
         // Assemble the global assignment from the expansion processes'
         // final edge sets ("at the end of the computation, the entire edges
@@ -168,6 +169,30 @@ impl DistributedNe {
         g: &Graph,
         k: PartitionId,
     ) -> Result<RankRun, TransportError> {
+        self.run_rank_from(ctx, g, k, None)
+    }
+
+    /// Like [`DistributedNe::run_rank`], but when `resume` carries a
+    /// [`RankSnapshot`] the machine restores that checkpoint and continues
+    /// from its round instead of starting fresh. Every rank of the cluster
+    /// must resume from the *same* round (snapshots are written at the
+    /// same post-barrier loop point, so equal rounds mean a consistent
+    /// global state) — the `dne-tcp-worker` recovery loop agrees on the
+    /// newest common round with an all-gather before calling this. A
+    /// resumed run's final assignment is bit-identical to an uninterrupted
+    /// run's.
+    ///
+    /// # Panics
+    /// Panics if the snapshot fails [`RankSnapshot::validate`] against
+    /// this rank/graph/config — callers load snapshots through the
+    /// fallible [`snapshot`] API and should validate before resuming.
+    pub fn run_rank_from(
+        &self,
+        ctx: &mut Ctx<NeMsg>,
+        g: &Graph,
+        k: PartitionId,
+        resume: Option<RankSnapshot>,
+    ) -> Result<RankRun, TransportError> {
         assert!(k >= 1, "need at least one partition");
         assert_eq!(ctx.nprocs(), k as usize, "one machine per partition");
         if g.num_edges() == 0 {
@@ -188,11 +213,12 @@ impl DistributedNe {
         });
         // A real process holds its own copy of (or window into) the graph,
         // so the whole resident footprint is charged to this rank.
-        self.run_machine(ctx, g.num_edges(), g.resident_bytes(), &grid, my_edges, k)
+        self.run_machine(ctx, g.num_edges(), g.resident_bytes(), &grid, my_edges, k, resume)
     }
 
     /// One simulated machine: expansion process for partition `rank` plus
     /// the allocation process for the 2D-hash cell `rank`.
+    #[allow(clippy::too_many_arguments)]
     fn run_machine(
         &self,
         ctx: &mut Ctx<NeMsg>,
@@ -201,6 +227,7 @@ impl DistributedNe {
         grid: &Grid2D,
         my_edges: Vec<(EdgeId, VertexId, VertexId)>,
         k: PartitionId,
+        resume: Option<RankSnapshot>,
     ) -> Result<RankRun, TransportError> {
         let rank = ctx.rank();
         let kk = k as usize;
@@ -209,22 +236,43 @@ impl DistributedNe {
         let limit = (self.config.alpha * m as f64 / k as f64).ceil() as u64;
         let mut exp = ExpansionState::new(rank as Part, limit, self.config.lambda);
         exp.frontier_budget = self.config.frontier_budget.unwrap_or(u64::MAX);
-        // Free-edge gossip, seeded by one initial all-gather and refreshed
-        // by every Result round afterwards.
-        let mut free_hints: Vec<u64> = ctx.try_all_gather_u64(alloc.free_edges)?;
-        // Previous iteration's |E_p| per partition (capacity gate for the
-        // two-hop phase; one iteration stale by construction).
-        let mut global_sizes: Vec<u64> = vec![0; kk];
-        let mut iterations = 0u64;
-        let mut prev_total = 0u64;
-        let mut stall = 0u32;
+        let checkpoint = self.config.resolved_checkpoint();
+        let fault_round = self.config.resolved_fault_round();
+        let run_fp = snapshot::run_fingerprint(m, k, self.config.seed);
         let mut selection_time = Duration::ZERO;
         let mut allocation_time = Duration::ZERO;
-        // Round k+1's vertex selection, computed while round k's
-        // termination all-gather was still in flight (see the split gather
-        // at the bottom of the loop). `None` on the first round and
-        // whenever speculation was skipped.
-        let mut next_select: Option<SelectAction> = None;
+        // Loop state: free-edge gossip (seeded by one initial all-gather,
+        // refreshed by every Result round), the previous round's |E_p| per
+        // partition (capacity gate for the two-hop phase; one iteration
+        // stale by construction), stall accounting, and the speculated
+        // next-round selection (see the split gather at the loop bottom).
+        // A resuming machine restores all of it from the checkpoint
+        // instead — including skipping the initial all-gather, which every
+        // rank skips in lock-step because all of them resume together.
+        let (mut free_hints, mut global_sizes, mut iterations, mut prev_total, mut stall);
+        let mut next_select: Option<SelectAction>;
+        match resume {
+            Some(snap) => {
+                snap.validate(rank as u32, k, run_fp)
+                    .unwrap_or_else(|e| panic!("rank {rank}: cannot resume: {e}"));
+                free_hints = snap.free_hints.clone();
+                global_sizes = snap.global_sizes.clone();
+                iterations = snap.round;
+                prev_total = snap.prev_total;
+                stall = snap.stall;
+                next_select = snap.next_select.clone();
+                snap.restore_into(&mut exp, &mut alloc)
+                    .unwrap_or_else(|e| panic!("rank {rank}: cannot resume: {e}"));
+            }
+            None => {
+                free_hints = ctx.try_all_gather_u64(alloc.free_edges)?;
+                global_sizes = vec![0; kk];
+                iterations = 0;
+                prev_total = 0;
+                stall = 0;
+                next_select = None;
+            }
+        }
         loop {
             iterations += 1;
             // ---- Phase 1: vertex selection (Algorithm 1 l.3–8 / Alg. 4).
@@ -405,6 +453,42 @@ impl DistributedNe {
                 let total = ctx.try_all_reduce_sum_u64(exp.size())?;
                 debug_assert_eq!(total, m, "trickle must complete the cover");
                 break;
+            }
+            // ---- End of round: the run continues, so this is the state a
+            // recovery must be able to rebuild. Every rank reaches this
+            // point for the same `iterations` (the finish_all_gather above
+            // is a barrier), so equal snapshot rounds across ranks mean a
+            // consistent global cut. The write is a pure observer: nothing
+            // the loop reads is mutated.
+            if let Some(cp) = &checkpoint {
+                if iterations % cp.every == 0 {
+                    let snap = RankSnapshot::capture(
+                        rank as u32,
+                        k,
+                        run_fp,
+                        iterations,
+                        prev_total,
+                        stall,
+                        &free_hints,
+                        &global_sizes,
+                        &next_select,
+                        &exp,
+                        &alloc,
+                    );
+                    snap.write_atomic(&cp.dir).map_err(|error| TransportError::Io {
+                        context: format!(
+                            "rank {rank}: writing round-{iterations} checkpoint to {}",
+                            cp.dir.display()
+                        ),
+                        error,
+                    })?;
+                }
+            }
+            if fault_round == Some(iterations) {
+                // Injected crash for recovery testing: die *after* this
+                // round's checkpoint, mid-job, like a SIGKILLed rank whose
+                // peers find out through the broken socket.
+                panic!("rank {rank}: injected fault at end of round {iterations}");
             }
         }
         Ok(RankRun { edges: exp.edges, iterations, selection_time, allocation_time })
@@ -632,6 +716,111 @@ mod tests {
         assert_eq!(EdgeAssignment::new(parts, k), a_ref, "assignments must be bit-identical");
         assert_eq!(total_bytes, s_ref.comm_bytes, "comm bytes across processes");
         assert_eq!(total_msgs, s_ref.comm_msgs, "comm message counts across processes");
+    }
+
+    #[test]
+    fn killed_rank_rejoins_and_run_is_bit_identical() {
+        // The full elastic-recovery protocol over real TCP sessions,
+        // P = 4, checkpoint every round: rank 1 crashes at the end of
+        // round 2 (panic → dirty socket teardown, exactly what its peers
+        // see from a SIGKILL), the survivors re-rendezvous under the next
+        // bootstrap epoch, a fresh incarnation of rank 1 rejoins with
+        // EPOCH_ANY, everyone agrees on the minimum checkpointed round,
+        // and the resumed run must be bit-identical to an uninterrupted
+        // one — same assignment, same iteration count on every rank.
+        use dne_runtime::{TcpProcessCluster, EPOCH_ANY};
+        let g = gen::rmat(&gen::RmatConfig::graph500(7, 4, 13));
+        let k = 4u32;
+        let dir = std::env::temp_dir().join(format!("dne-killrestart-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let base = NeConfig::default().with_seed(13).with_checkpoint(1, &dir);
+        let part = DistributedNe::new(base.clone());
+        let doomed_part = DistributedNe::new(base.with_fault_round(2));
+        let (a_ref, s_ref) = ne(13).partition_with_stats(&g, k);
+        assert!(s_ref.iterations > 2, "the job must outlive the injected fault round");
+
+        let host = TcpProcessCluster::host(k as usize, "127.0.0.1:0").unwrap();
+        let addr = host.addr().to_string();
+        let mut host = Some(host);
+        // A rank's life with recovery: run, and on a dropped peer
+        // re-rendezvous (rank 0 bumps the epoch, everyone else wildcards),
+        // all-gather the per-rank newest checkpoint rounds, resume from
+        // the minimum — the round every rank is guaranteed to still hold.
+        let live = |mut cluster: TcpProcessCluster, mut resume: Option<RankSnapshot>| {
+            let rank = cluster.rank();
+            let first_epoch = if resume.is_some() { EPOCH_ANY } else { 0 };
+            let mut session = cluster.connect_epoch::<NeMsg>(first_epoch).unwrap();
+            if resume.is_some() {
+                let (mine, _) = RankSnapshot::latest(&dir, rank as u32).unwrap().unwrap();
+                let rounds = session.ctx.try_all_gather_u64(mine).unwrap();
+                let round = rounds.into_iter().min().unwrap();
+                resume = Some(RankSnapshot::load_round(&dir, rank as u32, round).unwrap());
+            }
+            loop {
+                match part.run_rank_from(&mut session.ctx, &g, k, resume.take()) {
+                    Ok(run) => break (rank, run.edges, run.iterations),
+                    Err(TransportError::Disconnected { .. }) => {
+                        let next = if rank == 0 { session.epoch + 1 } else { EPOCH_ANY };
+                        drop(session);
+                        session = cluster.connect_epoch::<NeMsg>(next).unwrap();
+                        let (mine, _) = RankSnapshot::latest(&dir, rank as u32).unwrap().unwrap();
+                        let rounds = session.ctx.try_all_gather_u64(mine).unwrap();
+                        let round = rounds.into_iter().min().unwrap();
+                        resume = Some(RankSnapshot::load_round(&dir, rank as u32, round).unwrap());
+                    }
+                    Err(e) => panic!("rank {rank}: {e}"),
+                }
+            }
+        };
+        let outputs: Vec<(usize, Vec<EdgeId>, u64)> = std::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for rank in [0usize, 2, 3] {
+                let (live, addr) = (&live, addr.clone());
+                let cluster = host.take();
+                handles.push(s.spawn(move || {
+                    let cluster = match cluster {
+                        Some(h) => h,
+                        None => TcpProcessCluster::join(rank, k as usize, &addr).unwrap(),
+                    };
+                    live(cluster, None)
+                }));
+            }
+            let doomed = {
+                let (doomed_part, g, addr) = (&doomed_part, &g, addr.clone());
+                s.spawn(move || {
+                    let cluster = TcpProcessCluster::join(1, k as usize, &addr).unwrap();
+                    let mut session = cluster.connect::<NeMsg>().unwrap();
+                    doomed_part.run_rank(&mut session.ctx, g, k)
+                })
+            };
+            handles.push(s.spawn({
+                let (live, dir) = (&live, &dir);
+                move || {
+                    // Rank 1's second incarnation: wait for the first to
+                    // die of its injected fault, then rejoin under
+                    // whatever epoch the survivors have moved to.
+                    assert!(doomed.join().is_err(), "the injected fault must kill rank 1");
+                    let cluster = TcpProcessCluster::join(1, k as usize, &addr).unwrap();
+                    let latest =
+                        RankSnapshot::latest(dir, 1).unwrap().expect("rank 1 checkpointed");
+                    live(cluster, Some(RankSnapshot::read(&latest.1).unwrap()))
+                }
+            }));
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let mut parts = vec![UNASSIGNED; g.num_edges() as usize];
+        for (rank, edges, iterations) in outputs {
+            assert_eq!(iterations, s_ref.iterations, "rank {rank} iteration count");
+            for e in edges {
+                parts[e as usize] = rank as PartitionId;
+            }
+        }
+        assert_eq!(
+            EdgeAssignment::new(parts, k),
+            a_ref,
+            "recovered run must be bit-identical to the uninterrupted one"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -33,13 +33,66 @@ pub struct IncrementalVertexCut {
     sizes: Vec<u64>,
     /// Partition of every edge, in insertion order.
     log: Vec<PartitionId>,
+    /// Partitions [`insert`](Self::insert) may never choose (a dead rank's
+    /// partition during edge migration). Empty until [`ban`](Self::ban).
+    banned: Vec<bool>,
 }
 
 impl IncrementalVertexCut {
     /// Empty state for `k` partitions.
     pub fn new(k: PartitionId) -> Self {
         assert!(k >= 1);
-        Self { k, alpha: 1.1, vparts: Vec::new(), sizes: vec![0; k as usize], log: Vec::new() }
+        Self {
+            k,
+            alpha: 1.1,
+            vparts: Vec::new(),
+            sizes: vec![0; k as usize],
+            log: Vec::new(),
+            banned: vec![false; k as usize],
+        }
+    }
+
+    /// Forbid partition `p` from ever being chosen by
+    /// [`insert`](Self::insert) — the migration primitive: ban the dead
+    /// rank's partition, then re-insert its edges so every one lands on a
+    /// survivor.
+    ///
+    /// # Panics
+    /// Panics when `p` is out of range or when banning it would leave no
+    /// live partition.
+    pub fn ban(&mut self, p: PartitionId) {
+        assert!(p < self.k, "partition {p} out of range (k = {})", self.k);
+        self.banned[p as usize] = true;
+        assert!(
+            self.banned.iter().any(|&b| !b),
+            "banning partition {p} would leave no live partition"
+        );
+    }
+
+    /// Whether partition `p` is banned from placement.
+    pub fn is_banned(&self, p: PartitionId) -> bool {
+        self.banned[p as usize]
+    }
+
+    /// Number of partitions still accepting placements.
+    fn live_parts(&self) -> u64 {
+        self.banned.iter().filter(|&&b| !b).count() as u64
+    }
+
+    /// Replay a known placement (a survivor's edge from a static run or a
+    /// checkpoint) without running the placement rules, so migration can
+    /// seed from a *partial* assignment that [`Self::from_assignment`]'s
+    /// total `EdgeAssignment` cannot express.
+    ///
+    /// # Panics
+    /// Panics when `p` is out of range or banned.
+    pub fn seed_edge(&mut self, u: VertexId, v: VertexId, p: PartitionId) {
+        assert!(p < self.k, "partition {p} out of range (k = {})", self.k);
+        assert!(!self.banned[p as usize], "cannot seed an edge into banned partition {p}");
+        self.note_member(u, p);
+        self.note_member(v, p);
+        self.sizes[p as usize] += 1;
+        self.log.push(p);
     }
 
     /// Seed from a static partitioning (e.g. a Distributed NE run), so the
@@ -75,17 +128,22 @@ impl IncrementalVertexCut {
     /// Rolling capacity: `α·(|E|+1)/|P|` plus a small additive slack, so
     /// the Equation 2 constraint holds asymptotically at every prefix while
     /// tiny streams can still co-locate (a hard per-prefix cap would force
-    /// a triangle across three partitions).
+    /// a triangle across three partitions). Banned partitions do not count
+    /// toward `|P|`: survivors absorb a dead rank's share.
     fn capacity(&self) -> u64 {
-        (self.alpha * (self.log.len() as f64 + 1.0) / self.k as f64).ceil() as u64 + 8
+        (self.alpha * (self.log.len() as f64 + 1.0) / self.live_parts() as f64).ceil() as u64 + 8
     }
 
-    /// Insert edge `(u, v)`; returns the partition it was placed in.
+    /// Insert edge `(u, v)`; returns the partition it was placed in —
+    /// never a [banned](Self::ban) one.
     pub fn insert(&mut self, u: VertexId, v: VertexId) -> PartitionId {
         let cap = self.capacity();
+        let banned = &self.banned;
         let open = |p: PartitionId, sizes: &[u64]| sizes[p as usize] < cap;
         let pick_min = |cands: &mut dyn Iterator<Item = PartitionId>, sizes: &[u64]| {
-            cands.filter(|&p| open(p, sizes)).min_by_key(|&p| (sizes[p as usize], p))
+            cands
+                .filter(|&p| !banned[p as usize] && open(p, sizes))
+                .min_by_key(|&p| (sizes[p as usize], p))
         };
         let pu = self.parts_of(u);
         let pv = self.parts_of(v);
@@ -107,7 +165,10 @@ impl IncrementalVertexCut {
             // final fallback so insertion always succeeds.
             .or_else(|| pick_min(&mut (0..self.k), &self.sizes))
             .unwrap_or_else(|| {
-                (0..self.k).min_by_key(|&p| (self.sizes[p as usize], p)).expect("k >= 1")
+                (0..self.k)
+                    .filter(|&p| !banned[p as usize])
+                    .min_by_key(|&p| (self.sizes[p as usize], p))
+                    .expect("at least one live partition")
             });
         self.note_member(u, choice);
         self.note_member(v, choice);
@@ -131,13 +192,14 @@ impl IncrementalVertexCut {
         replicas as f64 / seen as f64
     }
 
-    /// Current edge balance `max/mean`.
+    /// Current edge balance `max/mean` over the live (non-banned)
+    /// partitions — with nothing banned this is the usual `|P|`-mean.
     pub fn edge_balance(&self) -> f64 {
         let total: u64 = self.sizes.iter().sum();
         if total == 0 {
             return 1.0;
         }
-        let mean = total as f64 / self.k as f64;
+        let mean = total as f64 / self.live_parts() as f64;
         *self.sizes.iter().max().unwrap() as f64 / mean
     }
 
@@ -232,5 +294,73 @@ mod tests {
         assert_eq!(inc.replication_factor(), 0.0);
         assert_eq!(inc.edge_balance(), 1.0);
         assert_eq!(inc.num_edges(), 0);
+    }
+
+    #[test]
+    fn banned_partition_never_receives_insertions() {
+        let g = gen::rmat(&gen::RmatConfig::graph500(9, 8, 4));
+        let mut inc = IncrementalVertexCut::new(4);
+        inc.ban(2);
+        assert!(inc.is_banned(2));
+        for &(u, v) in g.edges() {
+            assert_ne!(inc.insert(u, v), 2, "insert must never pick a banned partition");
+        }
+        // Survivors absorb the banned partition's share and stay balanced
+        // among themselves (capacity divides by live partitions).
+        assert!(inc.edge_balance() <= 1.12, "live balance {}", inc.edge_balance());
+    }
+
+    #[test]
+    fn seeded_survivors_attract_migrated_edges() {
+        // The migration shape: survivors keep their checkpointed edges
+        // (seeded verbatim), the dead partition's edges are re-inserted.
+        // Locality seeding must make most of them land where their
+        // endpoints already live.
+        let g = gen::rmat(&gen::RmatConfig::graph500(9, 8, 6));
+        let full = {
+            let mut inc = IncrementalVertexCut::new(4);
+            for &(u, v) in g.edges() {
+                inc.insert(u, v);
+            }
+            inc
+        };
+        let dead: PartitionId = 3;
+        let mut migrated = IncrementalVertexCut::new(4);
+        migrated.ban(dead);
+        let log = full.assignment_log().to_vec();
+        for (e, &(u, v)) in g.edges().iter().enumerate() {
+            if log[e] != dead {
+                migrated.seed_edge(u, v, log[e]);
+            }
+        }
+        for (e, &(u, v)) in g.edges().iter().enumerate() {
+            if log[e] == dead {
+                let p = migrated.insert(u, v);
+                assert_ne!(p, dead, "a migrated edge must land on a survivor");
+            }
+        }
+        assert_eq!(migrated.num_edges(), g.num_edges(), "every edge is owned after migration");
+        let rf_full = full.replication_factor();
+        let rf_migrated = migrated.replication_factor();
+        assert!(
+            rf_migrated <= rf_full * 1.10,
+            "migration should cost under 10% RF: {rf_full} -> {rf_migrated}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "banned partition")]
+    fn seeding_into_banned_partition_panics() {
+        let mut inc = IncrementalVertexCut::new(4);
+        inc.ban(1);
+        inc.seed_edge(0, 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no live partition")]
+    fn banning_every_partition_panics() {
+        let mut inc = IncrementalVertexCut::new(2);
+        inc.ban(0);
+        inc.ban(1);
     }
 }

@@ -109,7 +109,7 @@ pub use service::{
     WireServer, SERVER_ADDR_ENV,
 };
 pub use stats::CommStats;
-pub use tcp::{TcpProcessCluster, TcpSession, TcpTransport};
+pub use tcp::{TcpProcessCluster, TcpSession, TcpTransport, EPOCH_ANY};
 pub use transport::{
     BatchConfig, BytesTransport, LoopbackTransport, Transport, TransportError, TransportKind,
     DEFAULT_BATCH_BYTES,

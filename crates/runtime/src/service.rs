@@ -434,6 +434,10 @@ pub struct WireClient<Req, Resp> {
     /// Encoded request frames not yet written to the socket.
     out: Vec<u8>,
     next_seq: u32,
+    /// Oldest sequence number still awaiting its response — together with
+    /// `next_seq` this is the in-flight window a connection-loss error
+    /// reports.
+    awaiting: u32,
     _codec: std::marker::PhantomData<fn(Req) -> Resp>,
 }
 
@@ -450,7 +454,52 @@ impl<Req: WireEncode, Resp: WireDecode> WireClient<Req, Resp> {
         let reader = FramedReader::new(
             stream.try_clone().map_err(|e| io_err("cloning service connection", e))?,
         );
-        Ok(Self { stream, reader, out: Vec::new(), next_seq: 0, _codec: std::marker::PhantomData })
+        Ok(Self {
+            stream,
+            reader,
+            out: Vec::new(),
+            next_seq: 0,
+            awaiting: 0,
+            _codec: std::marker::PhantomData,
+        })
+    }
+
+    /// How many requests are unanswered: sent (or buffered) but their
+    /// responses not yet received.
+    pub fn in_flight(&self) -> u32 {
+        self.next_seq.wrapping_sub(self.awaiting)
+    }
+
+    /// The hard failure a vanished server turns into: a pipelining client
+    /// must not wait for (or silently drop) responses that can never
+    /// arrive, so the error names exactly which request was awaited and
+    /// how many more were in flight behind it.
+    fn connection_lost(&self, error: std::io::Error) -> TransportError {
+        let n = self.in_flight();
+        let context = if n == 0 {
+            "reading from the service connection (no request in flight)".to_string()
+        } else {
+            format!(
+                "awaiting the response to request #{} ({n} request(s) in flight, \
+                 sequences #{}..=#{})",
+                self.awaiting,
+                self.awaiting,
+                self.next_seq.wrapping_sub(1)
+            )
+        };
+        TransportError::Io { context, error }
+    }
+
+    /// Whether an IO error kind means the connection itself died (as
+    /// opposed to a transient or unrelated failure).
+    fn is_connection_loss(kind: std::io::ErrorKind) -> bool {
+        matches!(
+            kind,
+            std::io::ErrorKind::ConnectionReset
+                | std::io::ErrorKind::ConnectionAborted
+                | std::io::ErrorKind::BrokenPipe
+                | std::io::ErrorKind::UnexpectedEof
+        )
     }
 
     /// Buffer one request for sending and return the sequence number its
@@ -474,7 +523,13 @@ impl<Req: WireEncode, Resp: WireDecode> WireClient<Req, Resp> {
         if self.out.is_empty() {
             return Ok(());
         }
-        self.stream.write_all(&self.out).map_err(|e| io_err("sending requests", e))?;
+        self.stream.write_all(&self.out).map_err(|e| {
+            if Self::is_connection_loss(e.kind()) {
+                self.connection_lost(e)
+            } else {
+                io_err("sending requests", e)
+            }
+        })?;
         self.out.clear();
         Ok(())
     }
@@ -483,15 +538,35 @@ impl<Req: WireEncode, Resp: WireDecode> WireClient<Req, Resp> {
     /// Responses arrive in request order (the server handles each
     /// connection FIFO), so a pipelining caller can match them by queue
     /// position as well as by sequence number.
+    ///
+    /// A server that vanishes — EOF, `ECONNRESET`, a broken pipe — while
+    /// requests are in flight is a **hard failure**: the returned error
+    /// names the awaited sequence number and the whole unanswered window,
+    /// so a caller driving a pipeline cannot mistake a dead server for a
+    /// slow one or exit zero with lookups unverified.
     pub fn recv(&mut self) -> Result<(u32, Resp), TransportError> {
         self.flush()?;
-        match self.reader.read_frame()? {
-            FrameItem::Frame { src: seq, payload } => {
+        match self.reader.read_frame() {
+            Ok(FrameItem::Frame { src: seq, payload }) => {
                 let resp = Resp::from_wire(&payload)
                     .map_err(|error| TransportError::Decode { src: seq as usize, error })?;
+                self.awaiting = seq.wrapping_add(1);
                 Ok((seq, resp))
             }
-            FrameItem::Bye { .. } => Err(TransportError::Disconnected { peer: None }),
+            Ok(FrameItem::Bye { .. }) => Err(self.connection_lost(std::io::Error::new(
+                std::io::ErrorKind::ConnectionAborted,
+                "the server closed the connection with a goodbye frame",
+            ))),
+            Err(TransportError::Disconnected { .. }) => {
+                Err(self.connection_lost(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "the server closed the connection",
+                )))
+            }
+            Err(TransportError::Io { error, .. }) if Self::is_connection_loss(error.kind()) => {
+                Err(self.connection_lost(error))
+            }
+            Err(e) => Err(e),
         }
     }
 
@@ -643,6 +718,36 @@ mod tests {
         // client's requests all succeeded.
         assert!(stats.protocol_errors >= 4, "stats: {stats:?}");
         assert_eq!(stats.requests, 6 + 1);
+    }
+
+    #[test]
+    fn dead_server_mid_pipeline_names_the_in_flight_window() {
+        // A hand-rolled "server" that answers the first request and then
+        // vanishes: the pipelining client must get a hard failure naming
+        // the awaited sequence number and the unanswered window — never a
+        // silent hang or a clean-looking disconnect.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut c = WireClient::<u64, u64>::connect(addr).unwrap();
+        for i in 0..5u64 {
+            c.send(&i).unwrap();
+        }
+        c.flush().unwrap();
+        let (mut sock, _) = listener.accept().unwrap();
+        // Absorb all five requests (20 bytes each: 12-byte header + u64),
+        // answer only sequence 0, then send FIN without a goodbye frame.
+        let mut buf = [0u8; 100];
+        std::io::Read::read_exact(&mut sock, &mut buf).unwrap();
+        sock.write_all(&classic_frame(0, &0u64.to_wire())).unwrap();
+        sock.shutdown(Shutdown::Write).unwrap();
+
+        let (seq, resp) = c.recv().unwrap();
+        assert_eq!((seq, resp), (0, 0));
+        assert_eq!(c.in_flight(), 4);
+        let msg = c.recv().unwrap_err().to_string();
+        assert!(msg.contains("request #1"), "names the awaited request: {msg}");
+        assert!(msg.contains("4 request(s) in flight"), "counts the window: {msg}");
+        assert!(msg.contains("#1..=#4"), "names the unanswered window: {msg}");
     }
 
     #[test]

@@ -10,13 +10,13 @@
 //!    [`TcpRendezvous`]). Every rank `r > 0` first binds its own mesh
 //!    listener (ephemeral localhost by default; `--bind`/`with_bind` for
 //!    cross-machine runs), then dials rank 0 and sends a hello
-//!    (`[u32 magic][u8 fabric][u32 rank][u8 ip kind][16B ip][u16 port]`
+//!    (`[u32 magic][u8 fabric][u32 rank][u32 epoch][u8 ip kind][16B ip][u16 port]`
 //!    advertising where its mesh listener can be dialed; an unspecified
 //!    ip kind asks rank 0 to substitute the address it observed on the
 //!    rendezvous connection).
 //! 2. **Roster** — once all `P − 1` hellos arrived, rank 0 answers each
 //!    peer with the roster
-//!    (`[u32 magic][u32 nprocs][(u8 ip kind)(16B ip)(u16 port) × (P − 1)]`)
+//!    (`[u32 magic][u32 nprocs][u32 epoch][(u8 ip kind)(16B ip)(u16 port) × (P − 1)]`)
 //!    mapping every nonzero rank to its mesh listener's full socket
 //!    address — real peer IPs, not an assumed localhost. The rendezvous
 //!    connection itself becomes the `0 ↔ r` mesh link.
@@ -34,6 +34,24 @@
 //! deadlocking at the first barrier. Every bootstrap step carries a
 //! deadline — a peer that never shows up is a
 //! [`TransportError::Bootstrap`], not a hang.
+//!
+//! # Epochs and recovery
+//!
+//! Every bootstrap happens under an **epoch** — a generation counter
+//! owned by rank 0's rendezvous. A cluster's first bootstrap is epoch 0;
+//! after a rank dies (survivors observe [`TransportError::Disconnected`]),
+//! the same [`TcpProcessCluster`] objects can re-bootstrap a fresh mesh
+//! under the next epoch via
+//! [`connect_epoch`](TcpProcessCluster::connect_epoch): rank 0's
+//! rendezvous listener persists across epochs (its address stays valid),
+//! survivors and restarted workers re-dial it with the [`EPOCH_ANY`]
+//! wildcard and learn the agreed epoch from the roster. A hello carrying
+//! a concrete epoch that disagrees with the rendezvous's current epoch is
+//! a typed [`TransportError::Bootstrap`] naming both epochs (a process
+//! from a previous incarnation is talking to this rendezvous); a stale
+//! mesh-listener connect is silently dropped and the accept loop
+//! continues, so a zombie cannot poison a recovery bootstrap. Rank 0
+//! owns the epoch counter, so rank 0's death is unrecoverable by design.
 //!
 //! # Framing
 //!
@@ -214,18 +232,28 @@ fn decode_ip(buf: &[u8]) -> Result<Option<IpAddr>, TransportError> {
     }
 }
 
-/// Hello: `[u32 magic][u8 fabric][u32 rank][u8 ip kind][16B ip][u16 port]`.
+/// Epoch wildcard in hellos: "whatever epoch the rendezvous is currently
+/// bootstrapping". Survivors and restarted workers re-dialing after a
+/// failure cannot know how many recoveries rank 0 has already counted, so
+/// they send the wildcard and learn the agreed epoch from the roster.
+pub const EPOCH_ANY: u32 = u32::MAX;
+
+/// Hello:
+/// `[u32 magic][u8 fabric][u32 rank][u32 epoch][u8 ip kind][16B ip][u16 port]`.
 ///
 /// The IP is the address this rank *advertises* for its mesh listener;
 /// kind 0 means "unspecified" and tells the rendezvous to substitute the
 /// source IP it observed on the hello connection itself (the right answer
-/// for localhost fleets and for workers behind symmetric routing).
-const HELLO_BYTES: usize = 28;
+/// for localhost fleets and for workers behind symmetric routing). The
+/// epoch is the bootstrap generation the sender believes it is joining
+/// ([`EPOCH_ANY`] defers to the rendezvous).
+const HELLO_BYTES: usize = 32;
 
 fn write_hello(
     s: &mut impl Write,
     fabric: u8,
     rank: u32,
+    epoch: u32,
     ip: Option<IpAddr>,
     port: u16,
 ) -> io::Result<()> {
@@ -233,12 +261,13 @@ fn write_hello(
     buf[0..4].copy_from_slice(&MAGIC.to_le_bytes());
     buf[4] = fabric;
     buf[5..9].copy_from_slice(&rank.to_le_bytes());
-    encode_ip(&mut buf[9..26], ip);
-    buf[26..28].copy_from_slice(&port.to_le_bytes());
+    buf[9..13].copy_from_slice(&epoch.to_le_bytes());
+    encode_ip(&mut buf[13..30], ip);
+    buf[30..32].copy_from_slice(&port.to_le_bytes());
     s.write_all(&buf)
 }
 
-fn read_hello(s: &mut impl Read) -> Result<(u8, u32, Option<IpAddr>, u16), TransportError> {
+fn read_hello(s: &mut impl Read) -> Result<(u8, u32, u32, Option<IpAddr>, u16), TransportError> {
     let mut buf = [0u8; HELLO_BYTES];
     s.read_exact(&mut buf).map_err(|e| io_err("reading bootstrap hello", e))?;
     let magic = u32::from_le_bytes(buf[0..4].try_into().expect("4-byte slice"));
@@ -250,18 +279,25 @@ fn read_hello(s: &mut impl Read) -> Result<(u8, u32, Option<IpAddr>, u16), Trans
     }
     let fabric = buf[4];
     let rank = u32::from_le_bytes(buf[5..9].try_into().expect("4-byte slice"));
-    let ip = decode_ip(&buf[9..26])?;
-    let port = u16::from_le_bytes(buf[26..28].try_into().expect("2-byte slice"));
-    Ok((fabric, rank, ip, port))
+    let epoch = u32::from_le_bytes(buf[9..13].try_into().expect("4-byte slice"));
+    let ip = decode_ip(&buf[13..30])?;
+    let port = u16::from_le_bytes(buf[30..32].try_into().expect("2-byte slice"));
+    Ok((fabric, rank, epoch, ip, port))
 }
 
 /// Roster entry: `[u8 ip kind][16B ip][u16 port]` — a full socket address.
 const ROSTER_ENTRY_BYTES: usize = 19;
 
-fn write_roster(s: &mut impl Write, nprocs: usize, addrs: &[SocketAddr]) -> io::Result<()> {
-    let mut buf = Vec::with_capacity(8 + addrs.len() * ROSTER_ENTRY_BYTES);
+fn write_roster(
+    s: &mut impl Write,
+    nprocs: usize,
+    epoch: u32,
+    addrs: &[SocketAddr],
+) -> io::Result<()> {
+    let mut buf = Vec::with_capacity(12 + addrs.len() * ROSTER_ENTRY_BYTES);
     buf.extend_from_slice(&MAGIC.to_le_bytes());
     buf.extend_from_slice(&(nprocs as u32).to_le_bytes());
+    buf.extend_from_slice(&epoch.to_le_bytes());
     for a in addrs {
         let mut entry = [0u8; ROSTER_ENTRY_BYTES];
         encode_ip(&mut entry[0..17], Some(a.ip()));
@@ -271,8 +307,8 @@ fn write_roster(s: &mut impl Write, nprocs: usize, addrs: &[SocketAddr]) -> io::
     s.write_all(&buf)
 }
 
-fn read_roster(s: &mut impl Read, nprocs: usize) -> Result<Vec<SocketAddr>, TransportError> {
-    let mut head = [0u8; 8];
+fn read_roster(s: &mut impl Read, nprocs: usize) -> Result<(u32, Vec<SocketAddr>), TransportError> {
+    let mut head = [0u8; 12];
     s.read_exact(&mut head).map_err(|e| io_err("reading bootstrap roster", e))?;
     let magic = u32::from_le_bytes(head[0..4].try_into().expect("4-byte slice"));
     if magic != MAGIC {
@@ -284,9 +320,10 @@ fn read_roster(s: &mut impl Read, nprocs: usize) -> Result<Vec<SocketAddr>, Tran
             "cluster size disagreement: rendezvous says {n} processes, this rank expects {nprocs}"
         )));
     }
+    let epoch = u32::from_le_bytes(head[8..12].try_into().expect("4-byte slice"));
     let mut entries = vec![0u8; (nprocs - 1) * ROSTER_ENTRY_BYTES];
     s.read_exact(&mut entries).map_err(|e| io_err("reading bootstrap roster entries", e))?;
-    entries
+    let addrs = entries
         .chunks_exact(ROSTER_ENTRY_BYTES)
         .map(|c| {
             let ip = decode_ip(&c[0..17])?.ok_or_else(|| {
@@ -295,7 +332,8 @@ fn read_roster(s: &mut impl Read, nprocs: usize) -> Result<Vec<SocketAddr>, Tran
             let port = u16::from_le_bytes([c[17], c[18]]);
             Ok(SocketAddr::new(ip, port))
         })
-        .collect()
+        .collect::<Result<Vec<_>, TransportError>>()?;
+    Ok((epoch, addrs))
 }
 
 /// The rendezvous point of a TCP fabric: rank 0's listener, which peers
@@ -308,6 +346,10 @@ fn read_roster(s: &mut impl Read, nprocs: usize) -> Result<Vec<SocketAddr>, Tran
 pub struct TcpRendezvous {
     listener: TcpListener,
     addr: SocketAddr,
+    /// The bootstrap generation this rendezvous is currently serving.
+    /// Hellos carrying a different concrete epoch are rejected with a
+    /// typed error; [`EPOCH_ANY`] hellos adopt this epoch via the roster.
+    epoch: u32,
     stash: Vec<(u8, u32, SocketAddr, TcpStream)>,
 }
 
@@ -317,12 +359,32 @@ impl TcpRendezvous {
     pub fn bind(addr: &str) -> io::Result<Self> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
-        Ok(Self { listener, addr, stash: Vec::new() })
+        Ok(Self { listener, addr, epoch: 0, stash: Vec::new() })
     }
 
     /// The bound address peers must dial.
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The bootstrap generation this rendezvous currently serves.
+    pub fn epoch(&self) -> u32 {
+        self.epoch
+    }
+
+    /// Move this rendezvous to a new bootstrap generation (a recovery
+    /// bootstrap after a rank died). Hellos stashed under the previous
+    /// epoch belong to a dead world and are discarded.
+    ///
+    /// # Panics
+    /// Panics when `epoch` is the [`EPOCH_ANY`] wildcard — the rendezvous
+    /// owns the authoritative counter and must serve a concrete epoch.
+    pub fn set_epoch(&mut self, epoch: u32) {
+        assert!(epoch != EPOCH_ANY, "the rendezvous must serve a concrete epoch");
+        if epoch != self.epoch {
+            self.epoch = epoch;
+            self.stash.clear();
+        }
     }
 
     /// Accept hellos until every rank `1..nprocs` reported in for
@@ -376,10 +438,18 @@ impl TcpRendezvous {
                         .set_nonblocking(false)
                         .and_then(|()| stream.set_read_timeout(Some(BOOTSTRAP_TIMEOUT)))
                         .map_err(|e| io_err("configuring rendezvous connection", e))?;
-                    let (f, rank, ip, port) = read_hello(&mut stream)?;
+                    let (f, rank, epoch, ip, port) = read_hello(&mut stream)?;
                     stream
                         .set_read_timeout(None)
                         .map_err(|e| io_err("configuring rendezvous connection", e))?;
+                    if epoch != EPOCH_ANY && epoch != self.epoch {
+                        return Err(bootstrap_err(format!(
+                            "rank {rank} dialed the rendezvous with epoch {epoch} but the \
+                             cluster is bootstrapping epoch {} — a process from a previous \
+                             incarnation (or a stale relaunch) is talking to this rendezvous",
+                            self.epoch
+                        )));
+                    }
                     let ip = match ip {
                         Some(ip) => ip,
                         None => stream
@@ -441,7 +511,8 @@ where
     let addrs: Vec<SocketAddr> = peers.iter().map(|&(_, addr, _)| addr).collect();
     let mut links: Vec<Option<TcpStream>> = (0..nprocs).map(|_| None).collect();
     for (rank, _, mut stream) in peers {
-        write_roster(&mut stream, nprocs, &addrs).map_err(|e| io_err("sending roster", e))?;
+        write_roster(&mut stream, nprocs, rv.epoch, &addrs)
+            .map_err(|e| io_err("sending roster", e))?;
         links[rank as usize] = Some(stream);
     }
     Ok(TcpTransport::from_links(0, nprocs, links, batch, stats))
@@ -472,15 +543,21 @@ fn connect_with_retry(addr: SocketAddr) -> Result<TcpStream, TransportError> {
 /// cross-machine fleets). Unless it is a wildcard, the bound IP is
 /// advertised in the hello; a wildcard defers to the source address the
 /// rendezvous observes.
+///
+/// `epoch` is the bootstrap generation this rank believes it is joining
+/// ([`EPOCH_ANY`] for recovery re-dials); the concrete epoch learned from
+/// the roster is returned alongside the endpoint.
+#[allow(clippy::too_many_arguments)] // one bootstrap, one argument list
 fn connect_endpoint<M>(
     addr: SocketAddr,
     fabric: u8,
     rank: usize,
     nprocs: usize,
+    epoch: u32,
     bind: &str,
     batch: BatchConfig,
     stats: Arc<CommStats>,
-) -> Result<TcpTransport<M>, TransportError>
+) -> Result<(TcpTransport<M>, u32), TransportError>
 where
     M: Send + WireEncode + WireDecode + 'static,
 {
@@ -490,22 +567,23 @@ where
     let local = listener.local_addr().map_err(|e| io_err("reading mesh listener address", e))?;
     let advertised_ip = if local.ip().is_unspecified() { None } else { Some(local.ip()) };
     let mut rendezvous = connect_with_retry(addr)?;
-    write_hello(&mut rendezvous, fabric, rank as u32, advertised_ip, local.port())
+    write_hello(&mut rendezvous, fabric, rank as u32, epoch, advertised_ip, local.port())
         .map_err(|e| io_err("sending hello", e))?;
     rendezvous
         .set_read_timeout(Some(BOOTSTRAP_TIMEOUT))
         .map_err(|e| io_err("configuring rendezvous connection", e))?;
-    let roster = read_roster(&mut rendezvous, nprocs)?;
+    let (epoch, roster) = read_roster(&mut rendezvous, nprocs)?;
     rendezvous
         .set_read_timeout(None)
         .map_err(|e| io_err("configuring rendezvous connection", e))?;
     let mut links: Vec<Option<TcpStream>> = (0..nprocs).map(|_| None).collect();
     links[0] = Some(rendezvous);
-    // Dial every lower nonzero rank's mesh listener.
+    // Dial every lower nonzero rank's mesh listener, announcing the
+    // concrete epoch the roster agreed on.
     for j in 1..rank {
         let mut s = TcpStream::connect(roster[j - 1])
             .map_err(|e| io_err(format!("dialing mesh listener of rank {j}"), e))?;
-        write_hello(&mut s, fabric, rank as u32, None, 0)
+        write_hello(&mut s, fabric, rank as u32, epoch, None, 0)
             .map_err(|e| io_err("sending mesh hello", e))?;
         links[j] = Some(s);
     }
@@ -515,7 +593,8 @@ where
     // surface as a bootstrap error here, not wedge this rank forever.
     listener.set_nonblocking(true).map_err(|e| io_err("configuring mesh listener", e))?;
     let deadline = Instant::now() + BOOTSTRAP_TIMEOUT;
-    for _ in rank + 1..nprocs {
+    let mut pending = nprocs - rank - 1;
+    while pending > 0 {
         let mut s = loop {
             match listener.accept() {
                 Ok((s, _)) => break s,
@@ -534,8 +613,14 @@ where
         s.set_nonblocking(false)
             .and_then(|()| s.set_read_timeout(Some(BOOTSTRAP_TIMEOUT)))
             .map_err(|e| io_err("configuring mesh connection", e))?;
-        let (f, peer, _, _) = read_hello(&mut s)?;
+        let (f, peer, peer_epoch, _, _) = read_hello(&mut s)?;
         s.set_read_timeout(None).map_err(|e| io_err("configuring mesh connection", e))?;
+        if peer_epoch != epoch {
+            // A zombie from a previous incarnation dialed a reused port:
+            // not this bootstrap's problem — drop it and keep accepting.
+            drop(s);
+            continue;
+        }
         if f != fabric {
             if is_coll_fabric(f) && is_coll_fabric(fabric) {
                 return Err(topology_disagreement(f, fabric));
@@ -554,8 +639,9 @@ where
             return Err(bootstrap_err(format!("two mesh connections from rank {peer}")));
         }
         links[peer] = Some(s);
+        pending -= 1;
     }
-    Ok(TcpTransport::from_links(rank, nprocs, links, batch, stats))
+    Ok((TcpTransport::from_links(rank, nprocs, links, batch, stats), epoch))
 }
 
 // -------------------------------------------------------------- endpoint --
@@ -564,6 +650,15 @@ where
 /// goodbye frames before it gives up and slams the links (a peer that
 /// stopped reading must not be able to wedge this process's teardown).
 const GOODBYE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// How long a *crash* teardown (a drop during panic unwind) may spend
+/// draining already-queued data frames before the links are slammed. A
+/// panicking rank must always exit promptly — a peer that stopped
+/// reading (full socket buffer, wedged process) cannot be allowed to
+/// block the unwind on a full [`WriteQueue`] — and it must never say
+/// goodbye: peers have to observe a dirty disconnect, not a graceful
+/// retire, so recovery can trigger.
+const CRASH_DRAIN_TIMEOUT: Duration = Duration::from_secs(1);
 
 /// What the io thread delivers into the endpoint's event queue.
 enum Event<M> {
@@ -579,6 +674,10 @@ enum Event<M> {
 struct Shared {
     /// Graceful teardown requested: drain queues, say goodbye, exit.
     shutdown: AtomicBool,
+    /// Crash teardown requested (drop during panic unwind): drain queued
+    /// data frames for at most [`CRASH_DRAIN_TIMEOUT`], never write
+    /// goodbye frames, then slam — peers must see a dirty disconnect.
+    crash: AtomicBool,
     /// Abnormal teardown requested: slam every link, exit immediately.
     slam: AtomicBool,
     /// Per-peer write-backpressure queues (`None` at the self index).
@@ -682,7 +781,17 @@ where
                 .map(|r| {
                     let stats = Arc::clone(&stats);
                     scope.spawn(move || {
-                        connect_endpoint::<M>(addr, FABRIC_P2P, r, n, "127.0.0.1:0", batch, stats)
+                        connect_endpoint::<M>(
+                            addr,
+                            FABRIC_P2P,
+                            r,
+                            n,
+                            0,
+                            "127.0.0.1:0",
+                            batch,
+                            stats,
+                        )
+                        .map(|(ep, _epoch)| ep)
                     })
                 })
                 .collect();
@@ -707,6 +816,7 @@ where
             nprocs: 1,
             shared: Arc::new(Shared {
                 shutdown: AtomicBool::new(false),
+                crash: AtomicBool::new(false),
                 slam: AtomicBool::new(false),
                 queues: vec![None],
             }),
@@ -749,6 +859,7 @@ where
             .collect();
         let shared = Arc::new(Shared {
             shutdown: AtomicBool::new(false),
+            crash: AtomicBool::new(false),
             slam: AtomicBool::new(false),
             queues: socks
                 .iter()
@@ -815,6 +926,7 @@ where
             nprocs,
             shared: Arc::new(Shared {
                 shutdown: AtomicBool::new(false),
+                crash: AtomicBool::new(false),
                 slam: AtomicBool::new(false),
                 queues: socks
                     .iter()
@@ -945,6 +1057,9 @@ fn io_loop<M: Send + WireDecode>(
     // Once a graceful shutdown begins, the deadline after which queued
     // frames and goodbyes are abandoned.
     let mut goodbye: Option<Instant> = None;
+    // Once a crash teardown begins, the deadline after which queued data
+    // frames are abandoned and the links are slammed (no goodbyes).
+    let mut crash: Option<Instant> = None;
 
     loop {
         if shared.slam.load(Ordering::SeqCst) {
@@ -953,7 +1068,24 @@ fn io_loop<M: Send + WireDecode>(
             }
             return;
         }
-        if goodbye.is_none() && shared.shutdown.load(Ordering::SeqCst) {
+        if crash.is_none() && shared.crash.load(Ordering::SeqCst) {
+            crash = Some(Instant::now() + CRASH_DRAIN_TIMEOUT);
+        }
+        if let Some(deadline) = crash {
+            let drained = peers
+                .iter()
+                .enumerate()
+                .all(|(i, p)| p.as_ref().is_none_or(|p| !p.writing || shared.queue_empty(i)));
+            if drained || Instant::now() > deadline {
+                // Dirty close by design: no goodbye frames, so peers see
+                // EOF-without-goodbye and surface `Disconnected`.
+                for p in peers.iter().flatten() {
+                    let _ = p.sock.shutdown(Shutdown::Both);
+                }
+                return;
+            }
+        }
+        if goodbye.is_none() && crash.is_none() && shared.shutdown.load(Ordering::SeqCst) {
             goodbye = Some(Instant::now() + GOODBYE_TIMEOUT);
             for (i, p) in peers.iter().enumerate() {
                 if let Some(p) = p {
@@ -1008,11 +1140,12 @@ fn io_loop<M: Send + WireDecode>(
                 idx.push(i);
             }
         }
-        let timeout = match goodbye {
+        let timeout = match (goodbye, crash) {
             // Re-check the drain condition at least every 50ms while
-            // saying goodbye, even if poll reports nothing.
-            Some(_) => 50,
-            None => -1,
+            // saying goodbye or crash-draining, even if poll reports
+            // nothing.
+            (Some(_), _) | (_, Some(_)) => 50,
+            (None, None) => -1,
         };
         if let Err(e) = sys::poll_fds(&mut fds, timeout) {
             // poll itself failing is unrecoverable for the whole
@@ -1292,17 +1425,23 @@ impl<M> Drop for TcpTransport<M> {
         // writes a goodbye frame, then a write-side FIN on every link, so
         // peers can tell this shutdown from a crash. A drop that happens
         // while this thread is *panicking* is a crash, not a shutdown —
-        // skip the goodbye and slam the links, so peers observe a typed
-        // disconnect instead of blocking on a machine that will never
-        // speak again. (Envelopes still coalesced in the outbox are
-        // dropped without being sent, exactly like the in-process
-        // backends: a flush point must precede any drop that expects
-        // delivery, and `CommEndpoint` flushes before every receive.)
+        // the io thread drains already-queued data frames for at most
+        // `CRASH_DRAIN_TIMEOUT` (a peer that stopped reading must not
+        // wedge the unwind on a full write queue) and then slams the
+        // links *without* goodbye frames, so peers observe a typed
+        // disconnect instead of a graceful retire and recovery can
+        // trigger. (Envelopes still coalesced in the outbox are dropped
+        // without being sent, exactly like the in-process backends: a
+        // flush point must precede any drop that expects delivery, and
+        // `CommEndpoint` flushes before every receive.)
         if std::thread::panicking() {
-            self.abort();
-            // The io thread exits promptly on the slam flag; joining it
-            // mid-unwind would only compound the panic.
-            drop(self.io.take());
+            self.shared.crash.store(true, Ordering::SeqCst);
+            self.wake_io();
+            // The crash drain is bounded, so this join cannot wedge the
+            // unwind for more than about a second.
+            if let Some(io) = self.io.take() {
+                let _ = io.join();
+            }
             return;
         }
         self.shared.shutdown.store(true, Ordering::SeqCst);
@@ -1396,11 +1535,31 @@ impl TcpProcessCluster {
     /// [`MemoryTracker`] are process-local: only this rank's row is
     /// populated — aggregate across ranks with a collective after the
     /// algorithm finishes, as `dne-tcp-worker` does.
-    pub fn connect<M>(self) -> Result<TcpSession<M>, TransportError>
+    pub fn connect<M>(mut self) -> Result<TcpSession<M>, TransportError>
     where
         M: Send + WireEncode + WireDecode + 'static,
     {
-        self.connect_with_collectives(CollectiveTopology::from_env())
+        self.connect_full(CollectiveTopology::from_env(), BatchConfig::from_env(), 0)
+    }
+
+    /// Bootstrap (or re-bootstrap) the cluster's meshes under an explicit
+    /// bootstrap generation, without consuming the cluster object — the
+    /// recovery workflow: when a session dies with
+    /// [`TransportError::Disconnected`], drop it and call `connect_epoch`
+    /// again on the same object to build a fresh mesh among whoever dials
+    /// the rendezvous for the new epoch.
+    ///
+    /// Rank 0 owns the epoch counter and must pass the concrete next
+    /// epoch (its rendezvous listener persists across calls, so the
+    /// advertised address stays valid); every other rank passes
+    /// [`EPOCH_ANY`] and learns the agreed epoch from the roster (check
+    /// [`TcpSession::epoch`]). A restarted worker process joins the same
+    /// way: [`TcpProcessCluster::join`] then `connect_epoch(EPOCH_ANY)`.
+    pub fn connect_epoch<M>(&mut self, epoch: u32) -> Result<TcpSession<M>, TransportError>
+    where
+        M: Send + WireEncode + WireDecode + 'static,
+    {
+        self.connect_full(CollectiveTopology::from_env(), BatchConfig::from_env(), epoch)
     }
 
     /// [`TcpProcessCluster::connect`] with an explicit coalescing policy
@@ -1410,13 +1569,13 @@ impl TcpProcessCluster {
     /// only the physical frame count changes, so processes need not agree
     /// on the policy.
     pub fn connect_with_comm_batch<M>(
-        self,
+        mut self,
         batch: BatchConfig,
     ) -> Result<TcpSession<M>, TransportError>
     where
         M: Send + WireEncode + WireDecode + 'static,
     {
-        self.connect_full(CollectiveTopology::from_env(), batch)
+        self.connect_full(CollectiveTopology::from_env(), batch, 0)
     }
 
     /// [`TcpProcessCluster::connect`] with an explicit collective
@@ -1426,7 +1585,7 @@ impl TcpProcessCluster {
     /// [`TransportError::Bootstrap`] naming both topologies instead of
     /// deadlocking at the first barrier.
     pub fn connect_with_collectives<M>(
-        self,
+        mut self,
         topology: CollectiveTopology,
     ) -> Result<TcpSession<M>, TransportError>
     where
@@ -1436,13 +1595,14 @@ impl TcpProcessCluster {
         // every worker's environment); the collectives mesh always runs
         // unbatched, exactly like in-process clusters, so the published
         // per-rank collective traffic stays exact.
-        self.connect_full(topology, BatchConfig::from_env())
+        self.connect_full(topology, BatchConfig::from_env(), 0)
     }
 
     fn connect_full<M>(
-        mut self,
+        &mut self,
         topology: CollectiveTopology,
         batch: BatchConfig,
+        epoch: u32,
     ) -> Result<TcpSession<M>, TransportError>
     where
         M: Send + WireEncode + WireDecode + 'static,
@@ -1450,42 +1610,57 @@ impl TcpProcessCluster {
         let stats = CommStats::new(self.nprocs);
         let memory = MemoryTracker::new(self.nprocs);
         let coll_id = coll_fabric(topology);
-        let (p2p, coll): (TcpTransport<M>, TcpTransport<CollMsg>) = match self.rendezvous.as_mut() {
-            Some(rv) => (
-                host_endpoint(rv, FABRIC_P2P, self.nprocs, batch, Arc::clone(&stats))?,
-                host_endpoint(
-                    rv,
-                    coll_id,
-                    self.nprocs,
-                    BatchConfig::disabled(),
-                    Arc::clone(&stats),
-                )?,
-            ),
-            None => (
-                connect_endpoint(
-                    self.addr,
-                    FABRIC_P2P,
-                    self.rank,
-                    self.nprocs,
-                    &self.bind,
-                    batch,
-                    Arc::clone(&stats),
-                )?,
-                connect_endpoint(
-                    self.addr,
-                    coll_id,
-                    self.rank,
-                    self.nprocs,
-                    &self.bind,
-                    BatchConfig::disabled(),
-                    Arc::clone(&stats),
-                )?,
-            ),
-        };
+        let (p2p, coll, epoch): (TcpTransport<M>, TcpTransport<CollMsg>, u32) =
+            match self.rendezvous.as_mut() {
+                Some(rv) => {
+                    assert!(
+                        epoch != EPOCH_ANY,
+                        "rank 0 owns the epoch counter and must pass a concrete epoch"
+                    );
+                    rv.set_epoch(epoch);
+                    (
+                        host_endpoint(rv, FABRIC_P2P, self.nprocs, batch, Arc::clone(&stats))?,
+                        host_endpoint(
+                            rv,
+                            coll_id,
+                            self.nprocs,
+                            BatchConfig::disabled(),
+                            Arc::clone(&stats),
+                        )?,
+                        epoch,
+                    )
+                }
+                None => {
+                    let (p2p, learned) = connect_endpoint(
+                        self.addr,
+                        FABRIC_P2P,
+                        self.rank,
+                        self.nprocs,
+                        epoch,
+                        &self.bind,
+                        batch,
+                        Arc::clone(&stats),
+                    )?;
+                    // The collectives mesh joins the epoch the
+                    // point-to-point roster agreed on — never the
+                    // wildcard, so both meshes are of one generation.
+                    let (coll, _) = connect_endpoint(
+                        self.addr,
+                        coll_id,
+                        self.rank,
+                        self.nprocs,
+                        learned,
+                        &self.bind,
+                        BatchConfig::disabled(),
+                        Arc::clone(&stats),
+                    )?;
+                    (p2p, coll, learned)
+                }
+            };
         let comm = CommEndpoint::from_transport(Box::new(p2p), Arc::clone(&stats));
         let collectives = Collectives::from_transport(Box::new(coll), topology, Arc::clone(&stats));
         let ctx = Ctx::from_parts(comm, collectives, Arc::clone(&memory));
-        Ok(TcpSession { ctx, comm: stats, memory })
+        Ok(TcpSession { ctx, comm: stats, memory, epoch })
     }
 }
 
@@ -1498,6 +1673,10 @@ pub struct TcpSession<M> {
     pub comm: Arc<CommStats>,
     /// Process-local memory accounting (this rank's row only).
     pub memory: Arc<MemoryTracker>,
+    /// The bootstrap generation this session's meshes were built under
+    /// (0 for a cluster's first bootstrap; see
+    /// [`TcpProcessCluster::connect_epoch`]).
+    pub epoch: u32,
 }
 
 #[cfg(test)]
@@ -1612,7 +1791,126 @@ mod tests {
         });
     }
 
+    #[test]
+    fn panicking_rank_crash_teardown_is_dirty_and_prompt() {
+        // A drop during panic unwind must (a) still drain frames that
+        // were already queued, bounded in time, and (b) never say
+        // goodbye: the peer has to observe a typed dirty disconnect —
+        // the recovery trigger — not a graceful retire.
+        let mut eps = TcpTransport::<u64>::fabric(2);
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        let t = std::thread::spawn(move || {
+            b.send(0, 7).unwrap();
+            b.flush().unwrap();
+            panic!("injected crash (expected in this test)");
+        });
+        assert!(t.join().is_err(), "the injected panic must propagate");
+        assert_eq!(a.recv().unwrap(), (1, 7), "queued frames drain before the slam");
+        match a.recv() {
+            Err(TransportError::Disconnected { peer: Some(1) }) => {}
+            other => panic!("expected dirty disconnect from the panicking rank, got {other:?}"),
+        }
+    }
+
+    // ------------------------------------------------------- rendezvous --
+
+    /// Dial `addr` and send a raw bootstrap hello (test helper).
+    fn dial_hello(addr: SocketAddr, fabric: u8, rank: u32, epoch: u32) -> TcpStream {
+        let mut s = TcpStream::connect(addr).expect("dialing test rendezvous");
+        write_hello(&mut s, fabric, rank, epoch, None, 9).expect("writing test hello");
+        s
+    }
+
+    #[test]
+    fn duplicate_hello_is_a_typed_bootstrap_error() {
+        let mut rv = TcpRendezvous::bind("127.0.0.1:0").unwrap();
+        let addr = rv.local_addr();
+        let _c1 = dial_hello(addr, FABRIC_P2P, 1, 0);
+        let _c2 = dial_hello(addr, FABRIC_P2P, 1, 0);
+        let err = rv.collect(FABRIC_P2P, 3).expect_err("two hellos from one rank must fail");
+        assert!(matches!(err, TransportError::Bootstrap { .. }), "typed bootstrap error: {err:?}");
+        assert!(err.to_string().contains("two hellos from rank 1"), "names the rank: {err}");
+    }
+
+    #[test]
+    fn out_of_range_rank_hello_is_a_typed_bootstrap_error() {
+        let mut rv = TcpRendezvous::bind("127.0.0.1:0").unwrap();
+        let addr = rv.local_addr();
+        let _c = dial_hello(addr, FABRIC_P2P, 7, 0);
+        let err = rv.collect(FABRIC_P2P, 2).expect_err("rank 7 of 2 must fail the bootstrap");
+        assert!(matches!(err, TransportError::Bootstrap { .. }), "typed bootstrap error: {err:?}");
+        assert!(err.to_string().contains("out-of-range rank 7"), "names the rank: {err}");
+    }
+
+    #[test]
+    fn rank_zero_hello_is_a_typed_bootstrap_error() {
+        // Rank 0 hosts the rendezvous; a hello claiming rank 0 can only
+        // be a misconfigured worker.
+        let mut rv = TcpRendezvous::bind("127.0.0.1:0").unwrap();
+        let addr = rv.local_addr();
+        let _c = dial_hello(addr, FABRIC_P2P, 0, 0);
+        let err = rv.collect(FABRIC_P2P, 2).expect_err("a rank-0 hello must fail the bootstrap");
+        assert!(err.to_string().contains("out-of-range rank 0"), "names the rank: {err}");
+    }
+
+    #[test]
+    fn stale_epoch_hello_is_a_typed_bootstrap_error() {
+        // A process from a previous incarnation (concrete epoch 0) dials
+        // a rendezvous already recovering at epoch 2: typed error naming
+        // both epochs, not a silent wedge.
+        let mut rv = TcpRendezvous::bind("127.0.0.1:0").unwrap();
+        rv.set_epoch(2);
+        let addr = rv.local_addr();
+        let _c = dial_hello(addr, FABRIC_P2P, 1, 0);
+        let err = rv.collect(FABRIC_P2P, 2).expect_err("a stale-epoch hello must fail");
+        let msg = err.to_string();
+        assert!(msg.contains("epoch 0") && msg.contains("epoch 2"), "names both epochs: {msg}");
+    }
+
+    #[test]
+    fn wildcard_epoch_hello_adopts_the_rendezvous_epoch() {
+        // EPOCH_ANY is how survivors and restarted workers rejoin without
+        // knowing how many recoveries rank 0 has counted.
+        let mut rv = TcpRendezvous::bind("127.0.0.1:0").unwrap();
+        rv.set_epoch(5);
+        let addr = rv.local_addr();
+        let _c = dial_hello(addr, FABRIC_P2P, 1, EPOCH_ANY);
+        let peers = rv.collect(FABRIC_P2P, 2).expect("a wildcard hello joins any epoch");
+        assert_eq!(peers.len(), 1);
+        assert_eq!(peers[0].0, 1);
+    }
+
     // -------------------------------------------------- process cluster --
+
+    #[test]
+    fn same_cluster_objects_bootstrap_successive_epochs() {
+        // The recovery workflow: after a session dies, the *same*
+        // TcpProcessCluster objects re-bootstrap a fresh mesh under the
+        // next epoch — rank 0 passing the concrete epoch, everyone else
+        // the wildcard (learning the epoch from the roster).
+        let n = 2;
+        let mut host = TcpProcessCluster::host(n, "127.0.0.1:0").unwrap();
+        let addr = host.addr().to_string();
+        std::thread::scope(|s| {
+            let joiner = s.spawn(move || {
+                let mut j = TcpProcessCluster::join(1, n, &addr).unwrap();
+                for round in 0..3u32 {
+                    let mut sess = j.connect_epoch::<u64>(EPOCH_ANY).unwrap();
+                    assert_eq!(sess.epoch, round, "roster teaches the wildcard joiner the epoch");
+                    let sum = sess.ctx.try_all_reduce_sum_u64(1).unwrap();
+                    assert_eq!(sum, 1 + u64::from(round));
+                }
+            });
+            for round in 0..3u32 {
+                let mut sess = host.connect_epoch::<u64>(round).unwrap();
+                assert_eq!(sess.epoch, round);
+                let sum = sess.ctx.try_all_reduce_sum_u64(u64::from(round)).unwrap();
+                assert_eq!(sum, 1 + u64::from(round));
+            }
+            joiner.join().unwrap();
+        });
+    }
 
     #[test]
     fn topology_disagreement_fails_bootstrap_with_a_typed_error() {
